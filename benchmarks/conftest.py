@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures and prints the
+rows/series the paper reports. ``REPRO_SCALE`` (float, default 1.0)
+multiplies the simulated branch count — raise it (e.g. ``REPRO_SCALE=8``)
+for numbers closer to the paper's 30M-instruction traces; the default
+keeps the whole harness laptop-friendly.
+
+Benches run with ``rounds=1``: each experiment is a deterministic
+simulation whose *result* is the point; wall-clock is secondary.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def repro_scale() -> float:
+    """The REPRO_SCALE environment knob."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return repro_scale()
+
+
+def run_and_report(benchmark, experiment_id: str, scale: float, **kwargs):
+    """Run one experiment under pytest-benchmark and print its rendering."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, scale=scale, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    print()
+    print(text)
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["scale"] = scale
+    return result

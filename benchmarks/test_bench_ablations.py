@@ -1,0 +1,35 @@
+"""Bench: design-choice ablations (oracle bits, filtering, insert policy, TAGE)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_ablation_oracle(benchmark, scale):
+    result = run_and_report(benchmark, "ablation-oracle", scale)
+    honest = result.rows[0][1]
+    oracle = result.rows[1][1]
+    # Oracle trace future bits must look (unrealistically) better —
+    # the paper's §6 argument for wrong-path evaluation.
+    assert oracle < honest
+
+
+def test_bench_ablation_filtering(benchmark, scale):
+    result = run_and_report(benchmark, "ablation-filtering", scale)
+    # At high future-bit counts the filtered critic must beat the
+    # unfiltered one (paper §7.2).
+    last = result.rows[-1]
+    assert last[1] <= last[2] * 1.05
+
+
+def test_bench_ablation_insert_policy(benchmark, scale):
+    result = run_and_report(benchmark, "ablation-insert-policy", scale)
+    values = {row[0]: row[1] for row in result.rows}
+    # Both policies must function; the paper's final-mispredict trigger
+    # should not be materially worse than the alternative.
+    assert values["final"] <= values["prophet"] * 1.15
+
+
+def test_bench_ablation_tage(benchmark, scale):
+    result = run_and_report(benchmark, "ablation-tage", scale)
+    values = {row[0]: row[1] for row in result.rows}
+    # Sanity: every configuration produces a finite, positive rate.
+    assert all(v > 0 for v in values.values())

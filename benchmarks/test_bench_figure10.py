@@ -1,0 +1,13 @@
+"""Bench: Figure 10 — uPC per suite for the 2Bc-gskew + tagged gshare hybrid."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure10(benchmark, scale):
+    result = run_and_report(benchmark, "figure10", scale)
+    # Paper: the hybrid never loses to the 16KB prophet on any suite
+    # (within noise at laptop scale), and INT00 gains more than FP00.
+    for suite in ("INT00", "FP00", "WEB", "MM", "PROD", "SERV", "WS"):
+        series = result.series_values(suite)
+        alone, hybrids = series[0], series[1:]
+        assert max(hybrids) >= alone * 0.95, f"{suite}: {series}"

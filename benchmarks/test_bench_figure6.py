@@ -1,0 +1,26 @@
+"""Bench: Figure 6 — accuracy grids for three prophet/critic pairings.
+
+The bench default trims the grid (one benchmark, three future-bit
+points) to stay laptop-friendly; the module API exposes the full grid.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+TRIMMED = dict(
+    prophet_kbs=(4, 16),
+    critic_kbs=(2, 8, 32),
+    future_bits=(None, 1, 8),
+    benchmarks=("gcc",),
+)
+
+
+@pytest.mark.parametrize("sub", ["a", "b", "c"])
+def test_bench_figure6(benchmark, scale, sub):
+    result = run_and_report(benchmark, f"figure6{sub}", scale, **TRIMMED)
+    # Larger critics should not hurt: for the 16KB prophet, the 32KB
+    # critic at 8 future bits beats (or matches) the 2KB critic.
+    col = result.headers.index("fb=8")
+    by_key = {(row[0], row[1]): row[col] for row in result.rows}
+    assert by_key[(16, 32)] <= by_key[(16, 2)] * 1.10

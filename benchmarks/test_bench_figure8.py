@@ -1,0 +1,16 @@
+"""Bench: Figure 8 — distribution of critiques vs future bits."""
+
+from repro.core.critiques import CritiqueKind
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure8(benchmark, scale):
+    result = run_and_report(benchmark, "figure8", scale)
+    wins = result.series_values(CritiqueKind.INCORRECT_DISAGREE.value)
+    damage = result.series_values(CritiqueKind.CORRECT_DISAGREE.value)
+    # Paper: wins exceed damage at every future-bit count. (The paper's
+    # other observation — correct_agree dominating — needs trace-length
+    # scale; it emerges with REPRO_SCALE >= 4.)
+    assert all(w >= d for w, d in zip(wins, damage))
+    assert sum(wins) > 0

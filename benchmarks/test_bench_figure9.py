@@ -1,0 +1,13 @@
+"""Bench: Figure 9 — uPC of 16KB prophets vs 8+8 hybrids (timing model)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_figure9(benchmark, scale):
+    result = run_and_report(benchmark, "figure9", scale)
+    # For each prophet, the best hybrid configuration should match or
+    # beat the 16KB prophet alone (paper: +2.7% .. +8%).
+    for prophet in ("gshare", "2bc-gskew", "perceptron"):
+        series = result.series_values(prophet)
+        alone, hybrids = series[0], series[1:]
+        assert max(hybrids) >= alone * 0.97, f"{prophet}: {series}"

@@ -1,0 +1,16 @@
+"""Bench: the paper's §1 headline — 8K+8K hybrid vs 16KB 2Bc-gskew."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_headline(benchmark, scale):
+    result = run_and_report(benchmark, "headline", scale)
+    rows = {row[0]: row for row in result.rows}
+    baseline_misp = rows["misp/Kuops (panel)"][1]
+    hybrid_misp = rows["misp/Kuops (panel)"][2]
+    # The hybrid must reduce panel mispredicts (paper: -39%).
+    assert hybrid_misp < baseline_misp
+    # Flush distance must grow (paper: 418 -> 680 uops).
+    assert rows["uops per flush (panel)"][2] > rows["uops per flush (panel)"][1]
+    # gcc's mispredict rate must drop (paper: 3.11% -> 1.23%).
+    assert rows["gcc mispredict %"][2] < rows["gcc mispredict %"][1]

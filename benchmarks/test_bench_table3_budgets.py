@@ -1,0 +1,8 @@
+"""Bench: Table 3 — predictor geometries and hardware budgets."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_table3(benchmark, scale):
+    result = run_and_report(benchmark, "table3", scale)
+    assert all(result.column("within_budget"))

@@ -1,0 +1,16 @@
+"""Bench: Table 4 — share of prophet predictions filtered by the critic."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_table4(benchmark, scale):
+    result = run_and_report(benchmark, "table4", scale)
+    totals = result.column("pct_none_total")
+    # The filter must pass most branches through implicitly (paper:
+    # 65-78%); anything under half means the filter isn't filtering.
+    assert all(t > 40.0 for t in totals)
+    # Correct-none must dominate incorrect-none (ideal filtering keeps
+    # the prophet's correct predictions out of the critic).
+    correct = result.column("pct_correct_none")
+    incorrect = result.column("pct_incorrect_none")
+    assert all(c > i for c, i in zip(correct, incorrect))

@@ -1,0 +1,10 @@
+"""Setup shim for environments where editable installs need setup.py.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+`pip install -e .` code path on offline machines without the `wheel`
+package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""Command-line entry point: run any reproduced experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro run figure5 --scale 2
+    python -m repro run headline
+    python -m repro bench gcc --system hybrid --branches 100000
+
+``run`` executes one registered experiment (see ``list``) and prints the
+paper-style rows/series. ``bench`` runs a single benchmark under either
+the 16KB 2Bc-gskew baseline or the 8+8 prophet/critic hybrid and prints
+the accuracy metrics — the quickest way to poke at a configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import ProphetCriticSystem, SinglePredictorSystem
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.predictors import make_critic, make_prophet
+from repro.sim import SimulationConfig, simulate
+from repro.sim.results import render_mapping
+from repro.workloads import benchmark, benchmark_names
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("\nbenchmarks:")
+    for name in benchmark_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, scale=args.scale)
+    print(result.render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.system == "baseline":
+        system = SinglePredictorSystem(make_prophet("2bc-gskew", 16))
+    else:
+        system = ProphetCriticSystem(
+            make_prophet(args.prophet, args.prophet_kb),
+            make_critic(args.critic, args.critic_kb),
+            future_bits=args.future_bits,
+        )
+    config = SimulationConfig(n_branches=args.branches, warmup=args.branches // 5)
+    stats = simulate(benchmark(args.benchmark), system, config)
+    print(render_mapping(f"{args.benchmark} / {args.system}", stats.summary()))
+    if args.system == "hybrid":
+        print(render_mapping("critique census", stats.census.as_dict()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Prophet/Critic hybrid branch prediction (ISCA 2004) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and benchmarks").set_defaults(
+        func=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument("--scale", type=float, default=1.0,
+                            help="simulation length multiplier (default 1.0)")
+    run_parser.set_defaults(func=_cmd_run)
+
+    bench_parser = sub.add_parser("bench", help="run one benchmark/system pair")
+    bench_parser.add_argument("benchmark", choices=benchmark_names())
+    bench_parser.add_argument("--system", choices=("baseline", "hybrid"), default="hybrid")
+    bench_parser.add_argument("--prophet", default="2bc-gskew")
+    bench_parser.add_argument("--prophet-kb", type=int, default=8)
+    bench_parser.add_argument("--critic", default="tagged-gshare")
+    bench_parser.add_argument("--critic-kb", type=int, default=8)
+    bench_parser.add_argument("--future-bits", type=int, default=8)
+    bench_parser.add_argument("--branches", type=int, default=50_000)
+    bench_parser.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The paper's contribution: prophet/critic hybrid branch prediction.
+
+* :class:`~repro.core.history.HistoryRegister` — BHR/BOR shift registers
+  with O(1) integer checkpoints.
+* :class:`~repro.core.hybrid.SinglePredictorSystem` — a conventional
+  predictor + speculatively-updated BHR (the "prophet alone" baselines).
+* :class:`~repro.core.hybrid.ProphetCriticSystem` — the hybrid: prophet
+  BHR, critic BOR fed exclusively with prophet predictions, critiques
+  after a configurable number of future bits, filtered or unfiltered
+  critics, checkpoint repair, and commit-time training with the BOR value
+  captured at critique time (wrong-path bits included, §3.3).
+* :class:`~repro.core.critiques.CritiqueKind` /
+  :class:`~repro.core.critiques.CritiqueCensus` — the §7.3 taxonomy.
+"""
+
+from repro.core.critiques import CritiqueCensus, CritiqueKind
+from repro.core.history import HistoryRegister
+from repro.core.hybrid import (
+    InflightBranch,
+    PredictionSystem,
+    ProphetCriticSystem,
+    SinglePredictorSystem,
+)
+
+__all__ = [
+    "CritiqueCensus",
+    "CritiqueKind",
+    "HistoryRegister",
+    "InflightBranch",
+    "PredictionSystem",
+    "ProphetCriticSystem",
+    "SinglePredictorSystem",
+]

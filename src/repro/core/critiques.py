@@ -1,0 +1,90 @@
+"""Critique taxonomy (paper §7.3, Figure 8 and Table 4).
+
+Every committed branch's critique is classified along two axes — was the
+prophet right, and what did the critic say (agree / disagree / none,
+where "none" is the implicit agreement of a filter miss):
+
+================== =====================================================
+``correct_agree``     prophet right, critic concurred (harmless)
+``correct_disagree``  prophet right, critic overrode — **the damage case**
+``incorrect_agree``   prophet wrong, critic missed its chance
+``incorrect_disagree`` prophet wrong, critic fixed it — **the win case**
+``correct_none``      prophet right, filter miss (ideal filtering)
+``incorrect_none``    prophet wrong, filter miss (lost opportunity)
+================== =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CritiqueKind(enum.Enum):
+    """Joint classification of prophet correctness × critic response."""
+
+    CORRECT_AGREE = "correct_agree"
+    CORRECT_DISAGREE = "correct_disagree"
+    INCORRECT_AGREE = "incorrect_agree"
+    INCORRECT_DISAGREE = "incorrect_disagree"
+    CORRECT_NONE = "correct_none"
+    INCORRECT_NONE = "incorrect_none"
+
+    @staticmethod
+    def classify(prophet_correct: bool, critic_hit: bool, critic_agreed: bool) -> "CritiqueKind":
+        """Classify one committed branch."""
+        if not critic_hit:
+            return CritiqueKind.CORRECT_NONE if prophet_correct else CritiqueKind.INCORRECT_NONE
+        if prophet_correct:
+            return CritiqueKind.CORRECT_AGREE if critic_agreed else CritiqueKind.CORRECT_DISAGREE
+        return CritiqueKind.INCORRECT_AGREE if critic_agreed else CritiqueKind.INCORRECT_DISAGREE
+
+
+@dataclass
+class CritiqueCensus:
+    """Counters over the critique taxonomy."""
+
+    counts: dict[CritiqueKind, int] = field(default_factory=lambda: {k: 0 for k in CritiqueKind})
+
+    def record(self, kind: CritiqueKind) -> None:
+        self.counts[kind] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def explicit_total(self) -> int:
+        """Critiques where the filter hit (the population Figure 8 plots)."""
+        return self.total - self.none_total
+
+    @property
+    def none_total(self) -> int:
+        return self.counts[CritiqueKind.CORRECT_NONE] + self.counts[CritiqueKind.INCORRECT_NONE]
+
+    def fraction(self, kind: CritiqueKind) -> float:
+        """Share of all committed branches in ``kind``."""
+        if self.total == 0:
+            return 0.0
+        return self.counts[kind] / self.total
+
+    def overrides_won(self) -> int:
+        """Mispredicts the critic fixed."""
+        return self.counts[CritiqueKind.INCORRECT_DISAGREE]
+
+    def overrides_lost(self) -> int:
+        """Correct predictions the critic broke."""
+        return self.counts[CritiqueKind.CORRECT_DISAGREE]
+
+    def net_gain(self) -> int:
+        """Mispredicts removed minus mispredicts introduced by the critic."""
+        return self.overrides_won() - self.overrides_lost()
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-string keyed snapshot (report rendering)."""
+        return {kind.value: count for kind, count in self.counts.items()}
+
+    def merge(self, other: "CritiqueCensus") -> None:
+        """Accumulate another census into this one."""
+        for kind, count in other.counts.items():
+            self.counts[kind] += count

@@ -1,0 +1,59 @@
+"""History registers: the prophet's BHR and the critic's BOR.
+
+Both are shift registers of branch outcomes/predictions; bit 0 holds the
+most recently inserted bit. Values are plain integers, so a checkpoint is
+just the value itself — restoring after a wrong-path excursion is O(1),
+matching the paper's checkpoint repair (§3.3).
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import mask
+
+
+class HistoryRegister:
+    """Fixed-width shift register with integer checkpointing."""
+
+    __slots__ = ("_mask", "_value", "width")
+
+    def __init__(self, width: int, initial: int = 0) -> None:
+        if width < 1:
+            raise ValueError("history register needs at least one bit")
+        self.width = width
+        self._mask = mask(width)
+        self._value = initial & self._mask
+
+    @property
+    def value(self) -> int:
+        """Current register contents (bit 0 = most recent)."""
+        return self._value
+
+    def insert(self, taken: bool) -> None:
+        """Shift in one outcome/prediction bit."""
+        self._value = ((self._value << 1) | int(taken)) & self._mask
+
+    def insert_bits(self, bits: int, count: int) -> None:
+        """Shift in ``count`` bits at once (bit count-1 inserted first)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        self._value = ((self._value << count) | (bits & mask(count))) & self._mask
+
+    def checkpoint(self) -> int:
+        """Capture state; integers are immutable so this is free."""
+        return self._value
+
+    def restore(self, checkpoint: int) -> None:
+        """Reinstate a previously captured state."""
+        self._value = checkpoint & self._mask
+
+    def bit(self, position: int) -> int:
+        """Bit at ``position`` (0 = most recent)."""
+        return (self._value >> position) & 1
+
+    def clear(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HistoryRegister(width={self.width}, value={self._value:#x})"

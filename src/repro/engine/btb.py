@@ -1,0 +1,83 @@
+"""Branch target buffer — identifies branches to the front end (§5).
+
+Table 2 gives 4096 entries, 4-way. The hybrid predicts a branch's
+direction only when the BTB recognises it; on a miss the front end falls
+through (implicit not-taken) and the entry is allocated when the branch
+commits, the allocation policy the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitops import mask
+
+
+@dataclass
+class BtbStats:
+    lookups: int = 0
+    hits: int = 0
+    allocations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class BranchTargetBuffer:
+    """Set-associative branch identification cache (tags only).
+
+    Targets come from the CFG in this simulator, so entries store tags
+    only; what matters behaviourally is hit/miss and LRU turnover.
+    """
+
+    def __init__(self, entries: int = 4096, ways: int = 4) -> None:
+        if entries % ways:
+            raise ValueError("entries must divide evenly into ways")
+        self.entries = entries
+        self.ways = ways
+        self.sets = entries // ways
+        if self.sets & (self.sets - 1):
+            raise ValueError("sets must be a power of two")
+        self._set_bits = self.sets.bit_length() - 1
+        # Per set: list of tags, most recently used last.
+        self._sets: list[list[int]] = [[] for _ in range(self.sets)]
+        self.stats = BtbStats()
+
+    def _index_tag(self, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        return word & mask(self._set_bits), word >> self._set_bits
+
+    def lookup(self, pc: int) -> bool:
+        """True when the branch is recognised; refreshes LRU on hit."""
+        self.stats.lookups += 1
+        index, tag = self._index_tag(pc)
+        entry_list = self._sets[index]
+        if tag in entry_list:
+            entry_list.remove(tag)
+            entry_list.append(tag)
+            self.stats.hits += 1
+            return True
+        return False
+
+    def allocate(self, pc: int) -> None:
+        """Install the branch (commit-time allocation), evicting LRU."""
+        index, tag = self._index_tag(pc)
+        entry_list = self._sets[index]
+        if tag in entry_list:
+            entry_list.remove(tag)
+        elif len(entry_list) >= self.ways:
+            entry_list.pop(0)
+        else:
+            self.stats.allocations += 1
+        entry_list.append(tag)
+
+    def occupancy(self) -> float:
+        valid = sum(len(s) for s in self._sets)
+        return valid / self.entries
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.sets)]
+        self.stats = BtbStats()

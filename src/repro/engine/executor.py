@@ -1,0 +1,86 @@
+"""Architectural executor — the ground truth.
+
+Walks the program CFG following **actual branch outcomes**, resolving each
+conditional branch's behaviour model exactly once, in program order. The
+committed path, committed uop counts, and architectural context all live
+here. The speculative front end never touches this object; the driver
+consumes resolved branches strictly in order and checks that the front
+end's committed stream matches (a strong cross-validation of the whole
+engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.ras import ReturnAddressStack
+from repro.workloads.program import BlockKind, Program
+
+
+@dataclass(frozen=True, slots=True)
+class ResolvedBranch:
+    """One architecturally resolved conditional branch."""
+
+    pc: int
+    taken: bool
+    block_id: int
+    #: uops committed since the previous resolved branch (this block and
+    #: any straight-line/call/return blocks before it).
+    uops: int
+    #: Target block the committed path continues at.
+    next_block: int
+
+
+class ArchitecturalExecutor:
+    """Resolves the program's branch stream in committed order."""
+
+    def __init__(self, program: Program, ras_capacity: int = 64) -> None:
+        self.program = program
+        self.ctx = program.make_context()
+        self._block = program.block(program.entry)
+        self._ras = ReturnAddressStack(ras_capacity)
+        self.committed_uops = 0
+        self.resolved_branches = 0
+
+    def next_branch(self) -> ResolvedBranch:
+        """Advance along the committed path to the next conditional branch,
+        resolve it, and step past it."""
+        uops = 0
+        while True:
+            block = self._block
+            self.ctx.record_block(block.block_id)
+            uops += block.uops
+            self.committed_uops += block.uops
+            if block.kind is BlockKind.COND:
+                assert block.behavior is not None
+                taken = bool(block.behavior.resolve(block.pc, self.ctx))
+                self.ctx.record_outcome(block.pc, taken)
+                target = block.taken_target if taken else block.fallthrough
+                assert target is not None
+                self._block = self.program.block(target)
+                self.resolved_branches += 1
+                return ResolvedBranch(
+                    pc=block.pc,
+                    taken=taken,
+                    block_id=block.block_id,
+                    uops=uops,
+                    next_block=target,
+                )
+            if block.kind is BlockKind.JUMP:
+                assert block.taken_target is not None
+                self._block = self.program.block(block.taken_target)
+            elif block.kind is BlockKind.CALL:
+                assert block.fallthrough is not None and block.taken_target is not None
+                self._ras.push(block.fallthrough)
+                self.ctx.push_caller(block.block_id)
+                self._block = self.program.block(block.taken_target)
+            elif block.kind is BlockKind.RETURN:
+                target = self._ras.pop()
+                self.ctx.pop_caller()
+                if target is None:
+                    target = self.program.entry
+                self._block = self.program.block(target)
+
+    def run_branches(self, count: int) -> list[ResolvedBranch]:
+        """Resolve the next ``count`` branches (convenience for tests)."""
+        return [self.next_branch() for _ in range(count)]

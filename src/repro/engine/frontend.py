@@ -1,0 +1,109 @@
+"""Speculative fetch walker — the front end's view of the program.
+
+The walker traverses the CFG following **predictions**, not outcomes; it
+has no access to behaviour models or architectural state. When the
+predictor is wrong the walker simply keeps going down the wrong path,
+producing the wrong-path prophet predictions the critic's BOR needs
+(paper §6 insists these must come from real wrong-path traversal, not a
+trace).
+
+Checkpoint/restore is tuple-based: the driver snapshots the walker at
+every conditional branch so a critic disagreement or a resolved
+mispredict can rewind fetch to that branch and steer down the other edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.ras import ReturnAddressStack
+from repro.workloads.program import BlockKind, Program
+
+
+@dataclass(frozen=True, slots=True)
+class WalkerSnapshot:
+    """Walker state captured at a conditional branch (before advancing)."""
+
+    block_id: int
+    ras: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FetchedBranch:
+    """A conditional branch the walker has fetched (not yet advanced past)."""
+
+    pc: int
+    block_id: int
+    #: uops fetched since the previous conditional branch.
+    uops: int
+    taken_target: int
+    fallthrough: int
+
+
+class SpeculativeWalker:
+    """Prediction-driven CFG traverser with checkpoint/rewind."""
+
+    def __init__(self, program: Program, ras_capacity: int = 64) -> None:
+        self.program = program
+        self._block = program.block(program.entry)
+        self._ras = ReturnAddressStack(ras_capacity)
+        #: Total uops fetched, correct and wrong path (paper §1's
+        #: "uops fetched along both correct and incorrect paths").
+        self.fetched_uops = 0
+        self._at_branch = False
+
+    def next_branch(self) -> FetchedBranch:
+        """Advance through non-conditional control flow to the next
+        conditional branch and stop *on* it."""
+        if self._at_branch:
+            raise RuntimeError("already positioned at a branch; call advance() first")
+        uops = 0
+        while True:
+            block = self._block
+            uops += block.uops
+            self.fetched_uops += block.uops
+            if block.kind is BlockKind.COND:
+                self._at_branch = True
+                assert block.taken_target is not None and block.fallthrough is not None
+                return FetchedBranch(
+                    pc=block.pc,
+                    block_id=block.block_id,
+                    uops=uops,
+                    taken_target=block.taken_target,
+                    fallthrough=block.fallthrough,
+                )
+            if block.kind is BlockKind.JUMP:
+                assert block.taken_target is not None
+                self._block = self.program.block(block.taken_target)
+            elif block.kind is BlockKind.CALL:
+                assert block.fallthrough is not None and block.taken_target is not None
+                self._ras.push(block.fallthrough)
+                self._block = self.program.block(block.taken_target)
+            elif block.kind is BlockKind.RETURN:
+                target = self._ras.pop()
+                if target is None:
+                    # Wrong-path underflow: any defined target will do.
+                    target = self.program.entry
+                self._block = self.program.block(target)
+
+    def advance(self, taken: bool) -> None:
+        """Step past the current conditional branch in direction ``taken``."""
+        if not self._at_branch:
+            raise RuntimeError("not positioned at a branch; call next_branch() first")
+        block = self._block
+        target = block.taken_target if taken else block.fallthrough
+        assert target is not None
+        self._block = self.program.block(target)
+        self._at_branch = False
+
+    def snapshot(self) -> WalkerSnapshot:
+        """Capture state at the current branch (call before advance)."""
+        if not self._at_branch:
+            raise RuntimeError("snapshots are taken at conditional branches")
+        return WalkerSnapshot(block_id=self._block.block_id, ras=self._ras.snapshot())
+
+    def restore(self, snap: WalkerSnapshot) -> None:
+        """Rewind to a snapshot: positioned at that branch, ready to advance."""
+        self._block = self.program.block(snap.block_id)
+        self._ras.restore(snap.ras)
+        self._at_branch = True

@@ -1,0 +1,121 @@
+"""Fetch target queue — decouples prediction from fetch (§5, Fig. 4).
+
+The hybrid inserts predictions at the tail; the instruction cache consumes
+from the head. Entries are *criticised* in order as the critic catches up;
+a disagreement flushes only the **uncriticised** tail (the cache never saw
+those predictions, so the flush is free when the queue is deep enough).
+
+Used by the timing model (`repro.pipeline`); the functional accuracy
+driver does its own in-order bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FtqEntry:
+    """One prediction living in the FTQ."""
+
+    pc: int
+    prediction: bool
+    uops: int
+    seq: int
+    criticised: bool = False
+    #: Attached payload (the driver's in-flight handle).
+    payload: object | None = None
+
+
+@dataclass
+class FtqStats:
+    inserts: int = 0
+    consumed: int = 0
+    tail_flushes: int = 0
+    entries_flushed: int = 0
+    empty_on_demand: int = 0
+
+
+class FetchTargetQueue:
+    """Bounded FIFO of predictions with criticise/flush-tail semantics."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("FTQ capacity must be positive")
+        self.capacity = capacity
+        self._queue: deque[FtqEntry] = deque()
+        self.stats = FtqStats()
+
+    # -- producer side ---------------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def insert(self, entry: FtqEntry) -> None:
+        if self.full:
+            raise RuntimeError("FTQ overflow: check full before inserting")
+        self._queue.append(entry)
+        self.stats.inserts += 1
+
+    # -- critic side -------------------------------------------------------------
+
+    def oldest_uncriticised(self) -> FtqEntry | None:
+        for entry in self._queue:
+            if not entry.criticised:
+                return entry
+        return None
+
+    def mark_criticised(self, seq: int) -> None:
+        for entry in self._queue:
+            if entry.seq == seq:
+                entry.criticised = True
+                return
+        raise KeyError(f"no FTQ entry with seq {seq}")
+
+    def flush_after(self, seq: int) -> list[FtqEntry]:
+        """Drop every entry younger than ``seq`` (critic disagreement).
+
+        Only uncriticised entries can be younger than the entry being
+        criticised (critiques are in order), so this matches the paper's
+        "FTQ entries holding uncriticized predictions are flushed".
+        """
+        kept: deque[FtqEntry] = deque()
+        dropped: list[FtqEntry] = []
+        for entry in self._queue:
+            if entry.seq > seq:
+                dropped.append(entry)
+            else:
+                kept.append(entry)
+        self._queue = kept
+        if dropped:
+            self.stats.tail_flushes += 1
+            self.stats.entries_flushed += len(dropped)
+        return dropped
+
+    # -- consumer side -------------------------------------------------------------
+
+    def consume(self) -> FtqEntry | None:
+        """Pop the head entry (cache fetch); None when empty."""
+        if not self._queue:
+            self.stats.empty_on_demand += 1
+            return None
+        self.stats.consumed += 1
+        return self._queue.popleft()
+
+    def flush_all(self) -> int:
+        """Full flush (resolved mispredict); returns entries dropped."""
+        count = len(self._queue)
+        self._queue.clear()
+        return count
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)
+
+    @property
+    def occupancy(self) -> float:
+        return len(self._queue) / self.capacity

@@ -1,0 +1,53 @@
+"""Return address stack with snapshot/restore.
+
+Both traversers need call/return handling; the speculative walker also
+needs cheap checkpointing (tuple snapshots) so wrong-path excursions can
+be unwound. A fixed capacity with overflow-drops-oldest mirrors hardware;
+underflow returns None and the caller falls back to the program entry —
+a well-defined (if wrong) target, which is all a wrong path requires.
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Bounded stack of return targets (block ids)."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("RAS capacity must be positive")
+        self.capacity = capacity
+        self._stack: list[int] = []
+        self.overflows = 0
+        self.underflows = 0
+
+    def push(self, block_id: int) -> None:
+        """Push a return target, dropping the oldest entry when full."""
+        if len(self._stack) >= self.capacity:
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(block_id)
+
+    def pop(self) -> int | None:
+        """Pop the most recent return target; None when empty."""
+        if not self._stack:
+            self.underflows += 1
+            return None
+        return self._stack.pop()
+
+    def peek(self) -> int | None:
+        return self._stack[-1] if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Immutable copy of the stack contents."""
+        return tuple(self._stack)
+
+    def restore(self, snapshot: tuple[int, ...]) -> None:
+        """Reinstate a previously captured snapshot."""
+        self._stack = list(snapshot)
+
+    def clear(self) -> None:
+        self._stack.clear()

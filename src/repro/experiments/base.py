@@ -1,0 +1,99 @@
+"""Shared experiment scaffolding: result container, system factories, scaling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.hybrid import PredictionSystem, ProphetCriticSystem, SinglePredictorSystem
+from repro.predictors.budget import make_critic, make_prophet
+from repro.sim.driver import SimulationConfig
+from repro.sim.results import format_table, render_series
+
+#: Default measurement window at scale 1.0 — small enough for a laptop
+#: bench run; multiply with REPRO_SCALE (e.g. 8-20) for runs closer to
+#: the paper's 30M-instruction traces.
+BASE_BRANCHES = 16_000
+BASE_WARMUP = 4_000
+
+
+def scaled_config(scale: float = 1.0, **overrides) -> SimulationConfig:
+    """A :class:`SimulationConfig` whose window scales linearly."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    config = SimulationConfig(
+        n_branches=max(2_000, int(BASE_BRANCHES * scale)),
+        warmup=max(500, int(BASE_WARMUP * scale)),
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def single_system(kind: str, budget_kb: int) -> Callable[[], PredictionSystem]:
+    """Factory for a prophet-alone baseline at a Table-3 budget."""
+
+    def build() -> PredictionSystem:
+        return SinglePredictorSystem(make_prophet(kind, budget_kb))
+
+    return build
+
+
+def hybrid_system(
+    prophet_kind: str,
+    prophet_kb: int,
+    critic_kind: str,
+    critic_kb: int,
+    future_bits: int,
+) -> Callable[[], PredictionSystem]:
+    """Factory for a prophet/critic hybrid at Table-3 budgets."""
+
+    def build() -> PredictionSystem:
+        return ProphetCriticSystem(
+            make_prophet(prophet_kind, prophet_kb),
+            make_critic(critic_kind, critic_kb),
+            future_bits=future_bits,
+        )
+
+    return build
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure, renderable as text."""
+
+    experiment_id: str
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list] = field(default_factory=list)
+    #: Figure series: name -> (xs, ys).
+    series: dict[str, tuple[list, list[float]]] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """The text the bench target prints: the paper's rows/series."""
+        parts: list[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        for name, (xs, ys) in self.series.items():
+            parts.append(render_series(name, xs, ys))
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def series_values(self, name: str) -> list[float]:
+        return list(self.series[name][1])
+
+    def column(self, header: str) -> list:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def average_series(all_series: Sequence[Sequence[float]]) -> list[float]:
+    """Pointwise arithmetic mean of equal-length series (the AVG line)."""
+    if not all_series:
+        return []
+    length = len(all_series[0])
+    if any(len(s) != length for s in all_series):
+        raise ValueError("series lengths differ")
+    return [sum(s[i] for s in all_series) / len(all_series) for i in range(length)]

@@ -1,0 +1,91 @@
+"""Figure 6 — prediction accuracies of prophet/critic combinations.
+
+Three sub-figures, each a grid over prophet size {4, 16}KB × critic size
+{2, 8, 32}KB × future bits {no critic, 1, 4, 8, 12}:
+
+* (a) 2Bc-gskew prophet + **unfiltered** perceptron critic — shows the
+  mispredict rate *rising* past ~8 future bits because the unfiltered
+  critic wastes history bits critiquing easy branches;
+* (b) gshare prophet + filtered perceptron critic;
+* (c) perceptron prophet + tagged gshare critic — with filtering, more
+  future bits keep helping (or at least stop hurting).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.base import (
+    ExperimentResult,
+    hybrid_system,
+    scaled_config,
+    single_system,
+)
+from repro.sim.driver import simulate
+from repro.workloads.suites import benchmark
+
+#: Sub-figure definitions: (prophet kind, critic kind, filtered?).
+SUBFIGURES: dict[str, tuple[str, str, bool]] = {
+    "a": ("2bc-gskew", "perceptron", False),
+    "b": ("gshare", "filtered-perceptron", True),
+    "c": ("perceptron", "tagged-gshare", True),
+}
+
+#: Benchmarks averaged in the bench harness (one INT-heavy, one WEB-like;
+#: the full paper averages 108 benchmarks — see EXPERIMENTS.md).
+DEFAULT_BENCHMARKS: tuple[str, ...] = ("gcc", "specjbb")
+
+FUTURE_BIT_POINTS: tuple[int | None, ...] = (None, 1, 4, 8, 12)
+
+
+def run(
+    subfigure: str = "c",
+    scale: float = 1.0,
+    prophet_kbs: Sequence[int] = (4, 16),
+    critic_kbs: Sequence[int] = (2, 8, 32),
+    future_bits: Sequence[int | None] = FUTURE_BIT_POINTS,
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+) -> ExperimentResult:
+    """Reproduce one Figure 6 sub-figure's grid.
+
+    ``future_bits`` entries of None mean "no critic" (prophet alone at
+    its own size, as in the paper's first bar of each group).
+    """
+    if subfigure not in SUBFIGURES:
+        raise KeyError(f"subfigure must be one of {sorted(SUBFIGURES)}")
+    prophet_kind, critic_kind, _filtered = SUBFIGURES[subfigure]
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        experiment_id=f"figure6{subfigure}",
+        title=f"misp/Kuops grid — prophet: {prophet_kind}; critic: {critic_kind}",
+        headers=["prophet_kb", "critic_kb"]
+        + ["no critic" if fb is None else f"fb={fb}" for fb in future_bits],
+    )
+    for prophet_kb in prophet_kbs:
+        for critic_kb in critic_kbs:
+            row: list = [prophet_kb, critic_kb]
+            ys: list[float] = []
+            for fb in future_bits:
+                if fb is None:
+                    factory = single_system(prophet_kind, prophet_kb)
+                else:
+                    factory = hybrid_system(
+                        prophet_kind, prophet_kb, critic_kind, critic_kb, fb
+                    )
+                total = 0.0
+                for name in benchmarks:
+                    stats = simulate(benchmark(name), factory(), config)
+                    total += stats.misp_per_kuops
+                ys.append(total / len(benchmarks))
+            row.extend(round(y, 3) for y in ys)
+            result.rows.append(row)
+            result.series[f"{prophet_kb}KB prophet + {critic_kb}KB critic"] = (
+                ["none" if fb is None else fb for fb in future_bits],
+                ys,
+            )
+    result.notes = (
+        "Paper: adding a critic always lowers the rate; larger critics are "
+        "better; unfiltered critics (a) degrade past ~8 future bits while "
+        "filtered critics (b, c) hold or improve."
+    )
+    return result

@@ -1,0 +1,70 @@
+"""Figure 8 — distribution of critiques.
+
+Counts of the four explicit-critique classes (correct_agree,
+incorrect_disagree, incorrect_agree, correct_disagree) as the number of
+future bits varies, for a 4KB perceptron prophet with an 8KB tagged
+gshare critic. The paper's observations:
+
+* incorrect_disagree (wins) outnumber correct_disagree (damage);
+* from 1 to 12 future bits, wins grow and damage shrinks;
+* correct_agree dominates all explicit critiques;
+* the total number of explicit critiques falls as future bits increase
+  (the filter identifies mispredict contexts more precisely).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.critiques import CritiqueKind
+from repro.experiments.base import ExperimentResult, hybrid_system, scaled_config
+from repro.sim.driver import simulate
+from repro.workloads.suites import benchmark
+
+PROPHET = ("perceptron", 4)
+CRITIC = ("tagged-gshare", 8)
+FUTURE_BIT_POINTS: tuple[int, ...] = (1, 4, 8, 12)
+DEFAULT_BENCHMARK = "gcc"
+
+#: The classes Figure 8 stacks, in its legend order.
+PLOTTED_CLASSES: tuple[CritiqueKind, ...] = (
+    CritiqueKind.CORRECT_AGREE,
+    CritiqueKind.INCORRECT_DISAGREE,
+    CritiqueKind.INCORRECT_AGREE,
+    CritiqueKind.CORRECT_DISAGREE,
+)
+
+
+def run(
+    scale: float = 1.0,
+    future_bits: Sequence[int] = FUTURE_BIT_POINTS,
+    bench_name: str = DEFAULT_BENCHMARK,
+) -> ExperimentResult:
+    """Reproduce Figure 8's critique census."""
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        experiment_id="figure8",
+        title="distribution of critiques (prophet: 4KB perceptron; "
+        "critic: 8KB tagged gshare)",
+        headers=["future_bits"]
+        + [kind.value for kind in PLOTTED_CLASSES]
+        + ["explicit_total"],
+    )
+    for fb in future_bits:
+        system = hybrid_system(PROPHET[0], PROPHET[1], CRITIC[0], CRITIC[1], fb)()
+        stats = simulate(benchmark(bench_name), system, config)
+        census = stats.census
+        row = [fb] + [census.counts[kind] for kind in PLOTTED_CLASSES]
+        row.append(census.explicit_total)
+        result.rows.append(row)
+    for kind in PLOTTED_CLASSES:
+        result.series[kind.value] = (
+            list(future_bits),
+            [float(row[1 + PLOTTED_CLASSES.index(kind)]) for row in result.rows],
+        )
+    result.notes = (
+        "Paper: wins (incorrect_disagree) exceed damage (correct_disagree); "
+        "1→12 future bits grows wins ~20% and cuts damage ~40%; the "
+        "explicit-critique total shrinks."
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Experiment registry.
+
+Maps experiment ids to their ``run`` functions so the benchmark harness,
+the examples and ad-hoc scripts share one entry point:
+
+>>> from repro.experiments import run_experiment
+>>> result = run_experiment("figure5", scale=0.5)
+>>> print(result.render())
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    headline,
+    table3,
+    table4,
+)
+from repro.experiments.base import ExperimentResult
+
+#: id -> run callable (all accept at least ``scale``).
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table3": table3.run,
+    "figure5": figure5.run,
+    "figure6a": lambda scale=1.0, **kw: figure6.run("a", scale=scale, **kw),
+    "figure6b": lambda scale=1.0, **kw: figure6.run("b", scale=scale, **kw),
+    "figure6c": lambda scale=1.0, **kw: figure6.run("c", scale=scale, **kw),
+    "figure7a": lambda scale=1.0, **kw: figure7.run(16, scale=scale, **kw),
+    "figure7b": lambda scale=1.0, **kw: figure7.run(32, scale=scale, **kw),
+    "figure8": figure8.run,
+    "table4": table4.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "headline": headline.run,
+    "ablation-oracle": ablations.run_oracle_vs_wrongpath,
+    "ablation-filtering": ablations.run_filtering,
+    "ablation-insert-policy": ablations.run_insert_policy,
+    "ablation-tage": ablations.run_vs_tage,
+}
+
+
+def run_experiment(experiment_id: str, scale: float = 1.0, **kwargs) -> ExperimentResult:
+    """Run one experiment by id; see :data:`EXPERIMENTS` for the catalog."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](scale=scale, **kwargs)

@@ -1,0 +1,68 @@
+"""Table 4 — percentage of prophet predictions filtered by the critic.
+
+For a 4KB perceptron prophet and tagged-gshare critics of 2/8/32KB with
+{1, 4, 12} future bits: the share of branches whose critique was implicit
+(filter miss), split by whether the prophet (hence the final prediction)
+was correct. The paper's rows: ``% correct none``, ``% incorrect none``
+and their total; ~65-78% of predictions are filtered, the total *rises*
+with future bits (1 critique per 3 branches at 1 fb → 1 per 4 at 12 fb)
+and falls slightly with filter size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.critiques import CritiqueKind
+from repro.experiments.base import ExperimentResult, hybrid_system, scaled_config
+from repro.sim.driver import simulate
+from repro.workloads.suites import benchmark
+
+PROPHET = ("perceptron", 4)
+CRITIC_KBS: tuple[int, ...] = (2, 8, 32)
+FUTURE_BIT_POINTS: tuple[int, ...] = (1, 4, 12)
+DEFAULT_BENCHMARK = "gcc"
+
+
+def run(
+    scale: float = 1.0,
+    critic_kbs: Sequence[int] = CRITIC_KBS,
+    future_bits: Sequence[int] = FUTURE_BIT_POINTS,
+    bench_name: str = DEFAULT_BENCHMARK,
+) -> ExperimentResult:
+    """Reproduce Table 4's filter-share grid."""
+    config = scaled_config(scale)
+    result = ExperimentResult(
+        experiment_id="table4",
+        title="% of prophet predictions filtered by the critic "
+        "(prophet: 4KB perceptron; critic: tagged gshare)",
+        headers=[
+            "critic_kb",
+            "future_bits",
+            "pct_correct_none",
+            "pct_incorrect_none",
+            "pct_none_total",
+        ],
+    )
+    for critic_kb in critic_kbs:
+        for fb in future_bits:
+            system = hybrid_system(PROPHET[0], PROPHET[1], "tagged-gshare", critic_kb, fb)()
+            stats = simulate(benchmark(bench_name), system, config)
+            census = stats.census
+            correct_none = 100.0 * census.fraction(CritiqueKind.CORRECT_NONE)
+            incorrect_none = 100.0 * census.fraction(CritiqueKind.INCORRECT_NONE)
+            result.rows.append(
+                [
+                    critic_kb,
+                    fb,
+                    round(correct_none, 1),
+                    round(incorrect_none, 1),
+                    round(correct_none + incorrect_none, 1),
+                ]
+            )
+    result.notes = (
+        "Paper: totals 65.7-77.7%; more future bits raise the filtered "
+        "share (better mispredict-context identification); larger filters "
+        "lower it slightly (more tag hits)."
+    )
+    return result

@@ -1,0 +1,22 @@
+"""Timing model: the Table-2 machine and its uPC measurements.
+
+A cycle-stepped decoupled front end (prophet 2 predictions/cycle, critic
+1 critique/cycle, 32-entry FTQ, 6-uop fetch) feeds an interval-style back
+end (issue width 6, 30-cycle mispredict redirect, configurable per-uop
+memory stall factor standing in for the cache hierarchy). uPC deltas
+between predictors come from flush counts and front-end refill — the
+first-order terms behind the paper's Figures 9 and 10.
+"""
+
+from repro.pipeline.caches import CacheModel, MemoryModel
+from repro.pipeline.machine import PipelineResult, TimedMachine
+from repro.pipeline.uarch import MachineConfig, TABLE2_MACHINE
+
+__all__ = [
+    "CacheModel",
+    "MachineConfig",
+    "MemoryModel",
+    "PipelineResult",
+    "TABLE2_MACHINE",
+    "TimedMachine",
+]

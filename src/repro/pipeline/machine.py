@@ -1,0 +1,260 @@
+"""Cycle-stepped decoupled front end + interval back end → uPC.
+
+The front end models §5's implementation faithfully in timing terms:
+
+* the prophet produces up to 2 predictions per cycle into the FTQ;
+* the critic criticises up to 1 prediction per cycle, in order, once the
+  required future bits are present; a disagreement flushes only the
+  uncriticised FTQ tail and redirects the prophet (no back-end cost);
+* the instruction cache consumes up to ``fetch_width_uops`` per cycle
+  from the FTQ head;
+* consumed branches resolve ``mispredict_penalty_cycles`` later (the
+  paper's 30-cycle pipeline); a resolved final-prediction mispredict
+  flushes everything and restarts fetch after the penalty;
+* committed uops are charged issue-width cycles plus the
+  :class:`~repro.pipeline.caches.MemoryModel`'s data-side stalls.
+
+This captures the terms that differentiate predictors — flush frequency,
+front-end refill, wasted wrong-path fetch — which is what Figures 9/10
+measure. Absolute uPC is calibrated only loosely (documented
+substitution: no data-address stream exists in the workload substrate).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.hybrid import InflightBranch, PredictionSystem
+from repro.engine.btb import BranchTargetBuffer
+from repro.engine.executor import ArchitecturalExecutor
+from repro.engine.frontend import SpeculativeWalker
+from repro.pipeline.caches import MemoryModel
+from repro.pipeline.uarch import MachineConfig, TABLE2_MACHINE
+from repro.sim.driver import SimulationDesyncError
+from repro.workloads.program import Program
+
+
+@dataclass
+class PipelineResult:
+    """Timing outcome of one run."""
+
+    benchmark: str = ""
+    system: str = ""
+    cycles: int = 0
+    committed_uops: int = 0
+    fetched_uops: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    critic_redirects: int = 0
+    ftq_empty_cycles: int = 0
+
+    @property
+    def upc(self) -> float:
+        """Uops per cycle — the paper's performance metric (Figs. 9/10)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed_uops / self.cycles
+
+    @property
+    def uops_per_flush(self) -> float:
+        if self.mispredicts == 0:
+            return float("inf")
+        return self.committed_uops / self.mispredicts
+
+    @property
+    def wrong_path_fetch_fraction(self) -> float:
+        """Share of fetched uops that were wrong-path (headline: −8.6%
+        total fetch for the hybrid comes from shrinking this)."""
+        if self.fetched_uops == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.committed_uops / self.fetched_uops)
+
+
+class TimedMachine:
+    """Runs a prediction system under the Table-2 timing model."""
+
+    def __init__(
+        self,
+        program: Program,
+        system: PredictionSystem,
+        machine: MachineConfig = TABLE2_MACHINE,
+        memory: MemoryModel | None = None,
+    ) -> None:
+        self.program = program
+        self.system = system
+        self.machine = machine
+        self.memory = memory if memory is not None else MemoryModel(machine)
+        program.reset()
+        self.executor = ArchitecturalExecutor(program)
+        self.walker = SpeculativeWalker(program)
+        self.btb = BranchTargetBuffer(machine.btb_entries, machine.btb_ways)
+
+    def run(self, n_branches: int, warmup: int = 0) -> PipelineResult:
+        """Simulate until ``n_branches`` resolve; measure after ``warmup``."""
+        machine = self.machine
+        system = self.system
+        result = PipelineResult(
+            benchmark=self.program.name, system=type(system).__name__
+        )
+        required_bits = max(system.future_bits, 0)
+
+        # The FTQ holds fetched-but-unconsumed predictions; consumed
+        # branches wait in the resolve queue for the pipeline delay.
+        ftq: deque[InflightBranch] = deque()
+        criticised = 0
+        resolve_queue: deque[tuple[int, InflightBranch, int]] = deque()
+        next_seq = 0
+        resolved = 0
+        cycle = 0
+        fetch_blocked_until = 0
+        backend_stall = 0.0
+        committed = 0
+        measure_start_uops = 0
+        measure_start_fetched = 0
+        measure_start_cycle = 0
+        head_fetch_remaining = 0  # uops left to fetch of the current head
+
+        def gathered(handle: InflightBranch) -> int:
+            return next_seq - handle.seq
+
+        while resolved < n_branches:
+            cycle += 1
+            if warmup > 0 and resolved >= warmup and measure_start_cycle == 0:
+                measure_start_cycle = cycle
+                measure_start_uops = committed
+                measure_start_fetched = self.walker.fetched_uops
+
+            # --- prophet: up to prophet_rate predictions/cycle ------------
+            if cycle >= fetch_blocked_until:
+                for _ in range(machine.prophet_rate):
+                    if len(ftq) >= machine.ftq_entries:
+                        break
+                    fetched = self.walker.next_branch()
+                    snap = self.walker.snapshot()
+                    if self.btb.lookup(fetched.pc):
+                        handle = system.predict(fetched.pc)
+                        handle.seq = next_seq
+                        next_seq += 1
+                    else:
+                        handle = system.predict_static(fetched.pc)
+                        handle.seq = next_seq
+                    handle.walker_snapshot = snap
+                    handle.uops_hint = fetched.uops
+                    ftq.append(handle)
+                    self.walker.advance(handle.prophet_pred)
+
+            # --- critic: up to critic_rate critiques/cycle ----------------
+            for _ in range(machine.critic_rate):
+                if criticised >= len(ftq):
+                    break
+                handle = ftq[criticised]
+                needed = 0 if handle.is_static else required_bits
+                if gathered(handle) < needed and len(ftq) < machine.ftq_entries:
+                    break  # wait for more future bits
+                final = system.critique(handle)
+                criticised += 1
+                if not handle.is_static and final != handle.prophet_pred:
+                    while len(ftq) > criticised:
+                        ftq.pop()
+                    system.apply_redirect(handle, final)
+                    self.walker.restore(handle.walker_snapshot)
+                    self.walker.advance(final)
+                    next_seq = handle.seq + 1
+                    result.critic_redirects += 1
+
+            # --- fetch: cache consumes uops from the FTQ head --------------
+            # A block of U uops occupies the fetch port for ceil(U/width)
+            # cycles; the branch enters the pipeline when its last uop is
+            # fetched and resolves a full pipeline depth later. When the
+            # cache requires a prediction whose critique isn't ready, the
+            # critique is generated with the future bits available (§5) —
+            # stalling fetch on the critic would starve the machine after
+            # every flush, when the FTQ is shallow.
+            if ftq:
+                if not ftq[0].critiqued:
+                    forced = ftq[0]
+                    final = system.critique(forced)
+                    criticised = max(criticised, 1)
+                    result_forced = not forced.is_static and final != forced.prophet_pred
+                    if result_forced:
+                        while len(ftq) > 1:
+                            ftq.pop()
+                        criticised = 1
+                        system.apply_redirect(forced, final)
+                        self.walker.restore(forced.walker_snapshot)
+                        self.walker.advance(final)
+                        next_seq = forced.seq + 1
+                        result.critic_redirects += 1
+                if head_fetch_remaining == 0:
+                    head_fetch_remaining = ftq[0].uops_hint
+                head_fetch_remaining -= machine.fetch_width_uops
+                if head_fetch_remaining <= 0:
+                    head_fetch_remaining = 0
+                    head = ftq.popleft()
+                    criticised -= 1
+                    resolve_queue.append(
+                        (cycle + machine.mispredict_penalty_cycles, head, head.uops_hint)
+                    )
+            else:
+                result.ftq_empty_cycles += 1
+
+            # --- retire/resolve: bounded by retire width -------------------
+            # Retirement is incremental: a branch commits once all its
+            # block's uops have drained through the retire port, so blocks
+            # wider than the port simply take several cycles.
+            retire_budget = machine.retire_width_uops
+            while resolve_queue and resolve_queue[0][0] <= cycle and retire_budget > 0:
+                entry = resolve_queue[0]
+                head = entry[1]
+                uops_left = entry[2]
+                if uops_left > retire_budget:
+                    resolve_queue[0] = (entry[0], head, uops_left - retire_budget)
+                    retire_budget = 0
+                    break
+                retire_budget -= uops_left
+                resolve_queue.popleft()
+                actual = self.executor.next_branch()
+                if actual.pc != head.pc:
+                    raise SimulationDesyncError(
+                        f"timing model desync at branch {resolved}: "
+                        f"{actual.pc:#x} vs {head.pc:#x}"
+                    )
+                committed += actual.uops
+                backend_stall += self.memory.stall_cycles(committed, actual.uops)
+                resolved += 1
+                if resolved > warmup:
+                    result.branches += 1
+                mispredicted = head.final_pred != actual.taken or (
+                    head.is_static and actual.taken
+                )
+                if head.is_static:
+                    self.btb.allocate(head.pc)
+                system.resolve(head, actual.taken)
+                if mispredicted:
+                    if resolved > warmup:
+                        result.mispredicts += 1
+                    system.recover(head, actual.taken)
+                    self.walker.restore(head.walker_snapshot)
+                    self.walker.advance(actual.taken)
+                    ftq.clear()
+                    criticised = 0
+                    resolve_queue.clear()
+                    head_fetch_remaining = 0
+                    next_seq = head.seq + 1
+                    # The 30-cycle penalty is the fetch→resolve delay the
+                    # flushed work already paid; redirected fetch resumes
+                    # next cycle (charging it again would double-count).
+                    fetch_blocked_until = cycle + 1
+                    break
+
+            # --- memory stalls extend the run as skipped cycles ------------
+            if backend_stall >= 1.0:
+                skip = int(backend_stall)
+                backend_stall -= skip
+                cycle += skip
+
+        result.cycles = max(1, cycle - measure_start_cycle)
+        result.committed_uops = committed - measure_start_uops
+        result.fetched_uops = self.walker.fetched_uops - measure_start_fetched
+        return result

@@ -1,0 +1,61 @@
+"""Machine configuration — the paper's Table 2.
+
+The simulated machine is a Pentium-4-derived superscalar with a decoupled
+front end: 3.8 GHz, 6-uop fetch/issue/retire, 30-cycle mispredict
+penalty, 4096-entry 4-way BTB, 32-entry FTQ, 2048-uop instruction window.
+``TABLE2_MACHINE`` reproduces those numbers; tests pin them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level's geometry and latency."""
+
+    name: str
+    size_kb: int
+    ways: int
+    line_bytes: int = 64
+    hit_cycles: int = 1
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Table-2 microarchitecture parameters."""
+
+    frequency_ghz: float = 3.8
+    fetch_width_uops: int = 6
+    issue_width_uops: int = 6
+    retire_width_uops: int = 6
+    mispredict_penalty_cycles: int = 30
+    btb_entries: int = 4096
+    btb_ways: int = 4
+    ftq_entries: int = 32
+    instruction_window_uops: int = 2048
+    scheduling_window: dict[str, int] = field(
+        default_factory=lambda: {"int": 256, "mem": 128, "fp": 384}
+    )
+    load_buffer_uops: int = 768
+    store_buffer_uops: int = 512
+    functional_units: dict[str, int] = field(
+        default_factory=lambda: {"int": 6, "mem": 4, "fp": 2}
+    )
+    icache: CacheConfig = CacheConfig("I", 64, 8, 64, 1)
+    l1d: CacheConfig = CacheConfig("L1D", 32, 16, 64, 3)
+    l2: CacheConfig = CacheConfig("L2", 2048, 16, 64, 16)
+    memory_latency_ns: float = 100.0
+    #: Prophet predictions produced per cycle (§5: "the prophet produces
+    #: 2 predictions per cycle and the critic produces 1 per cycle").
+    prophet_rate: int = 2
+    critic_rate: int = 1
+
+    @property
+    def memory_latency_cycles(self) -> int:
+        return int(self.memory_latency_ns * self.frequency_ghz)
+
+
+#: The configuration used throughout §7.4.
+TABLE2_MACHINE = MachineConfig()

@@ -1,0 +1,59 @@
+"""Conventional branch predictor zoo.
+
+Every predictor here is *stateless with respect to branch history*: the
+caller owns the history register (BHR or BOR) and passes its current value
+to :meth:`~repro.predictors.base.DirectionPredictor.predict` and
+:meth:`~repro.predictors.base.DirectionPredictor.update`. This inversion is
+what lets the same predictor classes serve as prophets (driven by a
+speculatively-updated BHR) and as critics (driven by a BOR that mixes
+history and future bits) without modification — the property the paper
+relies on when it says "any predictor can play the role of prophet or
+critic" (§6).
+"""
+
+from repro.predictors.base import DirectionPredictor, PredictorStats
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.budget import (
+    PREDICTOR_BUDGETS,
+    budget_table_rows,
+    make_critic,
+    make_predictor,
+    make_prophet,
+)
+from repro.predictors.counters import CounterTable, SaturatingCounter
+from repro.predictors.filtered_perceptron import FilteredPerceptronPredictor
+from repro.predictors.gas import GAsPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.gskew import TwoBcGskewPredictor
+from repro.predictors.local import LocalHistoryPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.static import AlwaysNotTakenPredictor, AlwaysTakenPredictor
+from repro.predictors.tage import TagePredictor
+from repro.predictors.tagged_gshare import TaggedGsharePredictor
+from repro.predictors.tournament import TournamentPredictor
+from repro.predictors.yags import YagsPredictor
+
+__all__ = [
+    "AlwaysNotTakenPredictor",
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "CounterTable",
+    "DirectionPredictor",
+    "FilteredPerceptronPredictor",
+    "GAsPredictor",
+    "GsharePredictor",
+    "LocalHistoryPredictor",
+    "PREDICTOR_BUDGETS",
+    "PerceptronPredictor",
+    "PredictorStats",
+    "SaturatingCounter",
+    "TagePredictor",
+    "TaggedGsharePredictor",
+    "TournamentPredictor",
+    "TwoBcGskewPredictor",
+    "YagsPredictor",
+    "budget_table_rows",
+    "make_critic",
+    "make_predictor",
+    "make_prophet",
+]

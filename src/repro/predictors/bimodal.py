@@ -1,0 +1,43 @@
+"""Bimodal predictor: a PC-indexed table of 2-bit counters (Smith, 1981).
+
+Also serves as the BIM bank of 2Bc-gskew and the simple component of
+tournament hybrids.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import DirectionPredictor
+from repro.predictors.counters import CounterTable
+from repro.utils.bitops import mask
+
+
+class BimodalPredictor(DirectionPredictor):
+    """PC-indexed counter table; ignores history entirely."""
+
+    name = "bimodal"
+    history_length = 0
+
+    def __init__(self, entries: int, counter_bits: int = 2) -> None:
+        super().__init__()
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self._index_bits = entries.bit_length() - 1
+        self.table = CounterTable(entries, bits=counter_bits)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & mask(self._index_bits)
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.table.taken(self._index(pc))
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(predicted == taken)
+        self.table.update(self._index(pc), taken)
+
+    def storage_bits(self) -> int:
+        return self.table.storage_bits()
+
+    def reset(self) -> None:
+        super().reset()
+        self.table.reset()

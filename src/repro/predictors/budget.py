@@ -1,0 +1,198 @@
+"""Hardware-budget configurations — the paper's Table 3.
+
+Table 3 fixes, for every total hardware budget from 2KB to 32KB, the
+geometry of each predictor used as prophet or critic:
+
+===============  ======  ======  ======  ======  ======
+predictor          2KB     4KB     8KB    16KB    32KB
+===============  ======  ======  ======  ======  ======
+gshare entries     8K      16K     32K     64K    128K
+gshare history     13      14      15      16      17
+perceptron #      113     163     282     348     565
+perceptron hist    17      24      28      47      57
+2Bc-gskew e/t      2K      4K      8K      16K     32K
+2Bc-gskew hist     11      12      13      14      15
+t.gshare entries  256*6   512*6   1024*6  2048*6  4096*6
+t.gshare BOR       18      18      18      18      18
+f.perceptron #     73     113     163     282     348
+f.perc hist        13      17      24      28      47
+f.perc filter     128*3   256*3   512*3   1024*3  2048*3
+f.perc filt hist   18      18      18      18      18
+f.perc BOR         18      18      24      28      47
+===============  ======  ======  ======  ======  ======
+
+:func:`make_predictor` builds any predictor at any Table-3 budget;
+:func:`make_prophet` and :func:`make_critic` are role-flavoured aliases
+that also validate the predictor is usable in that role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.predictors.base import DirectionPredictor
+from repro.predictors.filtered_perceptron import FilteredPerceptronPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.gskew import TwoBcGskewPredictor
+from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.tage import TagePredictor
+from repro.predictors.tagged_gshare import TaggedGsharePredictor
+
+#: Budgets (in KB) that Table 3 defines.
+BUDGETS_KB = (2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class _GshareConfig:
+    entries: int
+    history: int
+
+
+@dataclass(frozen=True)
+class _PerceptronConfig:
+    n_perceptrons: int
+    history: int
+
+
+@dataclass(frozen=True)
+class _GskewConfig:
+    entries_per_table: int
+    history: int
+
+
+@dataclass(frozen=True)
+class _TaggedGshareConfig:
+    sets: int
+    ways: int
+    bor_size: int
+
+
+@dataclass(frozen=True)
+class _FilteredPerceptronConfig:
+    n_perceptrons: int
+    history: int
+    filter_sets: int
+    filter_ways: int
+    filter_history: int
+    bor_size: int
+
+
+PREDICTOR_BUDGETS: dict[str, dict[int, object]] = {
+    "gshare": {
+        2: _GshareConfig(8 * 1024, 13),
+        4: _GshareConfig(16 * 1024, 14),
+        8: _GshareConfig(32 * 1024, 15),
+        16: _GshareConfig(64 * 1024, 16),
+        32: _GshareConfig(128 * 1024, 17),
+    },
+    "perceptron": {
+        2: _PerceptronConfig(113, 17),
+        4: _PerceptronConfig(163, 24),
+        8: _PerceptronConfig(282, 28),
+        16: _PerceptronConfig(348, 47),
+        32: _PerceptronConfig(565, 57),
+    },
+    "2bc-gskew": {
+        2: _GskewConfig(2 * 1024, 11),
+        4: _GskewConfig(4 * 1024, 12),
+        8: _GskewConfig(8 * 1024, 13),
+        16: _GskewConfig(16 * 1024, 14),
+        32: _GskewConfig(32 * 1024, 15),
+    },
+    "tagged-gshare": {
+        2: _TaggedGshareConfig(256, 6, 18),
+        4: _TaggedGshareConfig(512, 6, 18),
+        8: _TaggedGshareConfig(1024, 6, 18),
+        16: _TaggedGshareConfig(2048, 6, 18),
+        32: _TaggedGshareConfig(4096, 6, 18),
+    },
+    "filtered-perceptron": {
+        2: _FilteredPerceptronConfig(73, 13, 128, 3, 18, 18),
+        4: _FilteredPerceptronConfig(113, 17, 256, 3, 18, 18),
+        8: _FilteredPerceptronConfig(163, 24, 512, 3, 18, 24),
+        16: _FilteredPerceptronConfig(282, 28, 1024, 3, 18, 28),
+        32: _FilteredPerceptronConfig(348, 47, 2048, 3, 18, 47),
+    },
+}
+
+#: Predictors usable as critics (they read the BOR; filtered ones also
+#: implement the lookup/train critic interface).
+CRITIC_CAPABLE = ("gshare", "perceptron", "2bc-gskew", "tagged-gshare", "filtered-perceptron")
+
+#: TAGE budgets for the extension ablation (entries chosen to land close
+#: to the byte budget; TAGE is not part of Table 3).
+_TAGE_BUDGETS: dict[int, tuple[int, int]] = {
+    # budget KB -> (base_entries, component_entries)
+    2: (1024, 128),
+    4: (2048, 256),
+    8: (4096, 512),
+    16: (8192, 1024),
+    32: (16384, 2048),
+}
+
+
+def make_predictor(kind: str, budget_kb: int) -> DirectionPredictor:
+    """Instantiate predictor ``kind`` at the Table-3 ``budget_kb`` geometry.
+
+    ``kind`` ∈ {gshare, perceptron, 2bc-gskew, tagged-gshare,
+    filtered-perceptron, tage}.
+    """
+    if kind == "tage":
+        if budget_kb not in _TAGE_BUDGETS:
+            raise KeyError(f"no TAGE configuration for {budget_kb}KB")
+        base, comp = _TAGE_BUDGETS[budget_kb]
+        return TagePredictor(n_components=6, base_entries=base, component_entries=comp)
+    try:
+        config = PREDICTOR_BUDGETS[kind][budget_kb]
+    except KeyError as exc:
+        raise KeyError(f"no Table-3 configuration for {kind!r} at {budget_kb}KB") from exc
+    if kind == "gshare":
+        return GsharePredictor(config.entries, config.history)
+    if kind == "perceptron":
+        return PerceptronPredictor(config.n_perceptrons, config.history)
+    if kind == "2bc-gskew":
+        return TwoBcGskewPredictor(config.entries_per_table, config.history)
+    if kind == "tagged-gshare":
+        return TaggedGsharePredictor(config.sets, config.ways, config.bor_size)
+    if kind == "filtered-perceptron":
+        return FilteredPerceptronPredictor(
+            config.n_perceptrons,
+            config.history,
+            config.filter_sets,
+            config.filter_ways,
+            config.filter_history,
+        )
+    raise KeyError(f"unknown predictor kind {kind!r}")
+
+
+def make_prophet(kind: str, budget_kb: int) -> DirectionPredictor:
+    """Build a predictor for the prophet role (any zoo member qualifies)."""
+    return make_predictor(kind, budget_kb)
+
+
+def make_critic(kind: str, budget_kb: int) -> DirectionPredictor:
+    """Build a predictor for the critic role.
+
+    Critics must consume a caller-supplied (BOR) history value; all Table-3
+    predictors qualify, but local-history predictors would not.
+    """
+    if kind not in CRITIC_CAPABLE and kind != "tage":
+        raise ValueError(f"{kind!r} cannot serve as a critic (must read a global BOR)")
+    return make_predictor(kind, budget_kb)
+
+
+def budget_table_rows() -> list[dict[str, object]]:
+    """Render Table 3 as a list of row dicts (used by the Table-3 bench)."""
+    rows: list[dict[str, object]] = []
+    for kind, budgets in PREDICTOR_BUDGETS.items():
+        for budget_kb in BUDGETS_KB:
+            predictor = make_predictor(kind, budget_kb)
+            rows.append(
+                {
+                    "predictor": kind,
+                    "budget_kb": budget_kb,
+                    "config": budgets[budget_kb],
+                    "modelled_bytes": predictor.storage_bytes(),
+                }
+            )
+    return rows

@@ -1,0 +1,123 @@
+"""Saturating counters and counter tables — the basic prediction unit."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter.
+
+    The counter saturates at 0 and ``2**bits - 1``. The direction predicted
+    is taken when the counter is in the upper half of its range. A 2-bit
+    instance is the classic Smith counter used by nearly every table-based
+    predictor in the paper.
+    """
+
+    __slots__ = ("_value", "bits", "maximum")
+
+    def __init__(self, bits: int = 2, initial: int | None = None) -> None:
+        if bits < 1:
+            raise ValueError("counter width must be at least 1 bit")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        if initial is None:
+            # Weakly not-taken: the conventional reset state.
+            initial = (self.maximum >> 1)
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(f"initial value {initial} out of range for {bits}-bit counter")
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        """Current raw counter value."""
+        return self._value
+
+    @property
+    def taken(self) -> bool:
+        """Predicted direction: taken iff in the upper half of the range."""
+        return self._value > (self.maximum >> 1)
+
+    @property
+    def is_saturated(self) -> bool:
+        """True when the counter is at either extreme."""
+        return self._value in (0, self.maximum)
+
+    def update(self, taken: bool) -> None:
+        """Move one step toward ``taken``, saturating at the extremes."""
+        if taken:
+            if self._value < self.maximum:
+                self._value += 1
+        elif self._value > 0:
+            self._value -= 1
+
+    def set_direction(self, taken: bool) -> None:
+        """Initialise to weakly taken / weakly not-taken (filter insertion)."""
+        half = self.maximum >> 1
+        self._value = half + 1 if taken else half
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SaturatingCounter(bits={self.bits}, value={self._value})"
+
+
+class CounterTable:
+    """A dense table of n-bit saturating counters backed by a numpy array.
+
+    Most predictors need thousands of counters; packing them in an int8
+    array keeps memory and per-access cost low compared to a list of
+    :class:`SaturatingCounter` objects.
+    """
+
+    __slots__ = ("_table", "bits", "maximum", "size")
+
+    def __init__(self, size: int, bits: int = 2, initial: int | None = None) -> None:
+        if size < 1:
+            raise ValueError("table must have at least one entry")
+        if not 1 <= bits <= 7:
+            raise ValueError("CounterTable supports 1..7-bit counters")
+        self.size = size
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        if initial is None:
+            initial = self.maximum >> 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError("initial value out of counter range")
+        self._table = np.full(size, initial, dtype=np.int8)
+
+    def value(self, index: int) -> int:
+        """Raw counter value at ``index``."""
+        return int(self._table[index])
+
+    def taken(self, index: int) -> bool:
+        """Predicted direction of the counter at ``index``."""
+        return int(self._table[index]) > (self.maximum >> 1)
+
+    def confidence(self, index: int) -> int:
+        """Distance from the decision boundary (0 = weakest)."""
+        value = int(self._table[index])
+        midpoint = self.maximum / 2.0
+        return int(abs(value - midpoint))
+
+    def update(self, index: int, taken: bool) -> None:
+        """Saturating update of the counter at ``index`` toward ``taken``."""
+        value = self._table[index]
+        if taken:
+            if value < self.maximum:
+                self._table[index] = value + 1
+        elif value > 0:
+            self._table[index] = value - 1
+
+    def set_direction(self, index: int, taken: bool) -> None:
+        """Force the counter at ``index`` to weakly agree with ``taken``."""
+        half = self.maximum >> 1
+        self._table[index] = half + 1 if taken else half
+
+    def storage_bits(self) -> int:
+        """Model storage cost in bits (counters only)."""
+        return self.size * self.bits
+
+    def reset(self, initial: int | None = None) -> None:
+        """Reset every counter (default: weakly not-taken)."""
+        if initial is None:
+            initial = self.maximum >> 1
+        self._table[:] = initial

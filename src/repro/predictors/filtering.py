@@ -1,0 +1,119 @@
+"""Set-associative tag stores used to filter critics (paper §4).
+
+The filter answers one question per branch: *does the critic have an
+opinion about this (branch address, BOR value) context?* A tag hit means
+yes — the critic's prediction is used as the critique. A miss means the
+critic implicitly agrees with the prophet.
+
+Entries are allocated when a context misses **and** the final prediction
+turned out wrong, so the table fills with exactly the contexts where the
+prophet has been caught mispredicting. Replacement is LRU within a set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FilterStats:
+    """Occupancy and traffic counters for a tag filter."""
+
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class TagFilter:
+    """N-way set-associative tag store with true-LRU replacement."""
+
+    def __init__(self, sets: int, ways: int, tag_bits: int) -> None:
+        if sets < 1 or ways < 1:
+            raise ValueError("filter needs at least one set and one way")
+        if sets & (sets - 1):
+            raise ValueError("sets must be a power of two")
+        if not 1 <= tag_bits <= 30:
+            raise ValueError("tag_bits out of supported range")
+        self.sets = sets
+        self.ways = ways
+        self.tag_bits = tag_bits
+        self.set_bits = sets.bit_length() - 1
+        # tags[s][w] is the tag in way w of set s; None = invalid.
+        self._tags: list[list[int | None]] = [[None] * ways for _ in range(sets)]
+        # lru[s] lists way numbers from least- to most-recently used.
+        self._lru: list[list[int]] = [list(range(ways)) for _ in range(sets)]
+        self.stats = FilterStats()
+
+    def _touch(self, set_index: int, way: int) -> None:
+        order = self._lru[set_index]
+        order.remove(way)
+        order.append(way)
+
+    def lookup(self, set_index: int, tag: int) -> int | None:
+        """Return the hit way, or None on miss. Updates LRU on hit."""
+        self.stats.lookups += 1
+        row = self._tags[set_index]
+        for way in range(self.ways):
+            if row[way] == tag:
+                self.stats.hits += 1
+                self._touch(set_index, way)
+                return way
+        return None
+
+    def probe(self, set_index: int, tag: int) -> int | None:
+        """Like :meth:`lookup` but with no LRU or statistics side effects."""
+        row = self._tags[set_index]
+        for way in range(self.ways):
+            if row[way] == tag:
+                return way
+        return None
+
+    def insert(self, set_index: int, tag: int) -> tuple[int, bool]:
+        """Insert ``tag``, evicting the LRU way if the set is full.
+
+        Returns ``(way, evicted)``.
+        """
+        row = self._tags[set_index]
+        for way in range(self.ways):
+            if row[way] is None:
+                row[way] = tag
+                self._touch(set_index, way)
+                self.stats.inserts += 1
+                return way, False
+        victim = self._lru[set_index][0]
+        row[victim] = tag
+        self._touch(set_index, victim)
+        self.stats.inserts += 1
+        self.stats.evictions += 1
+        return victim, True
+
+    def occupancy(self) -> float:
+        """Fraction of valid entries."""
+        valid = sum(1 for row in self._tags for tag in row if tag is not None)
+        return valid / (self.sets * self.ways)
+
+    def storage_bits(self) -> int:
+        """Tags plus per-set LRU state.
+
+        True LRU over W ways needs ceil(log2(W!)) bits per set (the number
+        of distinct recency orderings), the encoding hardware actually
+        uses; charging per-way rank bits would overstate the budget.
+        """
+        orderings = 1
+        for w in range(2, self.ways + 1):
+            orderings *= w
+        lru_bits_per_set = max(1, (orderings - 1).bit_length())
+        return self.sets * (self.ways * self.tag_bits + lru_bits_per_set)
+
+    def reset(self) -> None:
+        for s in range(self.sets):
+            self._tags[s] = [None] * self.ways
+            self._lru[s] = list(range(self.ways))
+        self.stats = FilterStats()

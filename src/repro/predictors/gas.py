@@ -1,0 +1,50 @@
+"""GAs two-level adaptive predictor (Yeh & Patt, 1992).
+
+Global history register selects a row; low PC bits select a column (the
+"set"). Unlike gshare there is no XOR — history and PC bits are
+concatenated — so it suffers more aliasing at equal size, which is why the
+paper cites de-aliased designs beating it. Included as a baseline and as a
+building block for tests that demonstrate aliasing effects.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import DirectionPredictor
+from repro.predictors.counters import CounterTable
+from repro.utils.bitops import mask
+
+
+class GAsPredictor(DirectionPredictor):
+    """GAs: concatenated {history, PC-set} index into a counter table."""
+
+    name = "gas"
+
+    def __init__(self, history_length: int, set_bits: int, counter_bits: int = 2) -> None:
+        super().__init__()
+        if history_length < 0 or set_bits < 0:
+            raise ValueError("history_length and set_bits must be non-negative")
+        if history_length + set_bits == 0:
+            raise ValueError("predictor must index with at least one bit")
+        self.history_length = history_length
+        self.set_bits = set_bits
+        self.entries = 1 << (history_length + set_bits)
+        self.table = CounterTable(self.entries, bits=counter_bits)
+
+    def _index(self, pc: int, history: int) -> int:
+        hist = history & mask(self.history_length)
+        pc_set = (pc >> 2) & mask(self.set_bits)
+        return (hist << self.set_bits) | pc_set
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.table.taken(self._index(pc, history))
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(predicted == taken)
+        self.table.update(self._index(pc, history), taken)
+
+    def storage_bits(self) -> int:
+        return self.table.storage_bits()
+
+    def reset(self) -> None:
+        super().reset()
+        self.table.reset()

@@ -1,0 +1,52 @@
+"""Gshare predictor (McFarling, WRL TN-36, 1993).
+
+Global history is XORed with the branch address to index a single table of
+2-bit counters, spreading branches across the table and reducing aliasing
+relative to GAs at the same size. Table 3 of the paper uses gshare at
+2-32KB with history lengths 13-17 (always log2 of the entry count).
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import DirectionPredictor
+from repro.predictors.counters import CounterTable
+from repro.utils.bitops import mask
+
+
+class GsharePredictor(DirectionPredictor):
+    """Classic gshare: index = (PC >> 2) XOR history, one counter table."""
+
+    name = "gshare"
+
+    def __init__(self, entries: int, history_length: int | None = None, counter_bits: int = 2) -> None:
+        super().__init__()
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self._index_bits = entries.bit_length() - 1
+        if history_length is None:
+            history_length = self._index_bits
+        if history_length > self._index_bits:
+            raise ValueError(
+                "gshare history cannot exceed index width "
+                f"({history_length} > {self._index_bits}); use folding predictors for longer histories"
+            )
+        self.history_length = history_length
+        self.table = CounterTable(entries, bits=counter_bits)
+
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ (history & mask(self.history_length))) & mask(self._index_bits)
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.table.taken(self._index(pc, history))
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(predicted == taken)
+        self.table.update(self._index(pc, history), taken)
+
+    def storage_bits(self) -> int:
+        return self.table.storage_bits()
+
+    def reset(self) -> None:
+        super().reset()
+        self.table.reset()

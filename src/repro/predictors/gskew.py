@@ -1,0 +1,141 @@
+"""2Bc-gskew predictor (Seznec & Michaud, 1999) — the EV8-style baseline.
+
+Four banks of 2-bit counters:
+
+* **BIM** — bimodal, PC-indexed;
+* **G0**, **G1** — gshare-like banks indexed with different *skewing*
+  functions of (PC, global history), so that a pair colliding in one bank
+  cannot collide in the others;
+* **META** — chooser between the bimodal prediction and the majority vote
+  of {BIM, G0, G1}.
+
+The partial-update policy is the one published for 2Bc-gskew/EV8:
+
+* correct & META chose bimodal → strengthen BIM only;
+* correct & META chose majority → strengthen only the banks that voted
+  with the outcome;
+* mispredict → write the outcome into all three voting banks;
+* META trains toward the source (bimodal vs majority) that was correct,
+  and only when the two disagreed.
+
+The paper's headline comparison (§1) pits an 8K+8K prophet/critic hybrid
+against a 16KB instance of this predictor.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import DirectionPredictor
+from repro.predictors.counters import CounterTable
+from repro.utils.bitops import mask
+from repro.utils.hashing import skew_h, skew_hinv
+
+
+class TwoBcGskewPredictor(DirectionPredictor):
+    """2Bc-gskew: BIM + two skewed global banks + META chooser."""
+
+    name = "2bc-gskew"
+
+    def __init__(self, entries_per_table: int, history_length: int | None = None) -> None:
+        super().__init__()
+        if entries_per_table & (entries_per_table - 1):
+            raise ValueError("entries_per_table must be a power of two")
+        self.entries_per_table = entries_per_table
+        self._index_bits = entries_per_table.bit_length() - 1
+        if history_length is None:
+            history_length = self._index_bits
+        self.history_length = history_length
+        self.bim = CounterTable(entries_per_table, bits=2)
+        self.g0 = CounterTable(entries_per_table, bits=2)
+        self.g1 = CounterTable(entries_per_table, bits=2)
+        self.meta = CounterTable(entries_per_table, bits=2)
+        # Precomputed H / H^-1 images: the skewing functions run on every
+        # predict and update, so table lookups beat recomputing the
+        # bit-twiddling four times per branch.
+        n = self._index_bits
+        self._h_table = [skew_h(value, n) for value in range(1 << n)]
+        self._hinv_table = [skew_hinv(value, n) for value in range(1 << n)]
+
+    # -- indexing -----------------------------------------------------------
+
+    def _bim_index(self, pc: int) -> int:
+        return (pc >> 2) & mask(self._index_bits)
+
+    def _skewed_index(self, bank: int, pc: int, history: int) -> int:
+        n = self._index_bits
+        v1 = (pc >> 2) & mask(n)
+        v2 = ((history & mask(self.history_length)) ^ (pc >> (2 + n))) & mask(n)
+        if bank == 0:
+            return self._h_table[v1] ^ self._hinv_table[v2] ^ v2
+        if bank == 1:
+            return self._h_table[v1] ^ self._hinv_table[v2] ^ v1
+        return self._hinv_table[v1] ^ self._h_table[v2] ^ v2
+
+    # -- prediction ---------------------------------------------------------
+
+    def _component_predictions(self, pc: int, history: int) -> tuple[bool, bool, bool, bool]:
+        """Return (bim, g0, g1, meta_chooses_majority)."""
+        bim = self.bim.taken(self._bim_index(pc))
+        g0 = self.g0.taken(self._skewed_index(0, pc, history))
+        g1 = self.g1.taken(self._skewed_index(1, pc, history))
+        meta_majority = self.meta.taken(self._skewed_index(2, pc, history))
+        return bim, g0, g1, meta_majority
+
+    @staticmethod
+    def _majority(bim: bool, g0: bool, g1: bool) -> bool:
+        return (int(bim) + int(g0) + int(g1)) >= 2
+
+    def predict(self, pc: int, history: int) -> bool:
+        bim, g0, g1, meta_majority = self._component_predictions(pc, history)
+        if meta_majority:
+            return self._majority(bim, g0, g1)
+        return bim
+
+    # -- update -------------------------------------------------------------
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(predicted == taken)
+        bim_idx = self._bim_index(pc)
+        g0_idx = self._skewed_index(0, pc, history)
+        g1_idx = self._skewed_index(1, pc, history)
+        meta_idx = self._skewed_index(2, pc, history)
+
+        bim = self.bim.taken(bim_idx)
+        g0 = self.g0.taken(g0_idx)
+        g1 = self.g1.taken(g1_idx)
+        meta_majority = self.meta.taken(meta_idx)
+        majority = self._majority(bim, g0, g1)
+        overall = majority if meta_majority else bim
+
+        if overall == taken:
+            if meta_majority:
+                # Partial update: strengthen only the banks that voted right.
+                if bim == taken:
+                    self.bim.update(bim_idx, taken)
+                if g0 == taken:
+                    self.g0.update(g0_idx, taken)
+                if g1 == taken:
+                    self.g1.update(g1_idx, taken)
+            else:
+                self.bim.update(bim_idx, taken)
+        else:
+            # Mispredict: write the outcome into all voting banks.
+            self.bim.update(bim_idx, taken)
+            self.g0.update(g0_idx, taken)
+            self.g1.update(g1_idx, taken)
+
+        # META learns which source to trust, only on disagreement.
+        if bim != majority:
+            self.meta.update(meta_idx, majority == taken)
+
+    def storage_bits(self) -> int:
+        return (
+            self.bim.storage_bits()
+            + self.g0.storage_bits()
+            + self.g1.storage_bits()
+            + self.meta.storage_bits()
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        for table in (self.bim, self.g0, self.g1, self.meta):
+            table.reset()

@@ -1,0 +1,83 @@
+"""Perceptron branch predictor (Jiménez & Lin, 2002).
+
+A table of perceptrons is selected by PC; the selected weight vector is
+dotted with the ±1-encoded global history (plus a bias weight). Training
+runs on a mispredict or whenever the output magnitude is below the
+threshold θ = ⌊1.93·h + 14⌋.
+
+Its ability to use much longer histories than counter tables is what makes
+it attractive as a critic: future bits can be appended to the BOR without
+sacrificing all the history bits (paper §6, "Predictors simulated").
+
+Weights are 8-bit saturating signed integers, the budget assumed by the
+paper's Table 3 (budget ≈ perceptrons × (h+1) bytes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import DirectionPredictor
+
+
+class PerceptronPredictor(DirectionPredictor):
+    """Global-history perceptron predictor with numpy-backed weights."""
+
+    name = "perceptron"
+
+    WEIGHT_MIN = -128
+    WEIGHT_MAX = 127
+
+    def __init__(self, n_perceptrons: int, history_length: int) -> None:
+        super().__init__()
+        if n_perceptrons < 1:
+            raise ValueError("need at least one perceptron")
+        if history_length < 1:
+            raise ValueError("perceptron needs at least one history bit")
+        self.n_perceptrons = n_perceptrons
+        self.history_length = history_length
+        self.threshold = int(1.93 * history_length + 14)
+        # Column 0 is the bias weight; columns 1..h correspond to history
+        # bits 0..h-1 (bit 0 = most recent outcome).
+        self.weights = np.zeros((n_perceptrons, history_length + 1), dtype=np.int16)
+        self._nbytes = (history_length + 15) // 8
+
+    def _row(self, pc: int) -> int:
+        return (pc >> 2) % self.n_perceptrons
+
+    def _inputs(self, history: int) -> np.ndarray:
+        """±1 input vector of length h+1 (element 0 is the bias input)."""
+        raw = (history & ((1 << self.history_length) - 1)).to_bytes(self._nbytes, "little")
+        bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+        x = np.empty(self.history_length + 1, dtype=np.int16)
+        x[0] = 1
+        x[1:] = bits[: self.history_length].astype(np.int16) * 2 - 1
+        return x
+
+    def output(self, pc: int, history: int) -> int:
+        """Raw perceptron output (sign = prediction, magnitude = confidence)."""
+        x = self._inputs(history)
+        return int(np.dot(self.weights[self._row(pc)].astype(np.int32), x))
+
+    def predict(self, pc: int, history: int) -> bool:
+        return self.output(pc, history) >= 0
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(predicted == taken)
+        row = self._row(pc)
+        x = self._inputs(history)
+        y = int(np.dot(self.weights[row].astype(np.int32), x))
+        if (y >= 0) != taken or abs(y) <= self.threshold:
+            t = 1 if taken else -1
+            updated = self.weights[row] + t * x
+            np.clip(updated, self.WEIGHT_MIN, self.WEIGHT_MAX, out=updated)
+            self.weights[row] = updated
+
+    def storage_bits(self) -> int:
+        # 8-bit weights, (h+1) per perceptron; the global history register
+        # itself is charged to the engine, as in the paper's budgets.
+        return self.n_perceptrons * (self.history_length + 1) * 8
+
+    def reset(self) -> None:
+        super().reset()
+        self.weights[:] = 0

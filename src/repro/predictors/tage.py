@@ -1,0 +1,208 @@
+"""TAGE predictor (Seznec & Michaud, 2006) — extension for the ablations.
+
+The paper's conclusion (§9) urges experimenting with newer components; the
+design that ultimately superseded prophet/critic hybrids is TAGE, so the
+repository carries a compact but faithful implementation: a bimodal base
+plus N partially-tagged components indexed with geometrically increasing
+history lengths, usefulness counters, and allocate-on-mispredict. The
+ablation bench compares a prophet/critic hybrid against a TAGE of equal
+budget (`experiments.ablations`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.predictors.base import DirectionPredictor
+from repro.utils.bitops import fold_bits, mask
+from repro.utils.hashing import mix64
+
+
+@dataclass
+class _TageEntry:
+    tag: int = 0
+    ctr: int = 0  # signed 3-bit: -4..3; >= 0 predicts taken
+    useful: int = 0  # 0..3
+    valid: bool = False
+
+
+class _TageComponent:
+    """One partially-tagged TAGE bank."""
+
+    def __init__(self, entries: int, tag_bits: int, history_length: int) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.index_bits = entries.bit_length() - 1
+        self.tag_bits = tag_bits
+        self.history_length = history_length
+        self.table = [_TageEntry() for _ in range(entries)]
+
+    def index(self, pc: int, history: int) -> int:
+        folded = fold_bits(history, self.history_length, self.index_bits)
+        return ((pc >> 2) ^ (pc >> (2 + self.index_bits)) ^ folded) & mask(self.index_bits)
+
+    def tag(self, pc: int, history: int) -> int:
+        folded = fold_bits(history, self.history_length, self.tag_bits)
+        folded2 = fold_bits(history, self.history_length, self.tag_bits - 1) << 1
+        return ((pc >> 2) ^ folded ^ folded2) & mask(self.tag_bits)
+
+    def storage_bits(self) -> int:
+        # tag + 3-bit ctr + 2-bit useful + valid
+        return self.entries * (self.tag_bits + 3 + 2 + 1)
+
+
+class TagePredictor(DirectionPredictor):
+    """TAGE with a bimodal base and geometric tagged components."""
+
+    name = "tage"
+
+    def __init__(
+        self,
+        n_components: int = 6,
+        base_entries: int = 4096,
+        component_entries: int = 1024,
+        min_history: int = 5,
+        max_history: int = 130,
+        tag_bits: int = 9,
+        seed: int = 0x7A6E,
+    ) -> None:
+        super().__init__()
+        if n_components < 1:
+            raise ValueError("TAGE needs at least one tagged component")
+        self.base_entries = base_entries
+        self._base_bits = base_entries.bit_length() - 1
+        if base_entries & (base_entries - 1):
+            raise ValueError("base_entries must be a power of two")
+        self._base = [2] * base_entries  # 2-bit counters, weakly not-taken
+        # Geometric history series L_i = min * (max/min)^(i/(n-1)).
+        self.components: list[_TageComponent] = []
+        for i in range(n_components):
+            if n_components == 1:
+                length = min_history
+            else:
+                ratio = (max_history / min_history) ** (i / (n_components - 1))
+                length = max(1, int(round(min_history * ratio)))
+            self.components.append(_TageComponent(component_entries, tag_bits, length))
+        self.history_length = self.components[-1].history_length
+        self._alloc_state = mix64(seed)
+
+    # -- base bimodal ---------------------------------------------------------
+
+    def _base_index(self, pc: int) -> int:
+        return (pc >> 2) & mask(self._base_bits)
+
+    def _base_predict(self, pc: int) -> bool:
+        return self._base[self._base_index(pc)] >= 2
+
+    def _base_update(self, pc: int, taken: bool) -> None:
+        idx = self._base_index(pc)
+        value = self._base[idx]
+        if taken and value < 3:
+            self._base[idx] = value + 1
+        elif not taken and value > 0:
+            self._base[idx] = value - 1
+
+    # -- provider search --------------------------------------------------------
+
+    def _find(self, pc: int, history: int) -> tuple[int | None, int | None]:
+        """Return (provider component idx, alternate component idx)."""
+        provider = None
+        alternate = None
+        for i in range(len(self.components) - 1, -1, -1):
+            comp = self.components[i]
+            entry = comp.table[comp.index(pc, history)]
+            if entry.valid and entry.tag == comp.tag(pc, history):
+                if provider is None:
+                    provider = i
+                else:
+                    alternate = i
+                    break
+        return provider, alternate
+
+    def predict(self, pc: int, history: int) -> bool:
+        provider, _alternate = self._find(pc, history)
+        if provider is None:
+            return self._base_predict(pc)
+        comp = self.components[provider]
+        return comp.table[comp.index(pc, history)].ctr >= 0
+
+    # -- update ------------------------------------------------------------------
+
+    def _component_prediction(self, i: int, pc: int, history: int) -> bool:
+        comp = self.components[i]
+        return comp.table[comp.index(pc, history)].ctr >= 0
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(predicted == taken)
+        provider, alternate = self._find(pc, history)
+
+        if provider is None:
+            provider_pred = self._base_predict(pc)
+            alt_pred = provider_pred
+        else:
+            provider_pred = self._component_prediction(provider, pc, history)
+            if alternate is not None:
+                alt_pred = self._component_prediction(alternate, pc, history)
+            else:
+                alt_pred = self._base_predict(pc)
+
+        # Train the provider (or the base when no component hit).
+        if provider is None:
+            self._base_update(pc, taken)
+        else:
+            comp = self.components[provider]
+            entry = comp.table[comp.index(pc, history)]
+            if taken and entry.ctr < 3:
+                entry.ctr += 1
+            elif not taken and entry.ctr > -4:
+                entry.ctr -= 1
+            # Usefulness: the provider proved its worth when it beat the alt.
+            if provider_pred != alt_pred:
+                if provider_pred == taken and entry.useful < 3:
+                    entry.useful += 1
+                elif provider_pred != taken and entry.useful > 0:
+                    entry.useful -= 1
+            if alternate is None and provider == 0:
+                self._base_update(pc, taken)
+
+        # Allocate a longer-history entry on a provider mispredict.
+        if provider_pred != taken:
+            start = (provider + 1) if provider is not None else 0
+            self._allocate(start, pc, history, taken)
+
+    def _allocate(self, start: int, pc: int, history: int, taken: bool) -> None:
+        candidates = []
+        for i in range(start, len(self.components)):
+            comp = self.components[i]
+            entry = comp.table[comp.index(pc, history)]
+            if not entry.valid or entry.useful == 0:
+                candidates.append(i)
+        if not candidates:
+            # Pressure release: age everything on the allocation path.
+            for i in range(start, len(self.components)):
+                comp = self.components[i]
+                entry = comp.table[comp.index(pc, history)]
+                if entry.useful > 0:
+                    entry.useful -= 1
+            return
+        # Prefer shorter histories with 2/3 probability (standard TAGE).
+        self._alloc_state = mix64(self._alloc_state)
+        pick = candidates[0]
+        if len(candidates) > 1 and (self._alloc_state & 3) == 3:
+            pick = candidates[1]
+        comp = self.components[pick]
+        entry = comp.table[comp.index(pc, history)]
+        entry.valid = True
+        entry.tag = comp.tag(pc, history)
+        entry.ctr = 0 if taken else -1
+        entry.useful = 0
+
+    def storage_bits(self) -> int:
+        return self.base_entries * 2 + sum(c.storage_bits() for c in self.components)
+
+    def reset(self) -> None:
+        super().reset()
+        self._base = [2] * self.base_entries
+        for comp in self.components:
+            comp.table = [_TageEntry() for _ in range(comp.entries)]

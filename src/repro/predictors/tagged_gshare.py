@@ -1,0 +1,120 @@
+"""Tagged gshare — the paper's preferred critic (§4, Table 3).
+
+A gshare-style predictor in which every 2-bit counter carries a tag, the
+whole structure organised like an N-way set-associative cache. Index and
+tag come from *different* XOR hashes of (branch address, BOR value), so a
+context colliding in the index is unlikely to alias in the tag as well.
+
+Semantics as a critic:
+
+* **lookup** — on tag hit the stored counter gives the critic's direction
+  prediction for the branch; on miss the critic implicitly agrees with the
+  prophet.
+* **train** — on tag hit the counter trains toward the actual outcome; on
+  miss, a new entry is allocated *only if the final prediction was wrong*
+  (insert-on-mispredict), initialised weakly toward the actual outcome.
+
+The class also implements the plain :class:`DirectionPredictor` interface
+(predict falls back to taken on a miss) so it can be exercised standalone
+in unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.predictors.base import DirectionPredictor
+from repro.predictors.counters import CounterTable
+from repro.predictors.filtering import TagFilter
+from repro.utils.hashing import index_hash, tag_hash
+
+
+@dataclass(frozen=True)
+class CritiqueLookup:
+    """Result of a critic lookup: filter hit flag and direction prediction.
+
+    ``prediction`` is None when ``hit`` is False — the critic has no
+    opinion and implicitly agrees with the prophet.
+    """
+
+    hit: bool
+    prediction: bool | None
+
+
+class TaggedGsharePredictor(DirectionPredictor):
+    """Set-associative tagged counter store keyed by hash(PC, history)."""
+
+    name = "tagged-gshare"
+
+    def __init__(
+        self,
+        sets: int,
+        ways: int = 6,
+        history_length: int = 18,
+        tag_bits: int = 8,
+    ) -> None:
+        super().__init__()
+        self.sets = sets
+        self.ways = ways
+        self.history_length = history_length
+        self.tag_bits = tag_bits
+        self.filter = TagFilter(sets, ways, tag_bits)
+        # One counter per (set, way); flattened row-major.
+        self.counters = CounterTable(sets * ways, bits=2)
+
+    # -- hashing -------------------------------------------------------------
+
+    def _set_index(self, pc: int, history: int) -> int:
+        return index_hash(pc, history, self.filter.set_bits, self.history_length)
+
+    def _tag(self, pc: int, history: int) -> int:
+        return tag_hash(pc, history, self.tag_bits, self.history_length)
+
+    def _counter_index(self, set_index: int, way: int) -> int:
+        return set_index * self.ways + way
+
+    # -- critic interface ------------------------------------------------------
+
+    def lookup(self, pc: int, history: int) -> CritiqueLookup:
+        """Filtered lookup: (hit, prediction-or-None)."""
+        set_index = self._set_index(pc, history)
+        way = self.filter.lookup(set_index, self._tag(pc, history))
+        if way is None:
+            return CritiqueLookup(hit=False, prediction=None)
+        return CritiqueLookup(hit=True, prediction=self.counters.taken(self._counter_index(set_index, way)))
+
+    def train(self, pc: int, history: int, taken: bool, final_mispredict: bool) -> None:
+        """Commit-time training with insert-on-mispredict allocation."""
+        set_index = self._set_index(pc, history)
+        tag = self._tag(pc, history)
+        way = self.filter.probe(set_index, tag)
+        if way is not None:
+            idx = self._counter_index(set_index, way)
+            self.stats.record(self.counters.taken(idx) == taken)
+            self.counters.update(idx, taken)
+            # Refresh recency so live contexts survive (probe() is
+            # side-effect free; LRU is maintained here and at lookup).
+            self.filter._touch(set_index, way)
+            return
+        if final_mispredict:
+            way, _evicted = self.filter.insert(set_index, tag)
+            self.counters.set_direction(self._counter_index(set_index, way), taken)
+
+    # -- standalone DirectionPredictor interface -------------------------------
+
+    def predict(self, pc: int, history: int) -> bool:
+        result = self.lookup(pc, history)
+        if result.hit:
+            return bool(result.prediction)
+        return True
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.train(pc, history, taken, final_mispredict=(predicted != taken))
+
+    def storage_bits(self) -> int:
+        return self.filter.storage_bits() + self.counters.storage_bits()
+
+    def reset(self) -> None:
+        super().reset()
+        self.filter.reset()
+        self.counters.reset()

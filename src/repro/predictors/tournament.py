@@ -1,0 +1,69 @@
+"""McFarling combining (tournament) predictor.
+
+Two component predictors run in parallel; a PC-indexed chooser table of
+2-bit counters selects which component's prediction is used. This is the
+"conventional hybrid" the paper contrasts with prophet/critic: both
+components see the *same* information, and a selector (not future bits)
+arbitrates. Keeping it in the zoo lets the experiments show what the
+future bits add beyond plain hybridisation.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import DirectionPredictor
+from repro.predictors.counters import CounterTable
+from repro.utils.bitops import mask
+
+
+class TournamentPredictor(DirectionPredictor):
+    """Selector-based hybrid of two :class:`DirectionPredictor` components."""
+
+    name = "tournament"
+
+    def __init__(
+        self,
+        component_a: DirectionPredictor,
+        component_b: DirectionPredictor,
+        chooser_entries: int = 4096,
+    ) -> None:
+        super().__init__()
+        if chooser_entries & (chooser_entries - 1):
+            raise ValueError("chooser_entries must be a power of two")
+        self.component_a = component_a
+        self.component_b = component_b
+        self.chooser = CounterTable(chooser_entries, bits=2)
+        self._chooser_bits = chooser_entries.bit_length() - 1
+        self.history_length = max(component_a.history_length, component_b.history_length)
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc >> 2) & mask(self._chooser_bits)
+
+    def predict(self, pc: int, history: int) -> bool:
+        pred_a = self.component_a.predict(pc, history)
+        pred_b = self.component_b.predict(pc, history)
+        # Chooser taken ⇒ trust component B (the "global" slot by convention).
+        return pred_b if self.chooser.taken(self._chooser_index(pc)) else pred_a
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(predicted == taken)
+        pred_a = self.component_a.predict(pc, history)
+        pred_b = self.component_b.predict(pc, history)
+        self.component_a.update(pc, history, taken, pred_a)
+        self.component_b.update(pc, history, taken, pred_b)
+        # Train the chooser only when the components disagree: move toward
+        # the component that was right.
+        if pred_a != pred_b:
+            self.chooser.update(self._chooser_index(pc), pred_b == taken)
+
+    def storage_bits(self) -> int:
+        return (
+            self.component_a.storage_bits()
+            + self.component_b.storage_bits()
+            + self.chooser.storage_bits()
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.component_a.reset()
+        self.component_b.reset()
+        self.chooser.reset()

@@ -1,0 +1,24 @@
+"""Functional simulation: wrong-path-accurate accuracy measurement.
+
+:func:`~repro.sim.driver.simulate` runs a prediction system over a
+synthetic program with genuine wrong-path fetch, checkpoint recovery and
+commit-order training, and returns a :class:`~repro.sim.metrics.RunStats`
+with the paper's metrics (misp/Kuops, critique census, filter shares,
+flush distance).
+"""
+
+from repro.sim.driver import SimulationConfig, SimulationDesyncError, simulate
+from repro.sim.metrics import RunStats
+from repro.sim.results import format_table, render_series
+from repro.sim.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "RunStats",
+    "SimulationConfig",
+    "SimulationDesyncError",
+    "SweepResult",
+    "format_table",
+    "render_series",
+    "run_sweep",
+    "simulate",
+]

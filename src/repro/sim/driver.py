@@ -1,0 +1,213 @@
+"""The functional accuracy simulator.
+
+Couples three machines and keeps them honest with each other:
+
+* a **speculative walker** that fetches down *predicted* paths (producing
+  the wrong-path future bits the critic needs, §6);
+* the **prediction system** (prophet alone, or prophet/critic hybrid)
+  owning BHR/BOR speculation and checkpoints;
+* the **architectural executor** resolving branch outcomes in committed
+  order (ground truth).
+
+Event order per dynamic branch (matching §3 and §5):
+
+1. *fetch* — walker reaches the branch, BTB identifies it, prophet
+   predicts, prediction speculatively enters BHR + BOR, walker follows
+   the prediction (possibly onto the wrong path);
+2. *critique* — once the branch's ``future_bits`` prophet predictions are
+   in the BOR, the critic produces the final prediction; a disagreement
+   flushes the younger (uncritiqued) in-flight branches, repairs the
+   registers to this branch's checkpoint and redirects fetch — an
+   FTQ-confined flush, invisible to the back end;
+3. *resolve* — in program order, after a configurable in-flight delay
+   (modelling commit): tables train non-speculatively with the histories
+   captured at prediction/critique time; a final-prediction mispredict
+   flushes everything younger, restores the checkpoint, inserts the
+   actual outcome and redirects fetch to the correct path.
+
+Training the critic with the BOR captured at critique time — wrong-path
+bits included — is what the whole paper hinges on (§3.3): a branch can be
+mispredicted yet on the correct path, and it must train the critic with
+the wrong-path future the prophet actually produced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.hybrid import InflightBranch, PredictionSystem
+from repro.engine.btb import BranchTargetBuffer
+from repro.engine.executor import ArchitecturalExecutor
+from repro.engine.frontend import SpeculativeWalker
+from repro.sim.metrics import RunStats
+from repro.workloads.program import Program
+
+
+class SimulationDesyncError(RuntimeError):
+    """Front end and architectural executor disagreed about the branch
+    stream — an engine bug, never a predictor property."""
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs for one simulation run."""
+
+    #: Conditional branches to resolve (measurement window + warmup).
+    n_branches: int = 50_000
+    #: Branches resolved before statistics start accumulating.
+    warmup: int = 5_000
+    #: Minimum in-flight branches between fetch and resolve, modelling
+    #: commit delay (tables train this many branches late).
+    inflight_depth: int = 24
+    #: Model the Table-2 BTB (misses fall through as static not-taken).
+    use_btb: bool = True
+    btb_entries: int = 4096
+    btb_ways: int = 4
+    #: Keep per-site (pc) mispredict attribution in the result.
+    collect_per_site: bool = False
+
+    def effective_depth(self, future_bits: int) -> int:
+        """In-flight depth, never smaller than the critique window."""
+        return max(self.inflight_depth, future_bits + 2)
+
+
+def simulate(
+    program: Program,
+    system: PredictionSystem,
+    config: SimulationConfig | None = None,
+) -> RunStats:
+    """Run ``system`` over ``program`` and return measured statistics."""
+    config = config or SimulationConfig()
+    if config.warmup >= config.n_branches:
+        raise ValueError("warmup must leave a measurement window")
+
+    program.reset()
+    executor = ArchitecturalExecutor(program)
+    walker = SpeculativeWalker(program)
+    btb = BranchTargetBuffer(config.btb_entries, config.btb_ways) if config.use_btb else None
+
+    stats = RunStats(benchmark=program.name, system=type(system).__name__)
+    pending: deque[InflightBranch] = deque()
+    critiqued_count = 0  # pending[:critiqued_count] are critiqued (in order)
+    next_seq = 0         # BOR-insertion sequence number
+    required_bits = max(system.future_bits, 0)
+    depth = config.effective_depth(required_bits)
+    hard_cap = depth + 8
+    resolved = 0
+    warmup_fetched = 0
+
+    def gathered(handle: InflightBranch) -> int:
+        return next_seq - handle.seq
+
+    def fetch_one() -> None:
+        nonlocal next_seq
+        fetched = walker.next_branch()
+        snap = walker.snapshot()
+        known = btb.lookup(fetched.pc) if btb is not None else True
+        if known:
+            handle = system.predict(fetched.pc)
+            handle.seq = next_seq
+            next_seq += 1  # one BOR bit inserted
+        else:
+            handle = system.predict_static(fetched.pc)
+            handle.seq = next_seq  # contributes no BOR bit: no increment
+        handle.walker_snapshot = snap
+        pending.append(handle)
+        walker.advance(handle.prophet_pred)
+
+    def critique_next() -> None:
+        nonlocal critiqued_count, next_seq
+        handle = pending[critiqued_count]
+        final = system.critique(handle)
+        critiqued_count += 1
+        if handle.is_static:
+            return
+        if final != handle.prophet_pred:
+            # Critic override: drop the younger, uncritiqued tail and
+            # steer fetch down the critic's path (FTQ-confined flush).
+            while len(pending) > critiqued_count:
+                pending.pop()
+            system.apply_redirect(handle, final)
+            walker.restore(handle.walker_snapshot)
+            walker.advance(final)
+            next_seq = handle.seq + 1
+            if resolved >= config.warmup:
+                stats.critic_redirects += 1
+
+    def resolve_head() -> None:
+        nonlocal critiqued_count, next_seq, resolved
+        head = pending.popleft()
+        critiqued_count -= 1
+        actual = executor.next_branch()
+        if actual.pc != head.pc:
+            raise SimulationDesyncError(
+                f"committed branch {actual.pc:#x} but front end fetched {head.pc:#x} "
+                f"(branch #{resolved})"
+            )
+        measuring = resolved >= config.warmup
+        if measuring:
+            stats.branches += 1
+            stats.committed_uops += actual.uops
+            stats.taken_branches += int(actual.taken)
+            if head.is_static:
+                stats.static_branches += 1
+                if actual.taken:  # implicit not-taken was wrong
+                    stats.mispredicts += 1
+                    stats.prophet_mispredicts += 1
+            else:
+                stats.census.record(head.critique_kind(actual.taken))
+                prophet_misp = head.prophet_pred != actual.taken
+                final_misp = head.final_pred != actual.taken
+                if prophet_misp:
+                    stats.prophet_mispredicts += 1
+                if final_misp:
+                    stats.mispredicts += 1
+                if config.collect_per_site:
+                    stats.record_site(head.pc, prophet_misp, final_misp)
+        system.resolve(head, actual.taken)
+        if btb is not None and head.is_static:
+            btb.allocate(head.pc)
+        if head.final_pred != actual.taken or (head.is_static and actual.taken):
+            # Resolved mispredict: flush everything younger, repair, redirect.
+            system.recover(head, actual.taken)
+            walker.restore(head.walker_snapshot)
+            walker.advance(actual.taken)
+            pending.clear()
+            critiqued_count = 0
+            next_seq = head.seq + 1
+        resolved += 1
+
+    while resolved < config.n_branches:
+        # 1) Critique in order as soon as the future bits are available.
+        if critiqued_count < len(pending):
+            handle = pending[critiqued_count]
+            needed = 0 if handle.is_static else required_bits
+            if gathered(handle) >= needed:
+                critique_next()
+                continue
+        # 2) Resolve once the head is critiqued and the window is deep
+        #    enough (committing earlier would under-model update delay).
+        if pending and pending[0].critiqued and len(pending) > depth:
+            resolve_head()
+            continue
+        # 3) Otherwise keep fetching.
+        if len(pending) < hard_cap:
+            fetch_one()
+            # Capture the warmup boundary for uop accounting.
+            if resolved < config.warmup:
+                warmup_fetched = walker.fetched_uops
+            continue
+        # 4) Fetch window exhausted before the future bits arrived (can
+        #    happen when BTB-miss branches occupy slots): critique with
+        #    the bits available, as the paper's implementation does (§5).
+        if critiqued_count < len(pending):
+            if resolved >= config.warmup:
+                stats.forced_critiques += 1
+            critique_next()
+            continue
+        # Everything critiqued but window shallow — resolve anyway.
+        resolve_head()
+
+    stats.fetched_uops = max(0, walker.fetched_uops - warmup_fetched)
+    return stats

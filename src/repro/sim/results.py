@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width text table (no external dependencies)."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match headers")
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered_rows)) if rendered_rows else len(headers[c])
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[c] for c in range(columns)))
+    for row in rendered_rows:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in range(columns)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    y_format: str = "{:.3f}",
+) -> str:
+    """One figure series as `name: x=y, x=y, ...` (what a plot would show)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    points = ", ".join(f"{x}={y_format.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_mapping(title: str, mapping: Mapping[str, object]) -> str:
+    """Key/value block used for headline summaries."""
+    width = max((len(k) for k in mapping), default=0)
+    lines = [title]
+    for key, value in mapping.items():
+        rendered = f"{value:.3f}" if isinstance(value, float) else str(value)
+        lines.append(f"  {key.ljust(width)} : {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Parameter sweeps over (benchmark × system configuration).
+
+Experiments in §7 are grids: prophets × critics × sizes × future bits ×
+benchmarks. :func:`run_sweep` executes such a grid with fresh predictor
+state per cell and returns a :class:`SweepResult` that experiment modules
+turn into the paper's tables and series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.hybrid import PredictionSystem
+from repro.sim.driver import SimulationConfig, simulate
+from repro.sim.metrics import RunStats
+from repro.workloads.program import Program
+
+#: A sweep cell: label → factory producing a *fresh* system.
+SystemFactory = Callable[[], PredictionSystem]
+ProgramFactory = Callable[[], Program]
+
+
+@dataclass
+class SweepResult:
+    """Results of a sweep, indexed by (system label, benchmark name)."""
+
+    runs: dict[tuple[str, str], RunStats] = field(default_factory=dict)
+
+    def add(self, system_label: str, bench_name: str, stats: RunStats) -> None:
+        self.runs[(system_label, bench_name)] = stats
+
+    def get(self, system_label: str, bench_name: str) -> RunStats:
+        return self.runs[(system_label, bench_name)]
+
+    def system_labels(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for system_label, _ in self.runs:
+            seen.setdefault(system_label)
+        return list(seen)
+
+    def bench_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for _, bench in self.runs:
+            seen.setdefault(bench)
+        return list(seen)
+
+    def average_misp_per_kuops(self, system_label: str) -> float:
+        """Arithmetic mean of misp/Kuops across benchmarks (paper's AVG)."""
+        values = [
+            stats.misp_per_kuops
+            for (label, _), stats in self.runs.items()
+            if label == system_label
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def aggregate(self, system_label: str) -> RunStats:
+        """Merge all benchmarks' counters for one system (pooled rates)."""
+        merged = RunStats(system=system_label, benchmark="ALL")
+        for (label, _), stats in self.runs.items():
+            if label == system_label:
+                merged.merge(stats)
+        return merged
+
+
+def run_sweep(
+    systems: dict[str, SystemFactory],
+    benchmarks: dict[str, ProgramFactory],
+    config: SimulationConfig | None = None,
+) -> SweepResult:
+    """Run every system on every benchmark, fresh state per cell."""
+    result = SweepResult()
+    for bench_name, program_factory in benchmarks.items():
+        for system_label, system_factory in systems.items():
+            program = program_factory()
+            system = system_factory()
+            stats = simulate(program, system, config)
+            stats.system = system_label
+            result.add(system_label, bench_name, stats)
+    return result

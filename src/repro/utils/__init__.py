@@ -1,0 +1,41 @@
+"""Shared low-level utilities: bit manipulation, hashing, deterministic RNG.
+
+These helpers underpin every predictor and engine component. They are kept
+dependency-free (stdlib only) so the predictor zoo stays easy to audit
+against the published hardware descriptions.
+"""
+
+from repro.utils.bitops import (
+    bit_select,
+    bits_to_signed_pm1,
+    fold_bits,
+    mask,
+    popcount,
+    reverse_bits,
+)
+from repro.utils.hashing import (
+    index_hash,
+    mix64,
+    skew_f,
+    skew_h,
+    skew_hinv,
+    tag_hash,
+)
+from repro.utils.rng import DeterministicRng, site_hash_outcome
+
+__all__ = [
+    "DeterministicRng",
+    "bit_select",
+    "bits_to_signed_pm1",
+    "fold_bits",
+    "index_hash",
+    "mask",
+    "mix64",
+    "popcount",
+    "reverse_bits",
+    "site_hash_outcome",
+    "skew_f",
+    "skew_h",
+    "skew_hinv",
+    "tag_hash",
+]

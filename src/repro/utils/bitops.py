@@ -1,0 +1,65 @@
+"""Bit-vector helpers used throughout the predictor zoo.
+
+Histories (BHR/BOR contents) are plain Python integers interpreted as bit
+vectors. Bit 0 is the **most recently inserted** outcome; higher bit
+positions hold progressively older outcomes. All helpers follow this
+convention.
+"""
+
+from __future__ import annotations
+
+
+def mask(n_bits: int) -> int:
+    """Return an ``n_bits``-wide all-ones mask (``0`` for non-positive)."""
+    if n_bits <= 0:
+        return 0
+    return (1 << n_bits) - 1
+
+
+def bit_select(value: int, position: int) -> int:
+    """Return bit ``position`` of ``value`` as 0 or 1."""
+    return (value >> position) & 1
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits in ``value`` (must be non-negative)."""
+    if value < 0:
+        raise ValueError("popcount is defined for non-negative values")
+    return value.bit_count()
+
+
+def fold_bits(value: int, width: int, out_width: int) -> int:
+    """Fold a ``width``-bit value down to ``out_width`` bits by XOR.
+
+    This is the standard history-folding operation used by TAGE-style
+    predictors and by index hashes that need to compress a long history
+    into a table index. Folding a value narrower than ``out_width`` simply
+    masks it.
+    """
+    if out_width <= 0:
+        return 0
+    value &= mask(width)
+    folded = 0
+    while width > 0:
+        folded ^= value & mask(out_width)
+        value >>= out_width
+        width -= out_width
+    return folded & mask(out_width)
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Return ``value`` with its lowest ``width`` bits mirrored."""
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bits_to_signed_pm1(value: int, width: int) -> list[int]:
+    """Expand a bit vector into a ±1 list, index 0 = bit 0 (most recent).
+
+    Set bits (taken) map to +1 and clear bits (not taken) map to -1, the
+    encoding used by perceptron predictors.
+    """
+    return [1 if (value >> i) & 1 else -1 for i in range(width)]

@@ -1,0 +1,68 @@
+"""Synthetic workload substrate — the stand-in for the paper's LIT traces.
+
+The paper evaluates on 341 proprietary Intel LITs (snapshots of IA32
+programs). We cannot obtain those, and — critically — a plain branch trace
+would not suffice anyway: prophet/critic hybrids must be evaluated with
+*wrong-path* fetch (paper §6). This package therefore synthesises whole
+**programs** (control-flow graphs whose conditional branches carry
+deterministic behaviour models driven by architectural state), which an
+executor can run down both correct and wrong paths.
+
+Entry points:
+
+* :func:`~repro.workloads.suites.benchmark` — named benchmarks mirroring
+  the paper's exemplars (gcc, unzip, premiere, msvc7, flash, facerec,
+  tpcc, …).
+* :func:`~repro.workloads.suites.suite_benchmarks` — the seven Table-1
+  suite profiles (INT00, FP00, WEB, MM, PROD, SERV, WS).
+* :class:`~repro.workloads.generator.ProgramGenerator` — build custom
+  programs from a :class:`~repro.workloads.generator.WorkloadProfile`.
+"""
+
+from repro.workloads.behaviors import (
+    BiasedRandomBehavior,
+    BranchBehavior,
+    CallerCorrelatedBehavior,
+    CorrelatedBehavior,
+    ExecutionContext,
+    LoopBehavior,
+    ModalBehavior,
+    PathCorrelatedBehavior,
+    PatternBehavior,
+)
+from repro.workloads.generator import ProgramGenerator, WorkloadProfile
+from repro.workloads.program import BasicBlock, BlockKind, Program
+from repro.workloads.suites import (
+    BENCHMARKS,
+    SUITES,
+    benchmark,
+    benchmark_names,
+    suite_benchmarks,
+    suite_names,
+)
+from repro.workloads.trace import BranchRecord, BranchTrace
+
+__all__ = [
+    "BENCHMARKS",
+    "BasicBlock",
+    "BiasedRandomBehavior",
+    "BlockKind",
+    "BranchBehavior",
+    "BranchRecord",
+    "BranchTrace",
+    "CallerCorrelatedBehavior",
+    "CorrelatedBehavior",
+    "ExecutionContext",
+    "LoopBehavior",
+    "ModalBehavior",
+    "PathCorrelatedBehavior",
+    "PatternBehavior",
+    "Program",
+    "ProgramGenerator",
+    "SUITES",
+    "WorkloadProfile",
+    "benchmark",
+    "benchmark_names",
+    "suite_benchmarks",
+    "suite_names",
+]

@@ -1,0 +1,127 @@
+"""Synthetic program representation: a control-flow graph of basic blocks.
+
+A :class:`Program` is a closed CFG (every path continues forever — the
+outermost loop wraps around), so simulations can run for any number of
+branches. Blocks carry uop counts, giving the misp/Kuops denominators.
+
+Block terminators:
+
+* ``COND`` — two successors (taken/fall-through) and a behaviour model;
+* ``JUMP`` — one successor;
+* ``CALL`` — control transfers to ``callee``; the *fall-through* is the
+  return point, pushed on the (simulated) return address stack;
+* ``RETURN`` — control returns to the top of the RAS.
+
+PCs are assigned per block with realistic spacing so BTB/index hashing
+sees address entropy comparable to a real text segment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.workloads.behaviors import BranchBehavior, ExecutionContext
+
+
+class BlockKind(enum.Enum):
+    """Terminator type of a basic block."""
+
+    COND = "cond"
+    JUMP = "jump"
+    CALL = "call"
+    RETURN = "return"
+
+
+@dataclass
+class BasicBlock:
+    """One basic block: some uops, then a control-flow terminator."""
+
+    block_id: int
+    pc: int
+    uops: int
+    kind: BlockKind
+    #: Successor block id when taken (COND), the only successor (JUMP),
+    #: or the callee entry (CALL). None for RETURN.
+    taken_target: int | None = None
+    #: Successor when not taken (COND) or the return point (CALL).
+    fallthrough: int | None = None
+    #: Outcome model; present iff kind is COND.
+    behavior: BranchBehavior | None = None
+
+    def validate(self) -> None:
+        """Raise ValueError on structurally impossible blocks."""
+        if self.uops < 1:
+            raise ValueError(f"block {self.block_id}: uop count must be positive")
+        if self.kind is BlockKind.COND:
+            if self.taken_target is None or self.fallthrough is None or self.behavior is None:
+                raise ValueError(f"block {self.block_id}: COND needs both targets and a behaviour")
+        elif self.kind is BlockKind.JUMP:
+            if self.taken_target is None:
+                raise ValueError(f"block {self.block_id}: JUMP needs a target")
+        elif self.kind is BlockKind.CALL:
+            if self.taken_target is None or self.fallthrough is None:
+                raise ValueError(f"block {self.block_id}: CALL needs a callee and a return point")
+
+
+@dataclass
+class Program:
+    """A closed CFG plus metadata; the unit the engine executes."""
+
+    name: str
+    blocks: list[BasicBlock]
+    entry: int
+    seed: int = 0
+    #: Block ids that path-correlated behaviours observe.
+    watched_blocks: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self._by_id = {b.block_id: b for b in self.blocks}
+        if len(self._by_id) != len(self.blocks):
+            raise ValueError("duplicate block ids")
+        if self.entry not in self._by_id:
+            raise ValueError("entry block missing")
+
+    def block(self, block_id: int) -> BasicBlock:
+        """Look up a block by id."""
+        return self._by_id[block_id]
+
+    def validate(self) -> None:
+        """Validate every block and that all edges resolve."""
+        for block in self.blocks:
+            block.validate()
+            for target in (block.taken_target, block.fallthrough):
+                if target is not None and target not in self._by_id:
+                    raise ValueError(f"block {block.block_id}: dangling edge to {target}")
+
+    def make_context(self) -> ExecutionContext:
+        """Create a fresh architectural context for this program."""
+        return ExecutionContext(seed=self.seed, watched_blocks=set(self.watched_blocks))
+
+    def reset(self) -> None:
+        """Reset all stateful behaviours (between simulation runs)."""
+        for block in self.blocks:
+            if block.behavior is not None:
+                block.behavior.reset()
+
+    # -- inventory helpers (used by tests and reports) ------------------------
+
+    @property
+    def static_conditional_branches(self) -> int:
+        return sum(1 for b in self.blocks if b.kind is BlockKind.COND)
+
+    @property
+    def static_calls(self) -> int:
+        return sum(1 for b in self.blocks if b.kind is BlockKind.CALL)
+
+    def behavior_census(self) -> dict[str, int]:
+        """Count conditional branches by behaviour kind."""
+        census: dict[str, int] = {}
+        for block in self.blocks:
+            if block.behavior is not None:
+                census[block.behavior.kind] = census.get(block.behavior.kind, 0) + 1
+        return census
+
+    def conditional_sites(self) -> list[int]:
+        """PCs of all conditional branch sites."""
+        return [b.pc for b in self.blocks if b.kind is BlockKind.COND]

@@ -1,0 +1,206 @@
+"""Named benchmarks and suite profiles mirroring the paper's Table 1.
+
+The paper simulates 108 benchmarks across seven suites. We mirror the
+*structure*: seven suites, each with named members whose behaviour mixes
+follow the qualitative characters the paper reports:
+
+* **INT00** (SPECint2K) — branchy, correlation-rich, moderate noise; the
+  suite where prophet/critic gains are largest (Fig. 10: +4.2–10.7%).
+* **FP00** (SPECfp2K) — loop-dominated, highly predictable; tiny gains
+  (Fig. 10: +0.6–1.7%).
+* **WEB** — mixed, phase-heavy (Fig. 10: +3–6%).
+* **MM** (multimedia) — loops plus data-dependent branches.
+* **PROD** (productivity) — large static footprints, aliasing pressure.
+* **SERV** (server, tpcc/timesten) — random-dominated; future bits beyond
+  1 barely help and can hurt (Fig. 5 tpcc line).
+* **WS** (workstation/CAD) — long deterministic phases with correlation.
+
+Named members used by specific figures: ``gcc`` (headline), ``unzip``,
+``premiere``, ``msvc7``, ``flash``, ``facerec``, ``tpcc`` (Fig. 5).
+Profiles are deterministic: the same name always yields the same program.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import WorkloadProfile, generate_program
+from repro.workloads.program import Program
+
+# ---------------------------------------------------------------------------
+# Behaviour-mix archetypes
+# ---------------------------------------------------------------------------
+
+_INT_MIX = {"loop": 0.14, "pattern": 0.03, "random": 0.05, "correlated": 0.30, "path": 0.16, "modal": 0.07, "caller": 0.25}
+_FP_MIX = {"loop": 0.50, "pattern": 0.10, "random": 0.03, "correlated": 0.16, "path": 0.10, "modal": 0.03, "caller": 0.08}
+_WEB_MIX = {"loop": 0.12, "pattern": 0.03, "random": 0.08, "correlated": 0.24, "path": 0.14, "modal": 0.12, "caller": 0.27}
+_MM_MIX = {"loop": 0.28, "pattern": 0.05, "random": 0.08, "correlated": 0.20, "path": 0.15, "modal": 0.06, "caller": 0.18}
+_PROD_MIX = {"loop": 0.12, "pattern": 0.03, "random": 0.07, "correlated": 0.26, "path": 0.16, "modal": 0.10, "caller": 0.26}
+_SERV_MIX = {"loop": 0.10, "pattern": 0.03, "random": 0.42, "correlated": 0.13, "path": 0.10, "modal": 0.08, "caller": 0.14}
+_WS_MIX = {"loop": 0.22, "pattern": 0.06, "random": 0.04, "correlated": 0.28, "path": 0.16, "modal": 0.06, "caller": 0.18}
+
+
+def _profile(name: str, seed: int, mix: dict[str, float], **kwargs) -> WorkloadProfile:
+    return WorkloadProfile(name=name, seed=seed, behavior_mix=dict(mix), **kwargs)
+
+
+#: Every named benchmark. Keys are the names used throughout experiments.
+BENCHMARKS: dict[str, WorkloadProfile] = {
+    # ---- INT00 ------------------------------------------------------------
+    # gcc: huge static footprint (headline: 3.11% -> 1.23% mispredicts),
+    # correlation-rich, long-distance correlations stress short histories.
+    "gcc": _profile(
+        "gcc", 101, _INT_MIX,
+        static_branch_target=2600, n_functions=14,
+        correlation_distance=(3, 36), correlation_noise=0.03,
+    ),
+    "crafty": _profile(
+        "crafty", 102, _INT_MIX,
+        static_branch_target=1500, n_functions=10,
+        correlation_distance=(2, 18),
+    ),
+    "parser": _profile(
+        "parser", 103, _INT_MIX,
+        static_branch_target=1200, n_functions=9,
+        correlation_noise=0.06,
+    ),
+    # ---- FP00 -------------------------------------------------------------
+    # facerec: Fig. 5 shows it nearly insensitive to future bits.
+    "facerec": _profile(
+        "facerec", 201, _FP_MIX,
+        static_branch_target=320, n_functions=5,
+        loop_trips=(8, 16, 32, 64), variable_loop_fraction=0.15,
+    ),
+    "ammp": _profile(
+        "ammp", 202, _FP_MIX,
+        static_branch_target=380, n_functions=6,
+        loop_trips=(4, 8, 12, 50),
+    ),
+    "swim": _profile(
+        "swim", 203, _FP_MIX,
+        static_branch_target=220, n_functions=4,
+        loop_trips=(16, 32, 128), variable_loop_fraction=0.05,
+    ),
+    # ---- WEB --------------------------------------------------------------
+    "specjbb": _profile(
+        "specjbb", 301, _WEB_MIX,
+        static_branch_target=1700, n_functions=12,
+    ),
+    "webmark": _profile(
+        "webmark", 302, _WEB_MIX,
+        static_branch_target=1400, n_functions=10,
+        correlation_distance=(3, 30),
+    ),
+    # ---- MM ---------------------------------------------------------------
+    # flash: Fig. 5 peak at 4 future bits — short path signatures.
+    "flash": _profile(
+        "flash", 401, _MM_MIX,
+        static_branch_target=900, n_functions=8,
+        correlation_distance=(2, 8), path_window=(6, 16),
+    ),
+    "mpeg": _profile(
+        "mpeg", 402, _MM_MIX,
+        static_branch_target=700, n_functions=7,
+        loop_trips=(4, 8, 16),
+    ),
+    "quake": _profile(
+        "quake", 403, _MM_MIX,
+        static_branch_target=1000, n_functions=8,
+        bias_range=(0.3, 0.9),
+    ),
+    # ---- PROD -------------------------------------------------------------
+    # msvc7: Fig. 5 optimum at 8 future bits. premiere: most gain at 1 bit.
+    # unzip: gains keep growing to 12 bits — long wrong-path signatures.
+    "msvc7": _profile(
+        "msvc7", 501, _PROD_MIX,
+        static_branch_target=2200, n_functions=13,
+        correlation_distance=(4, 20), path_window=(12, 40),
+    ),
+    "premiere": _profile(
+        "premiere", 502, _PROD_MIX,
+        static_branch_target=1700, n_functions=11,
+        correlation_distance=(2, 6), path_window=(4, 12),
+    ),
+    "unzip": _profile(
+        "unzip", 503, _PROD_MIX,
+        static_branch_target=1300, n_functions=9,
+        correlation_distance=(10, 48), path_window=(24, 64),
+        correlation_noise=0.02,
+    ),
+    "winstone": _profile(
+        "winstone", 504, _PROD_MIX,
+        static_branch_target=1900, n_functions=11,
+    ),
+    # ---- SERV -------------------------------------------------------------
+    # tpcc: random-dominated; Fig. 5 shows future bits beyond 1 never help.
+    "tpcc": _profile(
+        "tpcc", 601, _SERV_MIX,
+        static_branch_target=1500, n_functions=10,
+        bias_range=(0.25, 0.75), correlation_noise=0.12,
+    ),
+    "timesten": _profile(
+        "timesten", 602, _SERV_MIX,
+        static_branch_target=1200, n_functions=9,
+        bias_range=(0.2, 0.8),
+    ),
+    # ---- WS ---------------------------------------------------------------
+    "cad": _profile(
+        "cad", 701, _WS_MIX,
+        static_branch_target=1100, n_functions=8,
+        correlation_distance=(3, 28),
+    ),
+    "verilog": _profile(
+        "verilog", 702, _WS_MIX,
+        static_branch_target=950, n_functions=8,
+        loop_trips=(3, 4, 6, 10),
+    ),
+}
+
+#: Table-1 suite membership.
+SUITES: dict[str, tuple[str, ...]] = {
+    "INT00": ("gcc", "crafty", "parser"),
+    "FP00": ("facerec", "ammp", "swim"),
+    "WEB": ("specjbb", "webmark"),
+    "MM": ("flash", "mpeg", "quake"),
+    "PROD": ("msvc7", "premiere", "unzip", "winstone"),
+    "SERV": ("tpcc", "timesten"),
+    "WS": ("cad", "verilog"),
+}
+
+#: The six benchmarks Figure 5 plots.
+FIGURE5_BENCHMARKS: tuple[str, ...] = ("unzip", "premiere", "msvc7", "flash", "facerec", "tpcc")
+
+_program_cache: dict[str, Program] = {}
+
+
+def benchmark(name: str, fresh: bool = True) -> Program:
+    """Build the named benchmark's program.
+
+    Programs contain stateful behaviours, so by default a fresh instance
+    is generated per call; pass ``fresh=False`` to reuse (and reset) a
+    cached instance when only structure matters.
+    """
+    if name not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}")
+    if fresh:
+        return generate_program(BENCHMARKS[name])
+    if name not in _program_cache:
+        _program_cache[name] = generate_program(BENCHMARKS[name])
+    program = _program_cache[name]
+    program.reset()
+    return program
+
+
+def benchmark_names() -> list[str]:
+    """All named benchmarks, stable order."""
+    return list(BENCHMARKS)
+
+
+def suite_names() -> list[str]:
+    """The seven Table-1 suites."""
+    return list(SUITES)
+
+
+def suite_benchmarks(suite: str) -> list[Program]:
+    """Fresh programs for every member of ``suite``."""
+    if suite not in SUITES:
+        raise KeyError(f"unknown suite {suite!r}; known: {sorted(SUITES)}")
+    return [benchmark(name) for name in SUITES[suite]]

@@ -1,0 +1,81 @@
+"""Branch traces: recording and (oracle) replay.
+
+Traces serve the §6 ablation: the paper warns that feeding a critic
+future bits harvested from a correct-path trace gives it *oracle*
+information a real machine never has. :class:`BranchTrace` lets the
+ablation quantify exactly that gap — record the architectural branch
+stream once, then replay it with oracle future bits and compare against
+the honest wrong-path simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One committed conditional branch."""
+
+    pc: int
+    taken: bool
+    #: uops committed since the previous conditional branch (inclusive of
+    #: this branch's block) — reconstructs uop denominators from a trace.
+    uops: int = 1
+
+
+class BranchTrace:
+    """An in-memory sequence of committed branch records."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self._records: list[BranchRecord] = []
+
+    def append(self, record: BranchRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[BranchRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    @property
+    def total_uops(self) -> int:
+        return sum(r.uops for r in self._records)
+
+    @property
+    def taken_rate(self) -> float:
+        if not self._records:
+            return 0.0
+        return sum(r.taken for r in self._records) / len(self._records)
+
+    def distinct_sites(self) -> int:
+        return len({r.pc for r in self._records})
+
+    def window(self, start: int, length: int) -> list[BranchRecord]:
+        """A slice of the trace (bounds-checked)."""
+        if start < 0 or length < 0:
+            raise ValueError("start and length must be non-negative")
+        return self._records[start : start + length]
+
+    def future_bits(self, index: int, count: int) -> int:
+        """Oracle future bits for the branch at ``index``.
+
+        Packs the actual outcomes of branches ``index .. index+count-1``
+        with the branch's own outcome at bit ``count-1`` and the newest
+        outcome at bit 0 — the same layout the critic's BOR would hold if
+        every prophet prediction were correct. This is precisely the
+        information §6 warns a trace-driven evaluation would leak.
+        """
+        value = 0
+        for offset in range(count):
+            position = count - 1 - offset
+            record_index = index + offset
+            if record_index < len(self._records):
+                value |= int(self._records[record_index].taken) << position
+        return value

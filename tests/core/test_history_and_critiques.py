@@ -1,0 +1,132 @@
+"""Tests for history registers and the critique taxonomy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.critiques import CritiqueCensus, CritiqueKind
+from repro.core.history import HistoryRegister
+
+
+class TestHistoryRegister:
+    def test_insert_shifts_newest_to_bit0(self):
+        reg = HistoryRegister(4)
+        reg.insert(True)
+        reg.insert(False)
+        reg.insert(True)
+        assert reg.value == 0b101
+        assert reg.bit(0) == 1
+        assert reg.bit(1) == 0
+
+    def test_width_truncates(self):
+        reg = HistoryRegister(3)
+        for _ in range(10):
+            reg.insert(True)
+        assert reg.value == 0b111
+
+    def test_checkpoint_restore(self):
+        reg = HistoryRegister(8)
+        reg.insert(True)
+        ckpt = reg.checkpoint()
+        reg.insert(False)
+        reg.insert(False)
+        reg.restore(ckpt)
+        assert reg.value == ckpt
+
+    def test_insert_bits(self):
+        reg = HistoryRegister(8)
+        reg.insert_bits(0b1101, 4)
+        assert reg.value == 0b1101
+
+    def test_insert_bits_zero_count(self):
+        reg = HistoryRegister(8, initial=0b11)
+        reg.insert_bits(0b1, 0)
+        assert reg.value == 0b11
+
+    def test_insert_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HistoryRegister(8).insert_bits(0, -1)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            HistoryRegister(0)
+
+    def test_clear(self):
+        reg = HistoryRegister(8, initial=0xFF)
+        reg.clear()
+        assert reg.value == 0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=64))
+    def test_checkpoint_equals_value_history(self, bits):
+        """Restoring any checkpoint replays exactly that point in time."""
+        reg = HistoryRegister(16)
+        checkpoints = []
+        for bit in bits:
+            checkpoints.append(reg.checkpoint())
+            reg.insert(bit)
+        replay = HistoryRegister(16)
+        for i, bit in enumerate(bits):
+            assert replay.value == checkpoints[i]
+            replay.insert(bit)
+
+    @given(st.integers(min_value=1, max_value=64), st.lists(st.booleans(), max_size=100))
+    def test_value_always_fits_width(self, width, bits):
+        reg = HistoryRegister(width)
+        for bit in bits:
+            reg.insert(bit)
+            assert reg.value < (1 << width)
+
+
+class TestCritiqueKind:
+    def test_classification_matrix(self):
+        C = CritiqueKind
+        assert C.classify(True, True, True) is C.CORRECT_AGREE
+        assert C.classify(True, True, False) is C.CORRECT_DISAGREE
+        assert C.classify(False, True, True) is C.INCORRECT_AGREE
+        assert C.classify(False, True, False) is C.INCORRECT_DISAGREE
+        assert C.classify(True, False, True) is C.CORRECT_NONE
+        assert C.classify(False, False, False) is C.INCORRECT_NONE
+
+
+class TestCritiqueCensus:
+    def test_record_and_totals(self):
+        census = CritiqueCensus()
+        census.record(CritiqueKind.CORRECT_AGREE)
+        census.record(CritiqueKind.CORRECT_NONE)
+        census.record(CritiqueKind.INCORRECT_DISAGREE)
+        assert census.total == 3
+        assert census.none_total == 1
+        assert census.explicit_total == 2
+
+    def test_net_gain(self):
+        census = CritiqueCensus()
+        census.record(CritiqueKind.INCORRECT_DISAGREE)
+        census.record(CritiqueKind.INCORRECT_DISAGREE)
+        census.record(CritiqueKind.CORRECT_DISAGREE)
+        assert census.overrides_won() == 2
+        assert census.overrides_lost() == 1
+        assert census.net_gain() == 1
+
+    def test_fraction(self):
+        census = CritiqueCensus()
+        census.record(CritiqueKind.CORRECT_AGREE)
+        census.record(CritiqueKind.CORRECT_NONE)
+        assert census.fraction(CritiqueKind.CORRECT_NONE) == 0.5
+        assert CritiqueCensus().fraction(CritiqueKind.CORRECT_NONE) == 0.0
+
+    def test_merge(self):
+        a = CritiqueCensus()
+        a.record(CritiqueKind.CORRECT_AGREE)
+        b = CritiqueCensus()
+        b.record(CritiqueKind.CORRECT_AGREE)
+        b.record(CritiqueKind.INCORRECT_NONE)
+        a.merge(b)
+        assert a.counts[CritiqueKind.CORRECT_AGREE] == 2
+        assert a.total == 3
+
+    def test_as_dict(self):
+        census = CritiqueCensus()
+        census.record(CritiqueKind.CORRECT_AGREE)
+        snapshot = census.as_dict()
+        assert snapshot["correct_agree"] == 1
+        assert len(snapshot) == 6

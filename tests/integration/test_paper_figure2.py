@@ -1,0 +1,149 @@
+"""Integration test: the paper's Figure 2 mechanism, end to end.
+
+The paper's §3.1 example: branch A is mispredicted by the prophet; the
+predictions for the branches that follow (the branch future) let the
+critic recognise the situation and override next time.
+
+We build the sharpest honest version of that scenario:
+
+* ``main`` flips a coin (invisible bias 0.5) and calls function ``f``
+  from one of two call sites; each call site has its own distinctive
+  continuation code (different branch patterns after the return);
+* ``f`` runs a 12-iteration loop — which flushes any short history
+  register — and then executes branch **A**, whose outcome depends on
+  the *caller*;
+* consequently the prophet (4-bit-history gshare) sees an identical
+  history at every instance of A and is reduced to guessing, while the
+  critic's **future bits** span A, its side block, the return, and the
+  caller's continuation — whose predictions reveal the caller.
+
+This is exactly the taxi analogy: you can't tell where you are from the
+road behind (the loop wiped it), but the streets ahead identify the
+neighbourhood. With 0 future bits the critic sees only the loop's
+constant bits and cannot help; with 4 it fixes branch A.
+"""
+
+from repro.core import ProphetCriticSystem, SinglePredictorSystem
+from repro.core.critiques import CritiqueKind
+from repro.predictors import BimodalPredictor, GsharePredictor, TaggedGsharePredictor
+from repro.sim import SimulationConfig, simulate
+from repro.workloads.behaviors import (
+    BiasedRandomBehavior,
+    CallerCorrelatedBehavior,
+    ExecutionContext,
+    LoopBehavior,
+    PatternBehavior,
+)
+from repro.workloads.program import BasicBlock, BlockKind, Program
+
+CALL_SITE_1 = 1
+CALL_SITE_2 = 2
+BRANCH_A_PC = 0x2020
+
+
+def _salt_with_differing_directions() -> int:
+    """Pick a salt where the two call sites give A opposite directions."""
+    for salt in range(100):
+        behavior = CallerCorrelatedBehavior(salt=salt)
+        ctx = ExecutionContext(seed=20)
+        ctx.caller_stack = [CALL_SITE_1]
+        a = behavior.resolve(BRANCH_A_PC, ctx)
+        ctx.caller_stack = [CALL_SITE_2]
+        b = behavior.resolve(BRANCH_A_PC, ctx)
+        if a != b:
+            return salt
+    raise AssertionError("no differing salt found")
+
+
+def figure2_program() -> Program:
+    salt = _salt_with_differing_directions()
+    blocks = [
+        # main: coin-flip chooses the call site.
+        BasicBlock(0, 0x1000, 4, BlockKind.COND, taken_target=1, fallthrough=2,
+                   behavior=BiasedRandomBehavior(0.5)),
+        BasicBlock(1, 0x1010, 3, BlockKind.CALL, taken_target=20, fallthrough=3),
+        BasicBlock(2, 0x1020, 3, BlockKind.CALL, taken_target=20, fallthrough=5),
+        # call site 1 continuation: pattern T, T.
+        BasicBlock(3, 0x1030, 3, BlockKind.COND, taken_target=4, fallthrough=4,
+                   behavior=PatternBehavior("T")),
+        BasicBlock(4, 0x1040, 3, BlockKind.COND, taken_target=7, fallthrough=7,
+                   behavior=PatternBehavior("T")),
+        # call site 2 continuation: pattern N, N.
+        BasicBlock(5, 0x1050, 3, BlockKind.COND, taken_target=6, fallthrough=6,
+                   behavior=PatternBehavior("N")),
+        BasicBlock(6, 0x1060, 3, BlockKind.COND, taken_target=7, fallthrough=7,
+                   behavior=PatternBehavior("N")),
+        BasicBlock(7, 0x1070, 4, BlockKind.JUMP, taken_target=0),
+        # callee f: a 12-trip loop flushes short histories...
+        BasicBlock(20, 0x2000, 3, BlockKind.JUMP, taken_target=21),
+        BasicBlock(21, 0x2010, 4, BlockKind.COND, taken_target=20, fallthrough=22,
+                   behavior=LoopBehavior(trip_count=12)),
+        # ...then branch A: outcome fixed per caller.
+        BasicBlock(22, BRANCH_A_PC, 4, BlockKind.COND, taken_target=23, fallthrough=24,
+                   behavior=CallerCorrelatedBehavior(salt=salt)),
+        BasicBlock(23, 0x2030, 3, BlockKind.COND, taken_target=25, fallthrough=25,
+                   behavior=PatternBehavior("T")),   # side X
+        BasicBlock(24, 0x2040, 3, BlockKind.COND, taken_target=25, fallthrough=25,
+                   behavior=PatternBehavior("N")),   # side Y
+        BasicBlock(25, 0x2050, 2, BlockKind.RETURN),
+    ]
+    return Program(name="figure2", blocks=blocks, entry=0, seed=20)
+
+
+def make_config(**kw) -> SimulationConfig:
+    defaults = dict(n_branches=12000, warmup=4000, use_btb=False, collect_per_site=True)
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+def make_hybrid(fb: int) -> ProphetCriticSystem:
+    # A PC-indexed (bimodal) prophet keeps the continuation predictions
+    # trained on both paths; a long-history prophet would hand the critic
+    # untrained (constant) wrong-path bits in this tiny program. Any
+    # predictor can play the prophet (§6).
+    return ProphetCriticSystem(
+        BimodalPredictor(4096),
+        TaggedGsharePredictor(sets=256, ways=6, history_length=12),
+        future_bits=fb,
+    )
+
+
+class TestFigure2Scenario:
+    def test_prophet_alone_systematically_mispredicts_a(self):
+        stats = simulate(
+            figure2_program(), SinglePredictorSystem(BimodalPredictor(4096)), make_config()
+        )
+        row = stats.per_site[BRANCH_A_PC]
+        # A's outcome depends only on the (invisible) caller: the prophet guesses.
+        assert row[1] > row[0] * 0.25, f"A should be hard: {row}"
+
+    def test_critic_with_future_bits_fixes_a(self):
+        stats = simulate(figure2_program(), make_hybrid(4), make_config())
+        row = stats.per_site[BRANCH_A_PC]
+        prophet_misp, final_misp = row[1], row[2]
+        assert prophet_misp > 0
+        assert final_misp <= prophet_misp * 0.05, (
+            f"critic fixed too little of A: prophet={prophet_misp}, final={final_misp}"
+        )
+
+    def test_zero_future_bits_cannot_fix_a(self):
+        """With fb=0 the critic's BOR holds only the loop's constant bits
+        — conventional-hybrid timing cannot rescue branch A."""
+        fb0 = simulate(figure2_program(), make_hybrid(0), make_config())
+        fb4 = simulate(figure2_program(), make_hybrid(4), make_config())
+        a_fb0 = fb0.per_site[BRANCH_A_PC][2]
+        a_fb4 = fb4.per_site[BRANCH_A_PC][2]
+        assert a_fb4 < a_fb0 * 0.1, f"future bits should matter: fb0={a_fb0}, fb4={a_fb4}"
+
+    def test_wins_dominate_damage(self):
+        stats = simulate(figure2_program(), make_hybrid(4), make_config())
+        won = stats.census.counts[CritiqueKind.INCORRECT_DISAGREE]
+        lost = stats.census.counts[CritiqueKind.CORRECT_DISAGREE]
+        assert won > 2 * lost
+
+    def test_overall_mispredicts_drop(self):
+        base = simulate(
+            figure2_program(), SinglePredictorSystem(BimodalPredictor(4096)), make_config()
+        )
+        hyb = simulate(figure2_program(), make_hybrid(4), make_config())
+        assert hyb.mispredicts < base.mispredicts * 0.8

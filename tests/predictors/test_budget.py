@@ -1,0 +1,65 @@
+"""Tests for Table-3 budget configurations."""
+
+import pytest
+
+from repro.predictors import PREDICTOR_BUDGETS, budget_table_rows, make_critic, make_predictor, make_prophet
+from repro.predictors.budget import BUDGETS_KB
+
+
+class TestBudgets:
+    def test_all_table3_kinds_and_budgets_buildable(self):
+        for kind in PREDICTOR_BUDGETS:
+            for kb in BUDGETS_KB:
+                predictor = make_predictor(kind, kb)
+                assert predictor.storage_bits() > 0
+
+    @pytest.mark.parametrize("kind", ["gshare", "2bc-gskew", "perceptron"])
+    @pytest.mark.parametrize("kb", BUDGETS_KB)
+    def test_core_predictors_within_10pct_of_budget(self, kind, kb):
+        predictor = make_predictor(kind, kb)
+        assert abs(predictor.storage_bytes() - kb * 1024) / (kb * 1024) < 0.10
+
+    @pytest.mark.parametrize("kind", ["tagged-gshare", "filtered-perceptron"])
+    @pytest.mark.parametrize("kb", BUDGETS_KB)
+    def test_critics_within_30pct_of_budget(self, kind, kb):
+        """Tagged structures carry tags/LRU the paper charges loosely;
+        allow a wider band but stay in the right ballpark."""
+        predictor = make_predictor(kind, kb)
+        assert abs(predictor.storage_bytes() - kb * 1024) / (kb * 1024) < 0.30
+
+    def test_gshare_history_equals_index_bits(self):
+        for kb, expect in zip(BUDGETS_KB, (13, 14, 15, 16, 17)):
+            assert make_predictor("gshare", kb).history_length == expect
+
+    def test_perceptron_histories_match_table3(self):
+        for kb, expect in zip(BUDGETS_KB, (17, 24, 28, 47, 57)):
+            assert make_predictor("perceptron", kb).history_length == expect
+
+    def test_tagged_gshare_bor_is_18(self):
+        for kb in BUDGETS_KB:
+            assert make_predictor("tagged-gshare", kb).history_length == 18
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            make_predictor("oracle", 8)
+
+    def test_unknown_budget_raises(self):
+        with pytest.raises(KeyError):
+            make_predictor("gshare", 7)
+
+    def test_make_prophet_alias(self):
+        assert make_prophet("gshare", 8).name == "gshare"
+
+    def test_make_critic_accepts_table3_critics(self):
+        assert make_critic("tagged-gshare", 8).name == "tagged-gshare"
+        assert make_critic("filtered-perceptron", 8).name == "filtered-perceptron"
+
+    def test_tage_budgets_available(self):
+        for kb in BUDGETS_KB:
+            predictor = make_predictor("tage", kb)
+            assert 0.4 * kb * 1024 <= predictor.storage_bytes() <= 1.6 * kb * 1024
+
+    def test_budget_table_rows_cover_grid(self):
+        rows = budget_table_rows()
+        assert len(rows) == len(PREDICTOR_BUDGETS) * len(BUDGETS_KB)
+        assert all(row["modelled_bytes"] > 0 for row in rows)

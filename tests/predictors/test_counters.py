@@ -1,0 +1,128 @@
+"""Tests for saturating counters and counter tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predictors.counters import CounterTable, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_default_is_weakly_not_taken(self):
+        c = SaturatingCounter(bits=2)
+        assert c.value == 1
+        assert not c.taken
+
+    def test_saturates_high(self):
+        c = SaturatingCounter(bits=2)
+        for _ in range(10):
+            c.update(True)
+        assert c.value == 3
+        assert c.taken and c.is_saturated
+
+    def test_saturates_low(self):
+        c = SaturatingCounter(bits=2)
+        for _ in range(10):
+            c.update(False)
+        assert c.value == 0
+        assert not c.taken
+
+    def test_hysteresis(self):
+        """A strongly-taken counter survives one not-taken outcome."""
+        c = SaturatingCounter(bits=2, initial=3)
+        c.update(False)
+        assert c.taken  # still predicts taken at value 2
+
+    def test_set_direction(self):
+        c = SaturatingCounter(bits=2)
+        c.set_direction(True)
+        assert c.taken and not c.is_saturated
+        c.set_direction(False)
+        assert not c.taken and not c.is_saturated
+
+    def test_one_bit_counter(self):
+        c = SaturatingCounter(bits=1, initial=0)
+        assert not c.taken
+        c.update(True)
+        assert c.taken
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_rejects_out_of_range_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+    @given(st.lists(st.booleans(), max_size=200), st.integers(min_value=1, max_value=5))
+    def test_value_always_in_range(self, outcomes, bits):
+        c = SaturatingCounter(bits=bits)
+        for taken in outcomes:
+            c.update(taken)
+            assert 0 <= c.value <= c.maximum
+
+
+class TestCounterTable:
+    def test_initial_direction(self):
+        t = CounterTable(16, bits=2)
+        assert not any(t.taken(i) for i in range(16))
+
+    def test_independent_entries(self):
+        t = CounterTable(4, bits=2)
+        t.update(1, True)
+        t.update(1, True)
+        assert t.taken(1)
+        assert not t.taken(0)
+
+    def test_set_direction(self):
+        t = CounterTable(4, bits=2)
+        t.set_direction(2, True)
+        assert t.taken(2)
+        assert t.value(2) == 2
+
+    def test_confidence(self):
+        t = CounterTable(4, bits=2)
+        t.set_direction(0, True)   # value 2, near boundary
+        assert t.confidence(0) <= t.confidence(1) + 1
+        t.update(0, True)          # value 3, saturated
+        assert t.confidence(0) >= 1
+
+    def test_storage_bits(self):
+        assert CounterTable(8192, bits=2).storage_bits() == 16384
+
+    def test_reset(self):
+        t = CounterTable(4, bits=2)
+        t.update(0, True)
+        t.update(0, True)
+        t.reset()
+        assert not t.taken(0)
+
+    def test_rejects_wide_counters(self):
+        with pytest.raises(ValueError):
+            CounterTable(4, bits=8)
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            CounterTable(0)
+
+    @given(
+        st.lists(st.tuples(st.integers(min_value=0, max_value=15), st.booleans()), max_size=300),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_values_stay_in_range(self, ops, bits):
+        t = CounterTable(16, bits=bits)
+        for index, taken in ops:
+            t.update(index, taken)
+            assert 0 <= t.value(index) <= t.maximum
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_agreement_with_scalar_counter(self, bits):
+        """CounterTable must behave exactly like SaturatingCounter."""
+        table = CounterTable(1, bits=bits)
+        scalar = SaturatingCounter(bits=bits)
+        pattern = [True, True, False, True, False, False, False, True] * 4
+        for taken in pattern:
+            table.update(0, taken)
+            scalar.update(taken)
+            assert table.value(0) == scalar.value
+            assert table.taken(0) == scalar.taken

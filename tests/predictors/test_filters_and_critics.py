@@ -1,0 +1,185 @@
+"""Tests for the tag filter and the two filtered critic predictors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors import FilteredPerceptronPredictor, TaggedGsharePredictor
+from repro.predictors.filtering import TagFilter
+
+
+class TestTagFilter:
+    def test_miss_then_insert_then_hit(self):
+        f = TagFilter(sets=4, ways=2, tag_bits=8)
+        assert f.lookup(0, 0xAB) is None
+        f.insert(0, 0xAB)
+        assert f.lookup(0, 0xAB) is not None
+
+    def test_lru_eviction_order(self):
+        f = TagFilter(sets=1, ways=2, tag_bits=8)
+        f.insert(0, 1)
+        f.insert(0, 2)
+        f.lookup(0, 1)        # touch tag 1: tag 2 becomes LRU
+        f.insert(0, 3)        # must evict tag 2
+        assert f.probe(0, 1) is not None
+        assert f.probe(0, 2) is None
+        assert f.probe(0, 3) is not None
+
+    def test_probe_has_no_side_effects(self):
+        f = TagFilter(sets=1, ways=2, tag_bits=8)
+        f.insert(0, 1)
+        f.insert(0, 2)
+        f.probe(0, 1)         # does NOT touch LRU
+        f.insert(0, 3)        # evicts tag 1 (still LRU)
+        assert f.probe(0, 1) is None
+
+    def test_sets_are_independent(self):
+        f = TagFilter(sets=2, ways=1, tag_bits=8)
+        f.insert(0, 7)
+        assert f.lookup(1, 7) is None
+
+    def test_stats(self):
+        f = TagFilter(sets=2, ways=1, tag_bits=8)
+        f.lookup(0, 9)
+        f.insert(0, 9)
+        f.lookup(0, 9)
+        assert f.stats.lookups == 2
+        assert f.stats.hits == 1
+        assert f.stats.inserts == 1
+        assert f.stats.hit_rate == 0.5
+
+    def test_eviction_counted(self):
+        f = TagFilter(sets=1, ways=1, tag_bits=8)
+        f.insert(0, 1)
+        f.insert(0, 2)
+        assert f.stats.evictions == 1
+
+    def test_occupancy(self):
+        f = TagFilter(sets=2, ways=2, tag_bits=8)
+        assert f.occupancy() == 0.0
+        f.insert(0, 1)
+        assert f.occupancy() == 0.25
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TagFilter(sets=3, ways=2, tag_bits=8)
+        with pytest.raises(ValueError):
+            TagFilter(sets=0, ways=2, tag_bits=8)
+
+    def test_reset(self):
+        f = TagFilter(sets=2, ways=2, tag_bits=8)
+        f.insert(0, 1)
+        f.reset()
+        assert f.occupancy() == 0.0
+        assert f.stats.lookups == 0
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 255)), max_size=100))
+    def test_most_recent_insert_always_present(self, ops):
+        f = TagFilter(sets=4, ways=2, tag_bits=8)
+        for set_index, tag in ops:
+            f.insert(set_index, tag)
+            assert f.probe(set_index, tag) is not None
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 255)), min_size=1, max_size=200))
+    def test_occupancy_bounded(self, ops):
+        f = TagFilter(sets=2, ways=3, tag_bits=8)
+        for set_index, tag in ops:
+            if f.probe(set_index, tag) is None:
+                f.insert(set_index, tag)
+        assert 0.0 <= f.occupancy() <= 1.0
+
+
+class TestTaggedGshareCritic:
+    def test_miss_gives_no_opinion(self):
+        c = TaggedGsharePredictor(sets=64, ways=4)
+        result = c.lookup(0x4000, 0x1234)
+        assert not result.hit
+        assert result.prediction is None
+
+    def test_insert_only_on_mispredict(self):
+        c = TaggedGsharePredictor(sets=64, ways=4)
+        c.train(0x4000, 0x1234, taken=True, final_mispredict=False)
+        assert not c.lookup(0x4000, 0x1234).hit
+        c.train(0x4000, 0x1234, taken=True, final_mispredict=True)
+        assert c.lookup(0x4000, 0x1234).hit
+
+    def test_inserted_entry_predicts_training_outcome(self):
+        c = TaggedGsharePredictor(sets=64, ways=4)
+        c.train(0x4000, 0x1234, taken=False, final_mispredict=True)
+        result = c.lookup(0x4000, 0x1234)
+        assert result.hit and result.prediction is False
+
+    def test_hit_trains_counter(self):
+        c = TaggedGsharePredictor(sets=64, ways=4)
+        c.train(0x4000, 0x99, taken=True, final_mispredict=True)
+        # Two not-taken trainings flip the weak-taken counter.
+        c.train(0x4000, 0x99, taken=False, final_mispredict=False)
+        c.train(0x4000, 0x99, taken=False, final_mispredict=False)
+        assert c.lookup(0x4000, 0x99).prediction is False
+
+    def test_contexts_with_different_bor_are_distinct(self):
+        c = TaggedGsharePredictor(sets=256, ways=6)
+        c.train(0x4000, 0b1010, taken=True, final_mispredict=True)
+        c.train(0x4000, 0b0101, taken=False, final_mispredict=True)
+        assert c.lookup(0x4000, 0b1010).prediction is True
+        assert c.lookup(0x4000, 0b0101).prediction is False
+
+    def test_standalone_interface(self):
+        c = TaggedGsharePredictor(sets=64, ways=4)
+        pred = c.predict(0x4000, 0)
+        c.update(0x4000, 0, taken=False, predicted=pred)
+        assert isinstance(pred, bool)
+
+    def test_storage_near_table3_budget(self):
+        # 1024 sets × 6 ways at 8-bit tags should land near 8KB.
+        c = TaggedGsharePredictor(sets=1024, ways=6, tag_bits=8)
+        assert 0.8 * 8192 <= c.storage_bytes() <= 1.2 * 8192
+
+    def test_reset(self):
+        c = TaggedGsharePredictor(sets=64, ways=4)
+        c.train(0x4000, 1, taken=True, final_mispredict=True)
+        c.reset()
+        assert not c.lookup(0x4000, 1).hit
+
+
+class TestFilteredPerceptronCritic:
+    def test_miss_gives_no_opinion(self):
+        c = FilteredPerceptronPredictor(64, 16, filter_sets=64)
+        assert not c.lookup(0x4000, 0xFF).hit
+
+    def test_insert_on_mispredict_primes_perceptron(self):
+        c = FilteredPerceptronPredictor(64, 16, filter_sets=64)
+        c.train(0x4000, 0xFF, taken=False, final_mispredict=True)
+        result = c.lookup(0x4000, 0xFF)
+        assert result.hit
+        assert result.prediction is False
+
+    def test_trains_only_on_hits(self):
+        c = FilteredPerceptronPredictor(64, 16, filter_sets=64)
+        # No entry: training with final_mispredict=False must not learn.
+        for _ in range(5):
+            c.train(0x4000, 0xFF, taken=False, final_mispredict=False)
+        assert not c.lookup(0x4000, 0xFF).hit
+        # Perceptron untouched: zero weights still predict taken.
+        assert c.perceptron.predict(0x4000, 0xFF)
+
+    def test_hit_path_learns_pattern(self):
+        c = FilteredPerceptronPredictor(64, 16, filter_sets=64)
+        c.train(0x4000, 0b1100, taken=False, final_mispredict=True)
+        for _ in range(20):
+            c.train(0x4000, 0b1100, taken=False, final_mispredict=False)
+        assert c.lookup(0x4000, 0b1100).prediction is False
+
+    def test_filter_and_perceptron_use_configured_widths(self):
+        c = FilteredPerceptronPredictor(
+            64, history_length=24, filter_sets=64, filter_history_length=18
+        )
+        assert c.perceptron.history_length == 24
+        assert c.filter_history_length == 18
+        assert c.history_length == 24
+
+    def test_storage_sums_parts(self):
+        c = FilteredPerceptronPredictor(73, 13, filter_sets=128, filter_ways=3)
+        assert c.storage_bits() == c.perceptron.storage_bits() + c.filter.storage_bits()

@@ -1,0 +1,130 @@
+"""Tests for the perceptron predictor (Jiménez & Lin)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors import PerceptronPredictor
+from tests.predictors.test_table_predictors import drive
+
+
+class TestPerceptronBasics:
+    def test_threshold_formula(self):
+        assert PerceptronPredictor(64, 17).threshold == int(1.93 * 17 + 14)
+        assert PerceptronPredictor(64, 28).threshold == int(1.93 * 28 + 14)
+
+    def test_initial_prediction_is_taken(self):
+        # Zero weights give output 0 which predicts taken (>= 0).
+        p = PerceptronPredictor(16, 8)
+        assert p.predict(0x4000, 0)
+
+    def test_learns_bias_through_bias_weight(self):
+        p = PerceptronPredictor(16, 8)
+        assert drive(p, lambda i, h: False, n=500) > 0.98
+        assert p.weights[(0x4000 >> 2) % 16][0] < 0
+
+    def test_learns_history_correlation(self):
+        p = PerceptronPredictor(64, 12)
+        assert drive(p, lambda i, h: bool((h >> 4) & 1)) > 0.95
+
+    def test_learns_linearly_separable_xor_of_three(self):
+        """Majority of last 3 outcomes IS linearly separable — must learn."""
+        p = PerceptronPredictor(64, 12)
+        acc = drive(p, lambda i, h: ((h & 1) + ((h >> 1) & 1) + ((h >> 2) & 1)) >= 2)
+        assert acc > 0.9
+
+    def test_cannot_learn_parity(self):
+        """XOR of two independent history bits is not linearly separable.
+
+        This is the perceptron's published blind spot and a useful negative
+        control that the implementation is a real perceptron and not a
+        lookup table. The history is driven externally with random bits so
+        the XOR target cannot degenerate into a fixed sequence; a same-size
+        gshare table learns the same function almost perfectly.
+        """
+        from repro.predictors import GsharePredictor
+        from repro.utils.rng import DeterministicRng
+
+        rng = DeterministicRng(2024)
+        perceptron = PerceptronPredictor(64, 6)
+        gshare = GsharePredictor(64, 6)
+        correct = {"perceptron": 0, "gshare": 0}
+        n, warmup = 4000, 1000
+        for i in range(n):
+            history = rng.next_u64() & 0x3F
+            taken = bool((history & 1) ^ ((history >> 5) & 1))
+            for name, p in (("perceptron", perceptron), ("gshare", gshare)):
+                pred = p.predict(0x4000, history)
+                if i >= warmup:
+                    correct[name] += int(pred == taken)
+                p.update(0x4000, history, taken, pred)
+        counted = n - warmup
+        assert correct["perceptron"] / counted < 0.75
+        assert correct["gshare"] / counted > 0.9
+
+    def test_long_history_support(self):
+        p = PerceptronPredictor(113, 57)
+        assert drive(p, lambda i, h: bool((h >> 50) & 1), n=6000) > 0.9
+
+    def test_weights_saturate_at_8_bits(self):
+        p = PerceptronPredictor(4, 4)
+        for i in range(2000):
+            pred = p.predict(0x4000, 0b1111)
+            p.update(0x4000, 0b1111, True, pred)
+        assert p.weights.max() <= p.WEIGHT_MAX
+        assert p.weights.min() >= p.WEIGHT_MIN
+
+    def test_storage_budget(self):
+        # Table 3: 113 perceptrons × 18 weights × 8 bits ≈ 2KB.
+        p = PerceptronPredictor(113, 17)
+        assert abs(p.storage_bytes() - 2048) < 64
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            PerceptronPredictor(0, 8)
+        with pytest.raises(ValueError):
+            PerceptronPredictor(8, 0)
+
+    def test_reset_clears_weights(self):
+        p = PerceptronPredictor(8, 8)
+        drive(p, lambda i, h: False, n=200)
+        p.reset()
+        assert not p.weights.any()
+        assert p.predict(0x4000, 0)
+
+
+class TestPerceptronProperties:
+    @settings(max_examples=50)
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_inputs_encoding(self, history):
+        p = PerceptronPredictor(4, 24)
+        x = p._inputs(history)
+        assert x[0] == 1
+        for bit in range(24):
+            expected = 1 if (history >> bit) & 1 else -1
+            assert x[1 + bit] == expected
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(min_value=0, max_value=(1 << 16) - 1),
+        st.booleans(),
+    )
+    def test_training_moves_output_toward_outcome(self, history, taken):
+        p = PerceptronPredictor(4, 16)
+        before = p.output(0x4000, history)
+        p.update(0x4000, history, taken, p.predict(0x4000, history))
+        after = p.output(0x4000, history)
+        if taken:
+            assert after >= before
+        else:
+            assert after <= before
+
+    def test_output_dtype_never_overflows(self):
+        # Max |output| = (h+1) * 127 which must fit int32 comfortably.
+        p = PerceptronPredictor(2, 57)
+        p.weights[:] = p.WEIGHT_MAX
+        out = p.output(0x4000, (1 << 57) - 1)
+        assert out == 58 * 127
+        assert isinstance(out, int)
+        assert p.weights.dtype == np.int16

@@ -1,0 +1,116 @@
+"""Tests for result rendering, metrics containers and sweeps."""
+
+import math
+
+import pytest
+
+from repro.core import SinglePredictorSystem
+from repro.core.critiques import CritiqueKind
+from repro.predictors import BimodalPredictor, GsharePredictor
+from repro.sim import RunStats, SimulationConfig, run_sweep
+from repro.sim.results import format_table, render_mapping, render_series
+from repro.workloads.generator import WorkloadProfile, generate_program
+
+
+class TestFormatTable:
+    def test_renders_rows_and_headers(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in text and "30" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_basic(self):
+        assert render_series("s", [1, 2], [0.5, 1.0]) == "s: 1=0.500, 2=1.000"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("s", [1], [1.0, 2.0])
+
+
+class TestRenderMapping:
+    def test_basic(self):
+        text = render_mapping("T", {"key": 1.5, "other": "x"})
+        assert "T" in text and "1.500" in text and "x" in text
+
+
+class TestRunStats:
+    def test_empty_stats_are_safe(self):
+        stats = RunStats()
+        assert stats.misp_per_kuops == 0.0
+        assert stats.mispredict_rate == 0.0
+        assert stats.accuracy == 1.0
+        assert math.isinf(stats.uops_per_flush)
+        assert stats.filtered_fraction == 0.0
+        assert stats.taken_rate == 0.0
+
+    def test_metric_formulas(self):
+        stats = RunStats(branches=1000, committed_uops=13_000, mispredicts=26,
+                         prophet_mispredicts=40, taken_branches=600)
+        assert math.isclose(stats.misp_per_kuops, 2.0)
+        assert math.isclose(stats.mispredict_rate, 0.026)
+        assert math.isclose(stats.uops_per_flush, 500.0)
+        assert math.isclose(stats.prophet_misp_per_kuops, 40 / 13.0)
+        assert math.isclose(stats.taken_rate, 0.6)
+
+    def test_wrong_path_uops(self):
+        stats = RunStats(committed_uops=100, fetched_uops=160)
+        assert stats.wrong_path_uops == 60
+        stats2 = RunStats(committed_uops=100, fetched_uops=90)
+        assert stats2.wrong_path_uops == 0
+
+    def test_merge_accumulates(self):
+        a = RunStats(branches=10, committed_uops=100, mispredicts=1)
+        a.census.record(CritiqueKind.CORRECT_AGREE)
+        b = RunStats(branches=20, committed_uops=200, mispredicts=3)
+        b.census.record(CritiqueKind.CORRECT_NONE)
+        a.merge(b)
+        assert a.branches == 30
+        assert a.mispredicts == 4
+        assert a.census.total == 2
+
+    def test_record_site(self):
+        stats = RunStats()
+        stats.record_site(0x100, prophet_misp=True, final_misp=False)
+        stats.record_site(0x100, prophet_misp=False, final_misp=True)
+        row = stats.per_site[0x100]
+        assert row == [2, 1, 1, 1, 1]
+
+
+class TestRunSweep:
+    def test_grid_shape_and_aggregation(self):
+        def program_factory(seed):
+            return lambda: generate_program(
+                WorkloadProfile(name=f"s{seed}", seed=seed, static_branch_target=50)
+            )
+
+        systems = {
+            "bimodal": lambda: SinglePredictorSystem(BimodalPredictor(256)),
+            "gshare": lambda: SinglePredictorSystem(GsharePredictor(256, 8)),
+        }
+        benchmarks = {"w1": program_factory(1), "w2": program_factory(2)}
+        result = run_sweep(
+            systems, benchmarks, SimulationConfig(n_branches=1500, warmup=300)
+        )
+        assert set(result.system_labels()) == {"bimodal", "gshare"}
+        assert set(result.bench_names()) == {"w1", "w2"}
+        assert len(result.runs) == 4
+        avg = result.average_misp_per_kuops("gshare")
+        assert avg >= 0.0
+        pooled = result.aggregate("gshare")
+        assert pooled.branches == 2400  # two runs x 1200 measured
+
+    def test_average_of_unknown_label_is_zero(self):
+        from repro.sim.sweep import SweepResult
+
+        assert SweepResult().average_misp_per_kuops("nope") == 0.0

@@ -1,0 +1,39 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure5" in out and "headline" in out
+        assert "gcc" in out and "tpcc" in out
+
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "hardware budgets" in out
+
+    def test_bench_baseline(self, capsys):
+        assert main(["bench", "swim", "--system", "baseline", "--branches", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "misp_per_kuops" in out
+
+    def test_bench_hybrid_prints_census(self, capsys):
+        assert main(
+            ["bench", "swim", "--system", "hybrid", "--branches", "3000",
+             "--future-bits", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "critique census" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure99"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "doom"])

@@ -1,0 +1,94 @@
+"""Unit and property tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_select,
+    bits_to_signed_pm1,
+    fold_bits,
+    mask,
+    popcount,
+    reverse_bits,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_negative_width(self):
+        assert mask(-3) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 0b1
+        assert mask(4) == 0b1111
+        assert mask(8) == 0xFF
+
+    def test_wide_mask(self):
+        assert mask(64) == (1 << 64) - 1
+
+
+class TestBitSelect:
+    def test_low_bit(self):
+        assert bit_select(0b1010, 0) == 0
+        assert bit_select(0b1010, 1) == 1
+
+    def test_high_bit(self):
+        assert bit_select(1 << 40, 40) == 1
+        assert bit_select(1 << 40, 39) == 0
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_known_values(self):
+        assert popcount(0b1011) == 3
+        assert popcount(mask(17)) == 17
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+
+class TestFoldBits:
+    def test_identity_when_narrow(self):
+        assert fold_bits(0b101, width=3, out_width=8) == 0b101
+
+    def test_simple_fold(self):
+        # 8 bits folded to 4: low nibble XOR high nibble.
+        assert fold_bits(0xAB, 8, 4) == (0xA ^ 0xB)
+
+    def test_zero_out_width(self):
+        assert fold_bits(0xFFFF, 16, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=mask(48)), st.integers(min_value=1, max_value=16))
+    def test_result_fits_out_width(self, value, out_width):
+        assert fold_bits(value, 48, out_width) <= mask(out_width)
+
+    @given(st.integers(min_value=0, max_value=mask(32)))
+    def test_fold_is_deterministic(self, value):
+        assert fold_bits(value, 32, 10) == fold_bits(value, 32, 10)
+
+
+class TestReverseBits:
+    def test_known(self):
+        assert reverse_bits(0b001, 3) == 0b100
+
+    @given(st.integers(min_value=0, max_value=mask(16)))
+    def test_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 16), 16) == value
+
+
+class TestBitsToSignedPm1:
+    def test_all_zero_maps_to_minus_one(self):
+        assert bits_to_signed_pm1(0, 4) == [-1, -1, -1, -1]
+
+    def test_mixed(self):
+        assert bits_to_signed_pm1(0b0101, 4) == [1, -1, 1, -1]
+
+    @given(st.integers(min_value=0, max_value=mask(20)))
+    def test_values_are_pm1(self, value):
+        assert set(bits_to_signed_pm1(value, 20)) <= {-1, 1}

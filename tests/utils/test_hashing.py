@@ -1,0 +1,99 @@
+"""Tests for hash and skewing functions."""
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import mask
+from repro.utils.hashing import index_hash, mix64, skew_f, skew_h, skew_hinv, tag_hash
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_diffusion(self):
+        # Single-bit input changes should flip roughly half the output bits.
+        a = mix64(0)
+        b = mix64(1)
+        assert 16 <= bin(a ^ b).count("1") <= 48
+
+    def test_output_fits_64_bits(self):
+        assert mix64(mask(64)) <= mask(64)
+
+
+class TestIndexAndTagHash:
+    def test_index_within_range(self):
+        for pc in range(0x1000, 0x1100, 4):
+            assert index_hash(pc, 0x5A5A, 10, 16) <= mask(10)
+
+    def test_tag_within_range(self):
+        for pc in range(0x1000, 0x1100, 4):
+            assert tag_hash(pc, 0x5A5A, 8, 16) <= mask(8)
+
+    def test_history_affects_index(self):
+        pc = 0x4004
+        indices = {index_hash(pc, h, 10, 16) for h in range(64)}
+        assert len(indices) > 1
+
+    def test_index_and_tag_decorrelated(self):
+        """Contexts that collide in the index should mostly differ in tag."""
+        buckets: dict[int, set[int]] = {}
+        for pc in range(0x4000, 0x4000 + 4 * 64, 4):
+            for hist in range(0, 256, 7):
+                idx = index_hash(pc, hist, 6, 18)
+                tag = tag_hash(pc, hist, 8, 18)
+                buckets.setdefault(idx, set()).add(tag)
+        # Every index bucket should see many distinct tags.
+        assert all(len(tags) > 4 for tags in buckets.values())
+
+    @given(st.integers(min_value=0, max_value=mask(30)), st.integers(min_value=0, max_value=mask(18)))
+    def test_hashes_deterministic(self, pc, hist):
+        assert index_hash(pc, hist, 10, 18) == index_hash(pc, hist, 10, 18)
+        assert tag_hash(pc, hist, 9, 18) == tag_hash(pc, hist, 9, 18)
+
+
+class TestSkewing:
+    @given(st.integers(min_value=0, max_value=mask(12)))
+    def test_h_and_hinv_are_inverses(self, value):
+        assert skew_hinv(skew_h(value, 12), 12) == value
+        assert skew_h(skew_hinv(value, 12), 12) == value
+
+    @given(st.integers(min_value=0, max_value=mask(12)))
+    def test_h_output_fits_width(self, value):
+        assert skew_h(value, 12) <= mask(12)
+
+    def test_h_bijective_exhaustively(self):
+        n = 10
+        images = {skew_h(v, n) for v in range(1 << n)}
+        assert len(images) == 1 << n
+
+    def test_banks_disagree_on_collisions(self):
+        """e-gskew property: pairs colliding in one bank rarely collide in others."""
+        n = 8
+        pairs = []
+        seen: dict[int, tuple[int, int]] = {}
+        for v1 in range(0, 256, 3):
+            for v2 in range(0, 256, 5):
+                idx0 = skew_f(0, v1, v2, n)
+                if idx0 in seen and seen[idx0] != (v1, v2):
+                    pairs.append((seen[idx0], (v1, v2)))
+                seen[idx0] = (v1, v2)
+        both_collide = 0
+        for (a1, a2), (b1, b2) in pairs[:200]:
+            if skew_f(1, a1, a2, n) == skew_f(1, b1, b2, n):
+                both_collide += 1
+        assert both_collide < len(pairs[:200]) * 0.25
+
+    def test_bank_out_of_range(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            skew_f(3, 1, 2, 8)
+
+    def test_distribution_is_roughly_uniform(self):
+        n = 6
+        counts = Counter(skew_f(0, v1, v2, n) for v1 in range(64) for v2 in range(64))
+        expected = 64 * 64 / (1 << n)
+        assert all(abs(c - expected) / expected < 0.5 for c in counts.values())

@@ -1,0 +1,236 @@
+"""Tests for branch behaviour models."""
+
+import pytest
+
+from repro.workloads.behaviors import (
+    BiasedRandomBehavior,
+    CallerCorrelatedBehavior,
+    CorrelatedBehavior,
+    ExecutionContext,
+    LoopBehavior,
+    ModalBehavior,
+    PathCorrelatedBehavior,
+    PatternBehavior,
+)
+
+
+def fresh_ctx(seed=7) -> ExecutionContext:
+    return ExecutionContext(seed=seed)
+
+
+def resolve_n(behavior, site, ctx, n):
+    outs = []
+    for _ in range(n):
+        taken = behavior.resolve(site, ctx)
+        ctx.record_outcome(site, taken)
+        outs.append(taken)
+    return outs
+
+
+class TestLoopBehavior:
+    def test_fixed_trip(self):
+        ctx = fresh_ctx()
+        outs = resolve_n(LoopBehavior(trip_count=4), 0x100, ctx, 12)
+        assert outs == [True, True, True, False] * 3
+
+    def test_trip_of_two(self):
+        ctx = fresh_ctx()
+        outs = resolve_n(LoopBehavior(trip_count=2), 0x100, ctx, 6)
+        assert outs == [True, False] * 3
+
+    def test_rejects_trip_below_two(self):
+        with pytest.raises(ValueError):
+            LoopBehavior(trip_count=1)
+
+    def test_variable_trips_stay_in_choices(self):
+        ctx = fresh_ctx()
+        loop = LoopBehavior(trip_choices=(3, 5), persistence=2)
+        outs = resolve_n(loop, 0x100, ctx, 200)
+        # Reconstruct trip lengths from the outcome stream.
+        trips, run = [], 0
+        for taken in outs:
+            run += 1
+            if not taken:
+                trips.append(run)
+                run = 0
+        assert set(trips) <= {3, 5}
+
+    def test_persistence_makes_phases(self):
+        ctx = fresh_ctx()
+        loop = LoopBehavior(trip_choices=(3, 5), persistence=50)
+        outs = resolve_n(loop, 0x100, ctx, 600)
+        trips, run = [], 0
+        for taken in outs:
+            run += 1
+            if not taken:
+                trips.append(run)
+                run = 0
+        # Within the first persistence window the trip is constant.
+        assert len(set(trips[:40])) == 1
+
+    def test_reset_restarts_instance_zero(self):
+        ctx = fresh_ctx()
+        loop = LoopBehavior(trip_choices=(3, 5), persistence=4)
+        first = resolve_n(loop, 0x100, ctx, 30)
+        loop.reset()
+        second = resolve_n(loop, 0x100, fresh_ctx(), 30)
+        assert first == second
+
+
+class TestPatternBehavior:
+    def test_cycles(self):
+        ctx = fresh_ctx()
+        outs = resolve_n(PatternBehavior("TTN"), 0x200, ctx, 9)
+        assert outs == [True, True, False] * 3
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            PatternBehavior("TXN")
+        with pytest.raises(ValueError):
+            PatternBehavior("")
+
+    def test_case_insensitive(self):
+        ctx = fresh_ctx()
+        assert resolve_n(PatternBehavior("tn"), 0x200, ctx, 2) == [True, False]
+
+
+class TestBiasedRandomBehavior:
+    def test_bias_converges(self):
+        ctx = fresh_ctx()
+        outs = resolve_n(BiasedRandomBehavior(0.8), 0x300, ctx, 5000)
+        rate = sum(outs) / len(outs)
+        assert abs(rate - 0.8) < 0.03
+
+    def test_deterministic_across_runs(self):
+        a = resolve_n(BiasedRandomBehavior(0.5), 0x300, fresh_ctx(), 100)
+        b = resolve_n(BiasedRandomBehavior(0.5), 0x300, fresh_ctx(), 100)
+        assert a == b
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError):
+            BiasedRandomBehavior(1.5)
+
+
+class TestCorrelatedBehavior:
+    def test_follows_single_source(self):
+        ctx = fresh_ctx()
+        behavior = CorrelatedBehavior((0xAAA,))
+        ctx.record_outcome(0xAAA, True)
+        assert behavior.resolve(0xBBB, ctx) is True
+        ctx.record_outcome(0xAAA, False)
+        assert behavior.resolve(0xBBB, ctx) is False
+
+    def test_invert(self):
+        ctx = fresh_ctx()
+        behavior = CorrelatedBehavior((0xAAA,), invert=True)
+        ctx.record_outcome(0xAAA, True)
+        assert behavior.resolve(0xBBB, ctx) is False
+
+    def test_xor_of_two_sources(self):
+        ctx = fresh_ctx()
+        behavior = CorrelatedBehavior((0xAAA, 0xCCC))
+        ctx.record_outcome(0xAAA, True)
+        ctx.record_outcome(0xCCC, True)
+        assert behavior.resolve(0xBBB, ctx) is False  # T xor T
+        ctx.record_outcome(0xCCC, False)
+        assert behavior.resolve(0xBBB, ctx) is True  # T xor N
+
+    def test_unrecorded_source_defaults_not_taken(self):
+        ctx = fresh_ctx()
+        assert CorrelatedBehavior((0xAAA,)).resolve(0xBBB, ctx) is False
+
+    def test_rejects_empty_sources(self):
+        with pytest.raises(ValueError):
+            CorrelatedBehavior(())
+
+
+class TestPathCorrelatedBehavior:
+    def test_taken_iff_watched_block_recent(self):
+        ctx = fresh_ctx()
+        ctx.watched_blocks.add(42)
+        behavior = PathCorrelatedBehavior(42, window=3)
+        # Block 42 never executed: not taken.
+        assert behavior.resolve(0x400, ctx) is False
+        ctx.record_block(42)
+        assert behavior.resolve(0x400, ctx) is True
+        # Age it out of the window.
+        for block in (1, 2, 3, 4):
+            ctx.record_block(block)
+        assert behavior.resolve(0x400, ctx) is False
+
+    def test_invert(self):
+        ctx = fresh_ctx()
+        ctx.watched_blocks.add(42)
+        assert PathCorrelatedBehavior(42, window=3, invert=True).resolve(0x400, ctx) is True
+
+
+class TestCallerCorrelatedBehavior:
+    def test_direction_fixed_per_caller(self):
+        ctx = fresh_ctx()
+        behavior = CallerCorrelatedBehavior()
+        ctx.push_caller(11)
+        first = [behavior.resolve(0x500, ctx) for _ in range(5)]
+        assert len(set(first)) == 1  # deterministic per caller
+
+    def test_different_callers_can_differ(self):
+        ctx = fresh_ctx()
+        behavior = CallerCorrelatedBehavior()
+        directions = set()
+        for caller in range(40):
+            ctx.caller_stack = [caller]
+            directions.add(behavior.resolve(0x500, ctx))
+        assert directions == {True, False}
+
+    def test_depth_two_uses_grand_caller(self):
+        ctx = fresh_ctx()
+        behavior = CallerCorrelatedBehavior(depth=2)
+        ctx.caller_stack = [1, 7]
+        a = behavior.resolve(0x500, ctx)
+        ctx.caller_stack = [2, 7]  # same caller, different grand-caller
+        b_values = {behavior.resolve(0x500 + 4 * k, ctx) for k in range(8)}
+        # Across several sites the grand-caller must influence outcomes.
+        ctx.caller_stack = [1, 7]
+        a_values = {behavior.resolve(0x500 + 4 * k, ctx) for k in range(8)}
+        assert isinstance(a, bool)
+        assert a_values or b_values  # both populated
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            CallerCorrelatedBehavior(noise=2.0)
+        with pytest.raises(ValueError):
+            CallerCorrelatedBehavior(depth=0)
+
+
+class TestModalBehavior:
+    def test_switches_children_by_phase(self):
+        ctx = fresh_ctx()
+        modal = ModalBehavior((PatternBehavior("T"), PatternBehavior("N")), period=5)
+        outs = resolve_n(modal, 0x600, ctx, 20)
+        assert outs[:5] == [True] * 5
+        assert outs[5:10] == [False] * 5
+        assert outs[10:15] == [True] * 5
+
+    def test_rejects_single_child(self):
+        with pytest.raises(ValueError):
+            ModalBehavior((PatternBehavior("T"),), period=5)
+
+
+class TestExecutionContext:
+    def test_occurrences_count(self):
+        ctx = fresh_ctx()
+        ctx.record_outcome(0x1, True)
+        ctx.record_outcome(0x1, False)
+        assert ctx.occurrence_of(0x1) == 2
+        assert ctx.occurrence_of(0x2) == 0
+
+    def test_caller_stack(self):
+        ctx = fresh_ctx()
+        assert ctx.current_caller() == 0
+        ctx.push_caller(5)
+        ctx.push_caller(9)
+        assert ctx.current_caller() == 9
+        ctx.pop_caller()
+        assert ctx.current_caller() == 5
+        ctx.pop_caller()
+        ctx.pop_caller()  # underflow is a no-op
+        assert ctx.current_caller() == 0
