@@ -6,6 +6,11 @@ multiplies the simulated branch count — raise it (e.g. ``REPRO_SCALE=8``)
 for numbers closer to the paper's 30M-instruction traces; the default
 keeps the whole harness laptop-friendly.
 
+``REPRO_JOBS`` (int) fans each experiment's sweep cells out over a
+process pool, and ``REPRO_CACHE_DIR`` (path) caches per-cell results on
+disk — both backed by :mod:`repro.sim.execution` and guaranteed not to
+change a single reported number (see ``tests/sim/test_execution.py``).
+
 Benches run with ``rounds=1``: each experiment is a deterministic
 simulation whose *result* is the point; wall-clock is secondary.
 """
@@ -25,6 +30,20 @@ def repro_scale() -> float:
         return 1.0
 
 
+def repro_engine():
+    """Engine from REPRO_JOBS / REPRO_CACHE_DIR (None = serial default)."""
+    from repro.sim import make_engine
+
+    try:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    except ValueError:
+        jobs = 1
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    if jobs <= 1 and cache_dir is None:
+        return None
+    return make_engine(jobs=jobs, cache_dir=cache_dir)
+
+
 @pytest.fixture(scope="session")
 def scale() -> float:
     return repro_scale()
@@ -34,8 +53,9 @@ def run_and_report(benchmark, experiment_id: str, scale: float, **kwargs):
     """Run one experiment under pytest-benchmark and print its rendering."""
     from repro.experiments import run_experiment
 
+    engine = repro_engine()
     result = benchmark.pedantic(
-        lambda: run_experiment(experiment_id, scale=scale, **kwargs),
+        lambda: run_experiment(experiment_id, scale=scale, engine=engine, **kwargs),
         rounds=1,
         iterations=1,
     )

@@ -4,13 +4,28 @@ Usage::
 
     python -m repro list
     python -m repro run figure5 --scale 2
-    python -m repro run headline
+    python -m repro run headline --jobs 8
+    python -m repro --jobs 4 --cache-dir .repro-cache run figure6c
     python -m repro bench gcc --system hybrid --branches 100000
 
 ``run`` executes one registered experiment (see ``list``) and prints the
 paper-style rows/series. ``bench`` runs a single benchmark under either
 the 16KB 2Bc-gskew baseline or the 8+8 prophet/critic hybrid and prints
 the accuracy metrics — the quickest way to poke at a configuration.
+
+Sweep execution knobs for ``run`` (accepted before or after the
+subcommand; ``bench`` simulates a single cell, so they do not apply):
+
+``--jobs N``
+    Fan the experiment's sweep cells out over an N-process pool
+    (results are bit-for-bit identical to ``--jobs 1``; see
+    :mod:`repro.sim.execution`).
+``--cache-dir PATH``
+    Cache per-cell results on disk, keyed by a content hash of the cell
+    spec; re-runs only simulate cells whose configuration changed.
+``--no-cache``
+    Ignore ``--cache-dir`` (useful when the dir comes from a wrapper
+    script but a fresh run is wanted).
 """
 
 from __future__ import annotations
@@ -21,7 +36,7 @@ import sys
 from repro.core import ProphetCriticSystem, SinglePredictorSystem
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.predictors import make_critic, make_prophet
-from repro.sim import SimulationConfig, simulate
+from repro.sim import SimulationConfig, make_engine, simulate
 from repro.sim.results import render_mapping
 from repro.workloads import benchmark, benchmark_names
 
@@ -36,9 +51,21 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_from_args(args: argparse.Namespace):
+    cache_dir = None if args.no_cache else args.cache_dir
+    return make_engine(jobs=args.jobs, cache_dir=cache_dir)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, scale=args.scale)
+    engine = _engine_from_args(args)
+    result = run_experiment(args.experiment, scale=args.scale, engine=engine)
     print(result.render())
+    if engine.cache is not None:
+        print(
+            f"cache: {engine.cache.hits} hit(s), {engine.cache.misses} miss(es) "
+            f"under {engine.cache.root}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -59,11 +86,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_options(parser: argparse.ArgumentParser, top_level: bool) -> None:
+    """Sweep-engine flags, valid both before and after the subcommand.
+
+    The top-level copy owns the defaults; the subcommand copy uses
+    SUPPRESS so an absent flag never clobbers a value parsed up front.
+    """
+    parser.add_argument(
+        "--jobs", type=int, metavar="N",
+        default=1 if top_level else argparse.SUPPRESS,
+        help="worker processes for sweep cells (default 1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH",
+        default=None if top_level else argparse.SUPPRESS,
+        help="cache per-cell sweep results under PATH (off by default)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        default=False if top_level else argparse.SUPPRESS,
+        help="disable the result cache even if --cache-dir is given",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Prophet/Critic hybrid branch prediction (ISCA 2004) reproduction",
     )
+    _add_engine_options(parser, top_level=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments and benchmarks").set_defaults(
@@ -74,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_parser.add_argument("--scale", type=float, default=1.0,
                             help="simulation length multiplier (default 1.0)")
+    _add_engine_options(run_parser, top_level=False)
     run_parser.set_defaults(func=_cmd_run)
 
     bench_parser = sub.add_parser("bench", help="run one benchmark/system pair")

@@ -16,16 +16,15 @@
 from __future__ import annotations
 
 from repro.core.history import HistoryRegister
-from repro.core.hybrid import ProphetCriticSystem, SinglePredictorSystem
 from repro.engine.executor import ArchitecturalExecutor
 from repro.experiments.base import (
     ExperimentResult,
-    hybrid_system,
+    hybrid_spec,
+    run_grid,
     scaled_config,
-    single_system,
+    single_spec,
 )
-from repro.predictors.budget import make_critic, make_predictor, make_prophet
-from repro.sim.driver import simulate
+from repro.predictors.budget import make_critic, make_prophet
 from repro.workloads.suites import benchmark
 from repro.workloads.trace import BranchRecord, BranchTrace
 
@@ -80,11 +79,12 @@ def run_oracle_vs_wrongpath(
 ) -> ExperimentResult:
     """Ablation 1: honest wrong-path simulation vs oracle trace replay."""
     config = scaled_config(scale)
-    honest = simulate(
-        benchmark(bench_name),
-        hybrid_system("2bc-gskew", 8, "tagged-gshare", 8, future_bits)(),
+    honest_sweep = run_grid(
+        {"honest": hybrid_spec("2bc-gskew", 8, "tagged-gshare", 8, future_bits)},
+        [bench_name],
         config,
     )
+    honest = honest_sweep.get("honest", bench_name)
     trace = _record_trace(bench_name, config.n_branches)
     oracle_misp, oracle_measured = _oracle_replay_mispredicts(
         trace, future_bits, config.warmup
@@ -116,17 +116,15 @@ def run_filtering(
         title="filtered (tagged gshare) vs unfiltered (gshare) critic",
         headers=["future_bits", "filtered misp/Ku", "unfiltered misp/Ku"],
     )
-    for fb in (1, 8, 12):
-        filtered = simulate(
-            benchmark(bench_name),
-            hybrid_system("2bc-gskew", 8, "tagged-gshare", 8, fb)(),
-            config,
-        )
-        unfiltered = simulate(
-            benchmark(bench_name),
-            hybrid_system("2bc-gskew", 8, "gshare", 8, fb)(),
-            config,
-        )
+    fb_points = (1, 8, 12)
+    systems = {}
+    for fb in fb_points:
+        systems[f"filtered/fb{fb}"] = hybrid_spec("2bc-gskew", 8, "tagged-gshare", 8, fb)
+        systems[f"unfiltered/fb{fb}"] = hybrid_spec("2bc-gskew", 8, "gshare", 8, fb)
+    sweep = run_grid(systems, [bench_name], config)
+    for fb in fb_points:
+        filtered = sweep.get(f"filtered/fb{fb}", bench_name)
+        unfiltered = sweep.get(f"unfiltered/fb{fb}", bench_name)
         result.rows.append(
             [fb, round(filtered.misp_per_kuops, 3), round(unfiltered.misp_per_kuops, 3)]
         )
@@ -143,16 +141,17 @@ def run_insert_policy(
 ) -> ExperimentResult:
     """Ablation 3: filter allocation on final- vs prophet-mispredict."""
     config = scaled_config(scale)
-    rows = []
-    for policy in ("final", "prophet"):
-        system = ProphetCriticSystem(
-            make_prophet("2bc-gskew", 8),
-            make_critic("tagged-gshare", 8),
-            future_bits=future_bits,
-            insert_on=policy,
+    systems = {
+        policy: hybrid_spec(
+            "2bc-gskew", 8, "tagged-gshare", 8, future_bits, insert_on=policy
         )
-        stats = simulate(benchmark(bench_name), system, config)
-        rows.append([policy, round(stats.misp_per_kuops, 3)])
+        for policy in ("final", "prophet")
+    }
+    sweep = run_grid(systems, [bench_name], config)
+    rows = [
+        [policy, round(sweep.get(policy, bench_name).misp_per_kuops, 3)]
+        for policy in ("final", "prophet")
+    ]
     return ExperimentResult(
         experiment_id="ablation-insert-policy",
         title="filter insertion trigger: final-mispredict (paper) vs prophet-mispredict",
@@ -167,14 +166,16 @@ def run_vs_tage(
 ) -> ExperimentResult:
     """Ablation 4: the hybrid vs TAGE at equal total budget."""
     config = scaled_config(scale)
-    rows = []
-    for label, factory in (
-        ("16KB 2Bc-gskew", single_system("2bc-gskew", 16)),
-        ("16KB TAGE", lambda: SinglePredictorSystem(make_predictor("tage", 16))),
-        ("8+8 prophet/critic (8 fb)", hybrid_system("2bc-gskew", 8, "tagged-gshare", 8, 8)),
-    ):
-        stats = simulate(benchmark(bench_name), factory(), config)
-        rows.append([label, round(stats.misp_per_kuops, 3)])
+    systems = {
+        "16KB 2Bc-gskew": single_spec("2bc-gskew", 16),
+        "16KB TAGE": single_spec("tage", 16),
+        "8+8 prophet/critic (8 fb)": hybrid_spec("2bc-gskew", 8, "tagged-gshare", 8, 8),
+    }
+    sweep = run_grid(systems, [bench_name], config)
+    rows = [
+        [label, round(sweep.get(label, bench_name).misp_per_kuops, 3)]
+        for label in systems
+    ]
     return ExperimentResult(
         experiment_id="ablation-tage",
         title="prophet/critic vs TAGE at equal hardware budget",

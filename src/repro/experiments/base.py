@@ -1,14 +1,27 @@
-"""Shared experiment scaffolding: result container, system factories, scaling."""
+"""Shared experiment scaffolding: result container, system specs, grid runners.
+
+Experiments describe their grids as :class:`~repro.sim.specs.SystemSpec`
+× benchmark-name cells and hand them to :func:`run_grid` /
+:func:`run_timed_grid`, which route through the process-wide sweep
+engine — so ``--jobs`` and ``--cache-dir`` on the CLI parallelise and
+cache every experiment without touching its code. The legacy closure
+factories (:func:`single_system`, :func:`hybrid_system`) remain for
+ad-hoc in-process use.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.hybrid import PredictionSystem, ProphetCriticSystem, SinglePredictorSystem
+from repro.pipeline.machine import PipelineResult
 from repro.predictors.budget import make_critic, make_prophet
 from repro.sim.driver import SimulationConfig
+from repro.sim.execution import SweepEngine, get_default_engine
 from repro.sim.results import format_table, render_series
+from repro.sim.specs import MODE_TIMING, ProgramSpec, SweepCell, SystemSpec
+from repro.sim.sweep import SweepResult, run_sweep
 
 #: Default measurement window at scale 1.0 — small enough for a laptop
 #: bench run; multiply with REPRO_SCALE (e.g. 8-20) for runs closer to
@@ -28,6 +41,73 @@ def scaled_config(scale: float = 1.0, **overrides) -> SimulationConfig:
     for key, value in overrides.items():
         setattr(config, key, value)
     return config
+
+
+def single_spec(kind: str, budget_kb: int) -> SystemSpec:
+    """Spec for a prophet-alone baseline at a Table-3 budget."""
+    return SystemSpec.single(kind, budget_kb)
+
+
+def hybrid_spec(
+    prophet_kind: str,
+    prophet_kb: int,
+    critic_kind: str,
+    critic_kb: int,
+    future_bits: int,
+    insert_on: str = "final",
+) -> SystemSpec:
+    """Spec for a prophet/critic hybrid at Table-3 budgets."""
+    return SystemSpec.hybrid(
+        prophet_kind, prophet_kb, critic_kind, critic_kb, future_bits, insert_on
+    )
+
+
+def run_grid(
+    systems: Mapping[str, SystemSpec],
+    benchmarks: Sequence[str],
+    config: SimulationConfig,
+    engine: SweepEngine | None = None,
+) -> SweepResult:
+    """Run a (system × benchmark) accuracy grid through the sweep engine.
+
+    Cells fan out across the engine's executor (``--jobs``) and hit its
+    result cache (``--cache-dir``) when one is attached; the defaults
+    reproduce the original serial in-process loop exactly.
+    """
+    return run_sweep(systems, {name: name for name in benchmarks}, config, engine)
+
+
+def run_timed_grid(
+    systems: Mapping[str, SystemSpec],
+    benchmarks: Sequence[str],
+    n_branches: int,
+    warmup: int,
+    engine: SweepEngine | None = None,
+) -> dict[tuple[str, str], PipelineResult]:
+    """Run a (system × benchmark) Table-2 timing grid through the engine.
+
+    Returns results keyed by (system label, benchmark name). Same
+    parallelism and caching behaviour as :func:`run_grid`.
+    """
+    engine = engine if engine is not None else get_default_engine()
+    config = SimulationConfig(n_branches=n_branches, warmup=warmup)
+    cells = [
+        SweepCell(
+            system_label=label,
+            bench_name=name,
+            system=spec,
+            program=ProgramSpec(benchmark=name),
+            config=config,
+            mode=MODE_TIMING,
+        )
+        for name in benchmarks
+        for label, spec in systems.items()
+    ]
+    results = engine.run_cells(cells)
+    return {
+        (cell.system_label, cell.bench_name): result
+        for cell, result in zip(cells, results)
+    }
 
 
 def single_system(kind: str, budget_kb: int) -> Callable[[], PredictionSystem]:

@@ -9,12 +9,16 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.hybrid import ProphetCriticSystem, SinglePredictorSystem
-from repro.experiments.base import BASE_BRANCHES, BASE_WARMUP, ExperimentResult
-from repro.pipeline.machine import TimedMachine
-from repro.predictors.budget import make_critic, make_prophet
+from repro.experiments.base import (
+    BASE_BRANCHES,
+    BASE_WARMUP,
+    ExperimentResult,
+    hybrid_spec,
+    run_timed_grid,
+    single_spec,
+)
 from repro.utils.statistics import speedup_percent
-from repro.workloads.suites import SUITES, benchmark
+from repro.workloads.suites import SUITES
 
 FUTURE_BIT_POINTS: tuple[int, ...] = (4, 8, 12)
 
@@ -40,31 +44,32 @@ def run(
         headers=["suite", "configuration", "uPC", "speedup_%"],
     )
 
-    def upc_for(suite: str, factory) -> float:
+    def members_of(suite: str) -> Sequence[str]:
         members = SUITES[suite]
         if members_per_suite is not None:
             members = members[:members_per_suite]
-        total = 0.0
-        for name in members:
-            machine = TimedMachine(benchmark(name), factory())
-            total += machine.run(n_branches, warmup=warmup).upc
-        return total / len(members)
+        return members
+
+    systems = {"alone": single_spec("2bc-gskew", 16)}
+    for fb in future_bits:
+        systems[f"fb{fb}"] = hybrid_spec("2bc-gskew", 8, "tagged-gshare", 8, fb)
+    all_members: list[str] = []
+    for suite in suite_names:
+        for name in members_of(suite):
+            if name not in all_members:
+                all_members.append(name)
+    timed = run_timed_grid(systems, all_members, n_branches, warmup)
+
+    def upc_for(suite: str, label: str) -> float:
+        members = members_of(suite)
+        return sum(timed[(label, name)].upc for name in members) / len(members)
 
     for suite in suite_names:
-        alone = upc_for(
-            suite, lambda: SinglePredictorSystem(make_prophet("2bc-gskew", 16))
-        )
+        alone = upc_for(suite, "alone")
         result.rows.append([suite, "16KB alone", round(alone, 3), 0.0])
         ys = [alone]
         for fb in future_bits:
-            upc = upc_for(
-                suite,
-                lambda: ProphetCriticSystem(
-                    make_prophet("2bc-gskew", 8),
-                    make_critic("tagged-gshare", 8),
-                    future_bits=fb,
-                ),
-            )
+            upc = upc_for(suite, f"fb{fb}")
             ys.append(upc)
             result.rows.append(
                 [suite, f"8+8 hybrid ({fb} fb)", round(upc, 3), round(speedup_percent(alone, upc), 1)]

@@ -20,11 +20,11 @@ from collections.abc import Sequence
 from repro.experiments.base import (
     ExperimentResult,
     average_series,
-    hybrid_system,
+    hybrid_spec,
+    run_grid,
     scaled_config,
 )
-from repro.sim.driver import simulate
-from repro.workloads.suites import FIGURE5_BENCHMARKS, benchmark
+from repro.workloads.suites import FIGURE5_BENCHMARKS
 
 #: The future-bit counts Figure 5 sweeps.
 FUTURE_BIT_POINTS: tuple[int, ...] = (0, 1, 4, 8, 12)
@@ -46,13 +46,14 @@ def run(
         "(prophet: 8KB perceptron; critic: 8KB tagged gshare)",
         headers=["benchmark"] + [f"fb={fb}" for fb in future_bits],
     )
+    systems = {
+        f"fb={fb}": hybrid_spec(PROPHET[0], PROPHET[1], CRITIC[0], CRITIC[1], fb)
+        for fb in future_bits
+    }
+    sweep = run_grid(systems, benchmarks, config)
     per_benchmark: list[list[float]] = []
     for name in benchmarks:
-        ys: list[float] = []
-        for fb in future_bits:
-            system = hybrid_system(PROPHET[0], PROPHET[1], CRITIC[0], CRITIC[1], fb)()
-            stats = simulate(benchmark(name), system, config)
-            ys.append(stats.misp_per_kuops)
+        ys = [sweep.get(f"fb={fb}", name).misp_per_kuops for fb in future_bits]
         per_benchmark.append(ys)
         result.series[name] = (list(future_bits), ys)
         result.rows.append([name] + [round(y, 3) for y in ys])

@@ -17,12 +17,11 @@ from collections.abc import Sequence
 
 from repro.experiments.base import (
     ExperimentResult,
-    hybrid_system,
+    hybrid_spec,
+    run_grid,
     scaled_config,
-    single_system,
+    single_spec,
 )
-from repro.sim.driver import simulate
-from repro.workloads.suites import benchmark
 
 #: Sub-figure definitions: (prophet kind, critic kind, filtered?).
 SUBFIGURES: dict[str, tuple[str, str, bool]] = {
@@ -61,22 +60,29 @@ def run(
         headers=["prophet_kb", "critic_kb"]
         + ["no critic" if fb is None else f"fb={fb}" for fb in future_bits],
     )
+    def label(prophet_kb: int, critic_kb: int, fb: int | None) -> str:
+        suffix = "none" if fb is None else f"fb={fb}"
+        return f"p{prophet_kb}/c{critic_kb}/{suffix}"
+
+    systems = {}
+    for prophet_kb in prophet_kbs:
+        for critic_kb in critic_kbs:
+            for fb in future_bits:
+                if fb is None:
+                    spec = single_spec(prophet_kind, prophet_kb)
+                else:
+                    spec = hybrid_spec(
+                        prophet_kind, prophet_kb, critic_kind, critic_kb, fb
+                    )
+                systems[label(prophet_kb, critic_kb, fb)] = spec
+    sweep = run_grid(systems, benchmarks, config)
     for prophet_kb in prophet_kbs:
         for critic_kb in critic_kbs:
             row: list = [prophet_kb, critic_kb]
-            ys: list[float] = []
-            for fb in future_bits:
-                if fb is None:
-                    factory = single_system(prophet_kind, prophet_kb)
-                else:
-                    factory = hybrid_system(
-                        prophet_kind, prophet_kb, critic_kind, critic_kb, fb
-                    )
-                total = 0.0
-                for name in benchmarks:
-                    stats = simulate(benchmark(name), factory(), config)
-                    total += stats.misp_per_kuops
-                ys.append(total / len(benchmarks))
+            ys = [
+                sweep.average_misp_per_kuops(label(prophet_kb, critic_kb, fb))
+                for fb in future_bits
+            ]
             row.extend(round(y, 3) for y in ys)
             result.rows.append(row)
             result.series[f"{prophet_kb}KB prophet + {critic_kb}KB critic"] = (

@@ -14,13 +14,12 @@ from collections.abc import Sequence
 
 from repro.experiments.base import (
     ExperimentResult,
-    hybrid_system,
+    hybrid_spec,
+    run_grid,
     scaled_config,
-    single_system,
+    single_spec,
 )
-from repro.sim.driver import simulate
 from repro.utils.statistics import percent_reduction
-from repro.workloads.suites import benchmark
 
 PROPHETS: tuple[str, ...] = ("gshare", "2bc-gskew", "perceptron")
 CRITICS: tuple[str, ...] = ("filtered-perceptron", "tagged-gshare")
@@ -49,25 +48,22 @@ def run(
         headers=["configuration", "misp/Kuops", "reduction_vs_alone_%"],
     )
 
-    def averaged(factory) -> float:
-        total = 0.0
-        for name in benchmarks:
-            total += simulate(benchmark(name), factory(), config).misp_per_kuops
-        return total / len(benchmarks)
-
+    systems = {}
     for prophet_kind in PROPHETS:
-        alone = averaged(single_system(prophet_kind, total_kb))
+        systems[f"{total_kb}KB {prophet_kind}"] = single_spec(prophet_kind, total_kb)
+        for critic_kind in CRITICS:
+            systems[f"{half}KB {prophet_kind} + {half}KB {critic_kind}"] = hybrid_spec(
+                prophet_kind, half, critic_kind, half, future_bits
+            )
+    sweep = run_grid(systems, benchmarks, config)
+    for prophet_kind in PROPHETS:
+        alone = sweep.average_misp_per_kuops(f"{total_kb}KB {prophet_kind}")
         result.rows.append([f"{total_kb}KB {prophet_kind}", round(alone, 3), 0.0])
         for critic_kind in CRITICS:
-            hybrid = averaged(
-                hybrid_system(prophet_kind, half, critic_kind, half, future_bits)
-            )
+            label = f"{half}KB {prophet_kind} + {half}KB {critic_kind}"
+            hybrid = sweep.average_misp_per_kuops(label)
             result.rows.append(
-                [
-                    f"{half}KB {prophet_kind} + {half}KB {critic_kind}",
-                    round(hybrid, 3),
-                    round(percent_reduction(alone, hybrid), 1),
-                ]
+                [label, round(hybrid, 3), round(percent_reduction(alone, hybrid), 1)]
             )
     result.notes = (
         "Paper (16KB): gshare 24.6/30.7%, 2Bc-gskew 25.5/28%, perceptron "

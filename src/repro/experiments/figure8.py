@@ -17,9 +17,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.critiques import CritiqueKind
-from repro.experiments.base import ExperimentResult, hybrid_system, scaled_config
-from repro.sim.driver import simulate
-from repro.workloads.suites import benchmark
+from repro.experiments.base import (
+    ExperimentResult,
+    hybrid_spec,
+    run_grid,
+    scaled_config,
+)
 
 PROPHET = ("perceptron", 4)
 CRITIC = ("tagged-gshare", 8)
@@ -50,10 +53,13 @@ def run(
         + [kind.value for kind in PLOTTED_CLASSES]
         + ["explicit_total"],
     )
+    systems = {
+        f"fb={fb}": hybrid_spec(PROPHET[0], PROPHET[1], CRITIC[0], CRITIC[1], fb)
+        for fb in future_bits
+    }
+    sweep = run_grid(systems, [bench_name], config)
     for fb in future_bits:
-        system = hybrid_system(PROPHET[0], PROPHET[1], CRITIC[0], CRITIC[1], fb)()
-        stats = simulate(benchmark(bench_name), system, config)
-        census = stats.census
+        census = sweep.get(f"fb={fb}", bench_name).census
         row = [fb] + [census.counts[kind] for kind in PLOTTED_CLASSES]
         row.append(census.explicit_total)
         result.rows.append(row)

@@ -10,24 +10,19 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.hybrid import ProphetCriticSystem, SinglePredictorSystem
-from repro.experiments.base import BASE_BRANCHES, BASE_WARMUP, ExperimentResult
-from repro.pipeline.machine import TimedMachine
-from repro.predictors.budget import make_critic, make_prophet
+from repro.experiments.base import (
+    BASE_BRANCHES,
+    BASE_WARMUP,
+    ExperimentResult,
+    hybrid_spec,
+    run_timed_grid,
+    single_spec,
+)
 from repro.utils.statistics import speedup_percent
-from repro.workloads.suites import benchmark
 
 PROPHETS: tuple[str, ...] = ("gshare", "2bc-gskew", "perceptron")
 FUTURE_BIT_POINTS: tuple[int, ...] = (4, 8, 12)
 DEFAULT_BENCHMARKS: tuple[str, ...] = ("gcc", "flash")
-
-
-def _timed_upc(system_factory, benchmarks: Sequence[str], n_branches: int, warmup: int) -> float:
-    total = 0.0
-    for name in benchmarks:
-        machine = TimedMachine(benchmark(name), system_factory())
-        total += machine.run(n_branches, warmup=warmup).upc
-    return total / len(benchmarks)
 
 
 def run(
@@ -45,26 +40,24 @@ def run(
         "(tagged gshare critic)",
         headers=["prophet", "configuration", "uPC", "speedup_%"],
     )
+    systems = {}
     for prophet_kind in prophets:
-        alone = _timed_upc(
-            lambda: SinglePredictorSystem(make_prophet(prophet_kind, 16)),
-            benchmarks,
-            n_branches,
-            warmup,
-        )
+        systems[f"{prophet_kind}/alone"] = single_spec(prophet_kind, 16)
+        for fb in future_bits:
+            systems[f"{prophet_kind}/fb{fb}"] = hybrid_spec(
+                prophet_kind, 8, "tagged-gshare", 8, fb
+            )
+    timed = run_timed_grid(systems, benchmarks, n_branches, warmup)
+
+    def averaged_upc(label: str) -> float:
+        return sum(timed[(label, name)].upc for name in benchmarks) / len(benchmarks)
+
+    for prophet_kind in prophets:
+        alone = averaged_upc(f"{prophet_kind}/alone")
         result.rows.append([prophet_kind, "16KB alone", round(alone, 3), 0.0])
         ys = [alone]
         for fb in future_bits:
-            upc = _timed_upc(
-                lambda: ProphetCriticSystem(
-                    make_prophet(prophet_kind, 8),
-                    make_critic("tagged-gshare", 8),
-                    future_bits=fb,
-                ),
-                benchmarks,
-                n_branches,
-                warmup,
-            )
+            upc = averaged_upc(f"{prophet_kind}/fb{fb}")
             ys.append(upc)
             result.rows.append(
                 [

@@ -17,21 +17,17 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.hybrid import ProphetCriticSystem, SinglePredictorSystem
 from repro.experiments.base import (
     BASE_BRANCHES,
     BASE_WARMUP,
     ExperimentResult,
-    hybrid_system,
+    hybrid_spec,
+    run_grid,
+    run_timed_grid,
     scaled_config,
-    single_system,
+    single_spec,
 )
-from repro.pipeline.machine import TimedMachine
-from repro.predictors.budget import make_critic, make_prophet
-from repro.sim.driver import simulate
-from repro.sim.metrics import RunStats
 from repro.utils.statistics import percent_reduction, speedup_percent
-from repro.workloads.suites import benchmark
 
 #: One member per suite, gcc first (it has its own headline row).
 PANEL: tuple[str, ...] = ("gcc", "facerec", "specjbb", "flash", "msvc7", "tpcc", "cad")
@@ -50,19 +46,15 @@ def run(scale: float = 1.0, panel: Sequence[str] = PANEL) -> ExperimentResult:
         headers=["metric", "16KB 2Bc-gskew", "8+8 hybrid", "delta", "paper"],
     )
 
-    pooled_base = RunStats(system="baseline", benchmark="panel")
-    pooled_hyb = RunStats(system="hybrid", benchmark="panel")
-    gcc_base: RunStats | None = None
-    gcc_hyb: RunStats | None = None
-    for name in panel:
-        base_stats = simulate(benchmark(name), single_system(*BASELINE)(), config)
-        hyb_stats = simulate(
-            benchmark(name), hybrid_system(*HYBRID, FUTURE_BITS)(), config
-        )
-        pooled_base.merge(base_stats)
-        pooled_hyb.merge(hyb_stats)
-        if name == "gcc":
-            gcc_base, gcc_hyb = base_stats, hyb_stats
+    systems = {
+        "baseline": single_spec(*BASELINE),
+        "hybrid": hybrid_spec(*HYBRID, FUTURE_BITS),
+    }
+    sweep = run_grid(systems, panel, config)
+    pooled_base = sweep.aggregate("baseline")
+    pooled_hyb = sweep.aggregate("hybrid")
+    gcc_base = sweep.get("baseline", "gcc")
+    gcc_hyb = sweep.get("hybrid", "gcc")
 
     reduction = percent_reduction(
         pooled_base.misp_per_kuops, pooled_hyb.misp_per_kuops
@@ -85,7 +77,6 @@ def run(scale: float = 1.0, panel: Sequence[str] = PANEL) -> ExperimentResult:
             "418 -> 680 (x1.63)",
         ]
     )
-    assert gcc_base is not None and gcc_hyb is not None
     result.rows.append(
         [
             "gcc mispredict %",
@@ -99,17 +90,9 @@ def run(scale: float = 1.0, panel: Sequence[str] = PANEL) -> ExperimentResult:
     # Timing rows (gcc): uPC and total fetched uops.
     n_branches = max(2_000, int(BASE_BRANCHES * scale))
     warmup = max(500, int(BASE_WARMUP * scale))
-    timed_base = TimedMachine(
-        benchmark("gcc"), SinglePredictorSystem(make_prophet(*BASELINE))
-    ).run(n_branches, warmup=warmup)
-    timed_hyb = TimedMachine(
-        benchmark("gcc"),
-        ProphetCriticSystem(
-            make_prophet(HYBRID[0], HYBRID[1]),
-            make_critic(HYBRID[2], HYBRID[3]),
-            future_bits=FUTURE_BITS,
-        ),
-    ).run(n_branches, warmup=warmup)
+    timed = run_timed_grid(systems, ["gcc"], n_branches, warmup)
+    timed_base = timed[("baseline", "gcc")]
+    timed_hyb = timed[("hybrid", "gcc")]
     result.rows.append(
         [
             "uPC (gcc)",

@@ -6,11 +6,18 @@ the examples and ad-hoc scripts share one entry point:
 >>> from repro.experiments import run_experiment
 >>> result = run_experiment("figure5", scale=0.5)
 >>> print(result.render())
+
+Pass ``engine=`` (a :class:`~repro.sim.execution.SweepEngine`) to run
+the experiment's sweep grids in parallel and/or against a result cache;
+the engine is installed as the process default for the duration of the
+call, so every grid inside the experiment picks it up.
 """
 
 from __future__ import annotations
 
 from typing import Callable
+
+from repro.sim.execution import SweepEngine, use_engine
 
 from repro.experiments import (
     ablations,
@@ -47,10 +54,21 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, scale: float = 1.0, **kwargs) -> ExperimentResult:
-    """Run one experiment by id; see :data:`EXPERIMENTS` for the catalog."""
+def run_experiment(
+    experiment_id: str,
+    scale: float = 1.0,
+    engine: SweepEngine | None = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment by id; see :data:`EXPERIMENTS` for the catalog.
+
+    ``engine`` (optional) routes the experiment's sweep grids through a
+    specific :class:`~repro.sim.execution.SweepEngine` — e.g. a process
+    pool with an on-disk cache — instead of the serial default.
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[experiment_id](scale=scale, **kwargs)
+    with use_engine(engine):
+        return EXPERIMENTS[experiment_id](scale=scale, **kwargs)

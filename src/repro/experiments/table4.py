@@ -14,9 +14,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.critiques import CritiqueKind
-from repro.experiments.base import ExperimentResult, hybrid_system, scaled_config
-from repro.sim.driver import simulate
-from repro.workloads.suites import benchmark
+from repro.experiments.base import (
+    ExperimentResult,
+    hybrid_spec,
+    run_grid,
+    scaled_config,
+)
 
 PROPHET = ("perceptron", 4)
 CRITIC_KBS: tuple[int, ...] = (2, 8, 32)
@@ -44,11 +47,17 @@ def run(
             "pct_none_total",
         ],
     )
+    systems = {
+        f"c{critic_kb}/fb{fb}": hybrid_spec(
+            PROPHET[0], PROPHET[1], "tagged-gshare", critic_kb, fb
+        )
+        for critic_kb in critic_kbs
+        for fb in future_bits
+    }
+    sweep = run_grid(systems, [bench_name], config)
     for critic_kb in critic_kbs:
         for fb in future_bits:
-            system = hybrid_system(PROPHET[0], PROPHET[1], "tagged-gshare", critic_kb, fb)()
-            stats = simulate(benchmark(bench_name), system, config)
-            census = stats.census
+            census = sweep.get(f"c{critic_kb}/fb{fb}", bench_name).census
             correct_none = 100.0 * census.fraction(CritiqueKind.CORRECT_NONE)
             incorrect_none = 100.0 * census.fraction(CritiqueKind.INCORRECT_NONE)
             result.rows.append(

@@ -5,20 +5,50 @@ synthetic program with genuine wrong-path fetch, checkpoint recovery and
 commit-order training, and returns a :class:`~repro.sim.metrics.RunStats`
 with the paper's metrics (misp/Kuops, critique census, filter shares,
 flush distance).
+
+Sweeps over (system × benchmark) grids route through the execution
+engine (:mod:`repro.sim.execution`): cells described as
+:class:`~repro.sim.specs.SweepCell` data run serially or across a
+process pool, with an optional content-addressed on-disk result cache
+(:mod:`repro.sim.cache`) — all three paths bit-for-bit identical.
 """
 
+from repro.sim.cache import ResultCache
 from repro.sim.driver import SimulationConfig, SimulationDesyncError, simulate
+from repro.sim.execution import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    SweepEngine,
+    get_default_engine,
+    make_engine,
+    run_cell,
+    set_default_engine,
+    use_engine,
+)
 from repro.sim.metrics import RunStats
 from repro.sim.results import format_table, render_series
+from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec
 from repro.sim.sweep import SweepResult, run_sweep
 
 __all__ = [
+    "ProcessPoolExecutor",
+    "ProgramSpec",
+    "ResultCache",
     "RunStats",
+    "SerialExecutor",
     "SimulationConfig",
     "SimulationDesyncError",
+    "SweepCell",
+    "SweepEngine",
     "SweepResult",
+    "SystemSpec",
     "format_table",
+    "get_default_engine",
+    "make_engine",
     "render_series",
+    "run_cell",
     "run_sweep",
+    "set_default_engine",
     "simulate",
+    "use_engine",
 ]

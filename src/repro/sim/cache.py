@@ -1,0 +1,178 @@
+"""On-disk result cache for sweep cells.
+
+Results are keyed by :meth:`repro.sim.specs.SweepCell.content_hash` — a
+SHA-256 over the cell's *content* (system spec, resolved workload
+profile, simulation config, format version). Because every cell is
+deterministic in its spec, a hit can be substituted for a run without
+changing a single bit of the sweep's outcome; the differential tests in
+``tests/sim/test_execution.py`` enforce exactly that.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one small JSON document per
+cell. Writes are atomic (temp file + ``os.replace``) so a crashed or
+interrupted sweep never leaves a truncated entry; reads treat any
+malformed or mismatched entry as a miss. The cache is therefore safe to
+share between concurrent sweeps and to delete wholesale at any time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.critiques import CritiqueCensus, CritiqueKind
+from repro.sim.metrics import RunStats
+from repro.sim.specs import SPEC_FORMAT_VERSION
+
+if TYPE_CHECKING:  # pipeline imports sim.driver; keep the runtime DAG acyclic
+    from repro.pipeline.machine import PipelineResult
+
+#: Schema version of the cached payloads themselves.
+CACHE_SCHEMA_VERSION = 1
+
+_RUNSTATS_COUNTERS = (
+    "branches",
+    "committed_uops",
+    "mispredicts",
+    "prophet_mispredicts",
+    "static_branches",
+    "forced_critiques",
+    "critic_redirects",
+    "fetched_uops",
+    "taken_branches",
+)
+
+_PIPELINE_COUNTERS = (
+    "cycles",
+    "committed_uops",
+    "fetched_uops",
+    "branches",
+    "mispredicts",
+    "critic_redirects",
+    "ftq_empty_cycles",
+)
+
+
+def stats_to_dict(stats: RunStats) -> dict:
+    """Serialise a :class:`RunStats` to a JSON-safe dict (lossless)."""
+    payload: dict = {
+        "benchmark": stats.benchmark,
+        "system": stats.system,
+        "census": stats.census.as_dict(),
+    }
+    for name in _RUNSTATS_COUNTERS:
+        payload[name] = getattr(stats, name)
+    if stats.per_site is not None:
+        payload["per_site"] = {str(pc): row for pc, row in stats.per_site.items()}
+    return payload
+
+
+def stats_from_dict(payload: dict) -> RunStats:
+    """Rebuild a :class:`RunStats` from :func:`stats_to_dict` output."""
+    stats = RunStats(benchmark=payload["benchmark"], system=payload["system"])
+    for name in _RUNSTATS_COUNTERS:
+        setattr(stats, name, int(payload[name]))
+    stats.census = CritiqueCensus(
+        counts={kind: int(payload["census"][kind.value]) for kind in CritiqueKind}
+    )
+    if "per_site" in payload:
+        stats.per_site = {
+            int(pc): [int(v) for v in row] for pc, row in payload["per_site"].items()
+        }
+    return stats
+
+
+def pipeline_to_dict(result: "PipelineResult") -> dict:
+    """Serialise a :class:`PipelineResult` (timing cells) to a dict."""
+    payload: dict = {"benchmark": result.benchmark, "system": result.system}
+    for name in _PIPELINE_COUNTERS:
+        payload[name] = getattr(result, name)
+    return payload
+
+
+def pipeline_from_dict(payload: dict) -> "PipelineResult":
+    from repro.pipeline.machine import PipelineResult
+
+    result = PipelineResult(benchmark=payload["benchmark"], system=payload["system"])
+    for name in _PIPELINE_COUNTERS:
+        setattr(result, name, int(payload[name]))
+    return result
+
+
+def encode_result(result: "RunStats | PipelineResult") -> dict:
+    """Wrap a cell result with its type tag and schema versions."""
+    from repro.pipeline.machine import PipelineResult
+
+    if isinstance(result, RunStats):
+        return {"type": "accuracy", "payload": stats_to_dict(result)}
+    if isinstance(result, PipelineResult):
+        return {"type": "timing", "payload": pipeline_to_dict(result)}
+    raise TypeError(f"uncacheable result type {type(result).__name__}")
+
+
+def decode_result(document: dict) -> "RunStats | PipelineResult":
+    if document["type"] == "accuracy":
+        return stats_from_dict(document["payload"])
+    if document["type"] == "timing":
+        return pipeline_from_dict(document["payload"])
+    raise ValueError(f"unknown cached result type {document['type']!r}")
+
+
+class ResultCache:
+    """Content-addressed store of cell results under a root directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Telemetry for the current process (reported by the CLI).
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> RunStats | PipelineResult | None:
+        """Fetch a result, or None on miss / stale format / corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            if (
+                document.get("key") != key
+                or document.get("cache_schema") != CACHE_SCHEMA_VERSION
+                or document.get("spec_format") != SPEC_FORMAT_VERSION
+            ):
+                self.misses += 1
+                return None
+            result = decode_result(document)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunStats | PipelineResult) -> None:
+        """Store a result atomically (last writer wins, all writers agree)."""
+        document = encode_result(result)
+        document["key"] = key
+        document["cache_schema"] = CACHE_SCHEMA_VERSION
+        document["spec_format"] = SPEC_FORMAT_VERSION
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,222 @@
+"""Parallel sweep execution engine.
+
+Every experiment in §7 is a grid of (prophet × critic × size × future
+bits × benchmark) cells. Cells are perfectly independent — each gets a
+fresh program and fresh predictor state — so the grid is embarrassingly
+parallel. This module turns a list of :class:`~repro.sim.specs.SweepCell`
+descriptions into results through three cooperating pieces:
+
+* :func:`run_cell` — the worker function: rebuilds program and system
+  from the cell's specs and runs the appropriate simulator. Module-level
+  and closure-free, so it pickles cleanly into worker processes.
+* **Executors** — :class:`SerialExecutor` runs cells in-process (the
+  reference semantics); :class:`ProcessPoolExecutor` fans them out over a
+  ``concurrent.futures`` process pool. Both implement ``map_cells`` and
+  are interchangeable: cells are deterministic in their specs, so the
+  executor choice can never change a result, only the wall clock.
+* :class:`SweepEngine` — executor + optional
+  :class:`~repro.sim.cache.ResultCache`. Before running, each cell's
+  content hash is probed in the cache; only missing cells are executed,
+  and their results are written back. Duplicate cells inside one sweep
+  (same hash under different labels) are simulated once.
+
+The equivalence of the three paths — serial, process pool, cold cache
+then warm cache — is not an aspiration but a tested invariant
+(``tests/sim/test_execution.py`` asserts field-by-field equality of the
+resulting :class:`~repro.sim.sweep.SweepResult`\\ s).
+
+Experiments pick up the process-wide default engine (see
+:func:`get_default_engine`), which the CLI configures from ``--jobs``,
+``--cache-dir`` and ``--no-cache``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import copy
+import os
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence, Union
+
+from repro.sim.cache import ResultCache
+from repro.sim.driver import simulate
+from repro.sim.metrics import RunStats
+from repro.sim.specs import MODE_TIMING, SweepCell
+from repro.sim.sweep import SweepResult
+
+if TYPE_CHECKING:  # pipeline imports sim.driver; keep the runtime DAG acyclic
+    from repro.pipeline.machine import PipelineResult
+
+    CellResult = Union[RunStats, "PipelineResult"]
+
+
+def run_cell(cell: SweepCell) -> CellResult:
+    """Execute one sweep cell from scratch (the process-pool work unit).
+
+    Rebuilds the program and prediction system from their specs so the
+    result depends only on the cell's content — never on which process or
+    in which order it runs — then stamps the cell's display labels.
+    """
+    program = cell.program.build()
+    system = cell.system.build()
+    if cell.mode == MODE_TIMING:
+        from repro.pipeline.machine import TimedMachine
+
+        result: CellResult = TimedMachine(program, system).run(
+            cell.config.n_branches, warmup=cell.config.warmup
+        )
+    else:
+        result = simulate(program, system, cell.config)
+    result.system = cell.system_label
+    result.benchmark = cell.bench_name
+    return result
+
+
+def _stamp(result: CellResult, cell: SweepCell) -> CellResult:
+    """Re-apply a cell's labels (cache entries may carry another label)."""
+    result.system = cell.system_label
+    result.benchmark = cell.bench_name
+    return result
+
+
+class SerialExecutor:
+    """Runs cells one after another in the calling process."""
+
+    jobs = 1
+
+    def map_cells(self, cells: Sequence[SweepCell]) -> list[CellResult]:
+        return [run_cell(cell) for cell in cells]
+
+
+class ProcessPoolExecutor:
+    """Fans cells out over a ``concurrent.futures`` process pool.
+
+    Results come back in submission order, so a sweep's outcome is
+    independent of worker scheduling. Worker processes import the cell
+    specs and rebuild everything locally; nothing stateful crosses the
+    pickle boundary.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def map_cells(self, cells: Sequence[SweepCell]) -> list[CellResult]:
+        if len(cells) <= 1 or self.jobs == 1:
+            # Not worth a pool; keep the semantics identical regardless.
+            return SerialExecutor().map_cells(cells)
+        workers = min(self.jobs, len(cells))
+        chunksize = max(1, len(cells) // (workers * 4))
+        with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_cell, cells, chunksize=chunksize))
+
+
+@dataclass
+class SweepEngine:
+    """Executor + cache: the one place sweep cells get turned into results.
+
+    ``run_cells`` is the primitive — results in cell order, cache
+    consulted per cell, duplicates coalesced. ``run`` additionally files
+    accuracy results into a :class:`SweepResult` keyed by the cells'
+    (system label, benchmark name).
+    """
+
+    executor: SerialExecutor | ProcessPoolExecutor = field(default_factory=SerialExecutor)
+    cache: ResultCache | None = None
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> list[CellResult]:
+        results: dict[int, CellResult] = {}
+        pending: list[tuple[int, str, SweepCell]] = []
+        first_index: dict[str, int] = {}
+        duplicates: list[tuple[int, str]] = []
+        for index, cell in enumerate(cells):
+            key = cell.content_hash()
+            if key in first_index:
+                duplicates.append((index, key))
+                continue
+            first_index[key] = index
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[index] = _stamp(cached, cell)
+            else:
+                pending.append((index, key, cell))
+        if pending:
+            fresh = self.executor.map_cells([cell for _, _, cell in pending])
+            for (index, key, _cell), result in zip(pending, fresh):
+                if self.cache is not None:
+                    self.cache.put(key, result)
+                results[index] = result
+        for index, key in duplicates:
+            twin = results[first_index[key]]
+            results[index] = _stamp(copy.deepcopy(twin), cells[index])
+        return [results[index] for index in range(len(cells))]
+
+    def run(self, cells: Sequence[SweepCell]) -> SweepResult:
+        """Run accuracy cells and index the stats by (label, benchmark)."""
+        sweep = SweepResult()
+        for cell, result in zip(cells, self.run_cells(cells)):
+            if not isinstance(result, RunStats):
+                raise TypeError(
+                    "SweepEngine.run expects accuracy cells; use run_cells "
+                    "for timing cells"
+                )
+            sweep.add(cell.system_label, cell.bench_name, result)
+        return sweep
+
+
+def make_engine(
+    jobs: int = 1,
+    cache_dir: str | os.PathLike | None = None,
+) -> SweepEngine:
+    """Build an engine from CLI-shaped knobs.
+
+    ``jobs`` ≤ 1 selects the in-process serial executor; larger values a
+    process pool of that size. ``cache_dir`` of None disables caching.
+    """
+    executor = SerialExecutor() if jobs <= 1 else ProcessPoolExecutor(jobs)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return SweepEngine(executor=executor, cache=cache)
+
+
+# --- process-wide default engine ------------------------------------------
+#
+# Experiment modules route their grids through whatever engine is current,
+# so `python -m repro run figure5 --jobs 8 --cache-dir .cache` accelerates
+# every experiment without threading parameters through each signature.
+
+_default_engine: SweepEngine | None = None
+
+
+def get_default_engine() -> SweepEngine:
+    """The engine experiments use when none is passed explicitly.
+
+    Serial and cacheless unless :func:`set_default_engine` or
+    :func:`use_engine` installed something else — the exact semantics of
+    the original single-process sweep loop.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = SweepEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: SweepEngine | None) -> None:
+    """Install (or with None, reset) the process-wide default engine."""
+    global _default_engine
+    _default_engine = engine
+
+
+@contextlib.contextmanager
+def use_engine(engine: SweepEngine | None) -> Iterator[SweepEngine]:
+    """Temporarily install ``engine`` as the default (None = no change)."""
+    if engine is None:
+        yield get_default_engine()
+        return
+    previous = _default_engine
+    set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)

@@ -1,0 +1,244 @@
+"""Self-describing sweep-cell specifications.
+
+The parallel execution engine (:mod:`repro.sim.execution`) cannot ship
+closures to worker processes, and the result cache cannot key on object
+identity. Both need every sweep cell to be *data*: a picklable,
+content-hashable description from which the worker rebuilds the program
+and the prediction system from scratch. This module defines that data
+model:
+
+* :class:`SystemSpec` — a prediction system as (role, predictor kinds,
+  Table-3 budgets, future bits, insert policy) rather than a factory
+  closure;
+* :class:`ProgramSpec` — a workload as either a named benchmark from
+  :data:`repro.workloads.suites.BENCHMARKS` or an explicit
+  :class:`~repro.workloads.generator.WorkloadProfile`, with an optional
+  seed override for decorrelated replicas;
+* :class:`SweepCell` — one grid cell: (system spec, program spec,
+  :class:`~repro.sim.driver.SimulationConfig`) plus display labels and a
+  mode ("accuracy" for the functional simulator, "timing" for the
+  Table-2 machine model).
+
+Determinism contract: building a spec twice yields behaviourally
+identical objects, and every source of randomness in a cell is derived
+from the spec itself (profile seeds, site hashes), never from process
+identity or execution order. :meth:`SweepCell.content_hash` is therefore
+a stable cache key: equal hash ⇒ bit-for-bit equal results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any
+
+from repro.core.hybrid import (
+    PredictionSystem,
+    ProphetCriticSystem,
+    SinglePredictorSystem,
+)
+from repro.predictors.budget import make_critic, make_prophet
+from repro.sim.driver import SimulationConfig
+from repro.workloads.generator import WorkloadProfile, generate_program
+from repro.workloads.program import Program
+
+#: Bumped whenever the meaning of a spec or the result schema changes;
+#: part of every content hash, so stale cache entries can never be
+#: mistaken for current ones.
+SPEC_FORMAT_VERSION = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialise ``payload`` to a canonical (sorted, compact) JSON string.
+
+    The canonical form is what gets hashed, so key order and whitespace
+    must never influence the digest.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A prediction system described as data (see Table 3 for budgets).
+
+    ``kind`` is ``"single"`` (prophet alone) or ``"hybrid"``
+    (prophet/critic). Predictors are named by their budget-table kind and
+    KB budget, exactly the vocabulary of
+    :func:`repro.predictors.budget.make_predictor`.
+    """
+
+    kind: str
+    prophet: tuple[str, int]
+    critic: tuple[str, int] | None = None
+    future_bits: int = 0
+    insert_on: str = "final"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("single", "hybrid"):
+            raise ValueError(f"kind must be 'single' or 'hybrid', got {self.kind!r}")
+        if self.kind == "hybrid" and self.critic is None:
+            raise ValueError("hybrid systems need a critic spec")
+        if self.kind == "single" and self.critic is not None:
+            raise ValueError("single systems take no critic spec")
+        # Tuples may arrive as lists (e.g. after a JSON round trip).
+        object.__setattr__(self, "prophet", tuple(self.prophet))
+        if self.critic is not None:
+            object.__setattr__(self, "critic", tuple(self.critic))
+
+    @staticmethod
+    def single(prophet_kind: str, budget_kb: int) -> "SystemSpec":
+        """Spec for a prophet-alone baseline."""
+        return SystemSpec(kind="single", prophet=(prophet_kind, budget_kb))
+
+    @staticmethod
+    def hybrid(
+        prophet_kind: str,
+        prophet_kb: int,
+        critic_kind: str,
+        critic_kb: int,
+        future_bits: int,
+        insert_on: str = "final",
+    ) -> "SystemSpec":
+        """Spec for a prophet/critic hybrid."""
+        return SystemSpec(
+            kind="hybrid",
+            prophet=(prophet_kind, prophet_kb),
+            critic=(critic_kind, critic_kb),
+            future_bits=future_bits,
+            insert_on=insert_on,
+        )
+
+    def build(self) -> PredictionSystem:
+        """Instantiate a *fresh* prediction system from this spec."""
+        if self.kind == "single":
+            return SinglePredictorSystem(make_prophet(*self.prophet))
+        assert self.critic is not None
+        return ProphetCriticSystem(
+            make_prophet(*self.prophet),
+            make_critic(*self.critic),
+            future_bits=self.future_bits,
+            insert_on=self.insert_on,
+        )
+
+    def describe(self) -> dict:
+        """JSON-serialisable description (input to the content hash)."""
+        payload: dict[str, Any] = {"kind": self.kind, "prophet": list(self.prophet)}
+        if self.kind == "hybrid":
+            assert self.critic is not None
+            payload["critic"] = list(self.critic)
+            payload["future_bits"] = self.future_bits
+            payload["insert_on"] = self.insert_on
+        return payload
+
+
+@dataclass
+class ProgramSpec:
+    """A workload described as data.
+
+    Exactly one of ``benchmark`` (a name from
+    :data:`repro.workloads.suites.BENCHMARKS`) or ``profile`` (an explicit
+    :class:`WorkloadProfile`) must be set. ``seed`` overrides the
+    profile's seed when not None — the hook for deterministic per-cell
+    seeding of replicated cells (see :meth:`SweepCell.cell_seed`).
+    """
+
+    benchmark: str | None = None
+    profile: WorkloadProfile | None = None
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.benchmark is None) == (self.profile is None):
+            raise ValueError("set exactly one of benchmark or profile")
+
+    def resolved_profile(self) -> WorkloadProfile:
+        """The profile this spec denotes, seed override applied."""
+        if self.benchmark is not None:
+            from repro.workloads.suites import BENCHMARKS
+
+            if self.benchmark not in BENCHMARKS:
+                raise KeyError(
+                    f"unknown benchmark {self.benchmark!r}; known: {sorted(BENCHMARKS)}"
+                )
+            profile = BENCHMARKS[self.benchmark]
+        else:
+            assert self.profile is not None
+            profile = self.profile
+        if self.seed is not None:
+            profile = replace(profile, seed=self.seed)
+        return profile
+
+    def build(self) -> Program:
+        """Generate a fresh program (deterministic in the spec alone)."""
+        return generate_program(self.resolved_profile())
+
+    @property
+    def name(self) -> str:
+        return self.benchmark if self.benchmark is not None else self.profile.name
+
+    def describe(self) -> dict:
+        payload: dict[str, Any] = {}
+        if self.benchmark is not None:
+            # Hash the *resolved* profile, not just the name: renaming or
+            # retuning a benchmark in suites.py must invalidate old entries.
+            payload["benchmark"] = self.benchmark
+            payload["profile"] = asdict(self.resolved_profile())
+        else:
+            payload["profile"] = asdict(self.resolved_profile())
+        return payload
+
+
+#: Cell modes: the functional accuracy simulator vs the Table-2 timing model.
+MODE_ACCURACY = "accuracy"
+MODE_TIMING = "timing"
+
+
+@dataclass
+class SweepCell:
+    """One self-contained unit of sweep work.
+
+    Carries everything a worker process needs to produce the cell's
+    result from scratch, plus the (system label, benchmark name) under
+    which the result is filed. Labels are presentation only — they are
+    *excluded* from the content hash, so two cells that differ only in
+    label share a cache entry.
+    """
+
+    system_label: str
+    bench_name: str
+    system: SystemSpec
+    program: ProgramSpec
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    mode: str = MODE_ACCURACY
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_ACCURACY, MODE_TIMING):
+            raise ValueError(f"unknown cell mode {self.mode!r}")
+
+    def describe(self) -> dict:
+        """The hashed identity of this cell (labels excluded)."""
+        return {
+            "format": SPEC_FORMAT_VERSION,
+            "mode": self.mode,
+            "system": self.system.describe(),
+            "program": self.program.describe(),
+            "config": asdict(self.config),
+        }
+
+    def content_hash(self) -> str:
+        """Stable cache key: equal hash ⇒ identical results."""
+        return content_digest(self.describe())
+
+    def cell_seed(self) -> int:
+        """A deterministic 63-bit seed derived from the cell's identity.
+
+        Useful for building decorrelated replicas: feed it back through
+        ``ProgramSpec(seed=...)`` and the replica's stream depends only on
+        the spec, never on scheduling or process identity.
+        """
+        return int(self.content_hash()[:16], 16) & (2**63 - 1)

@@ -4,6 +4,34 @@ Experiments in §7 are grids: prophets × critics × sizes × future bits ×
 benchmarks. :func:`run_sweep` executes such a grid with fresh predictor
 state per cell and returns a :class:`SweepResult` that experiment modules
 turn into the paper's tables and series.
+
+Execution and caching model
+---------------------------
+
+Cells are independent — each gets a freshly generated program and fresh
+predictor tables — and deterministic in their description, so a sweep
+can be decomposed into self-describing
+:class:`~repro.sim.specs.SweepCell` tasks and handed to the
+:class:`~repro.sim.execution.SweepEngine`:
+
+* **Executor** — cells run either in-process
+  (:class:`~repro.sim.execution.SerialExecutor`) or across a
+  ``concurrent.futures`` process pool
+  (:class:`~repro.sim.execution.ProcessPoolExecutor`, ``--jobs N`` on
+  the CLI). The executor cannot change results, only the wall clock; the
+  differential tests assert bit-for-bit equality between both paths.
+* **Cache** — with a :class:`~repro.sim.cache.ResultCache` attached
+  (``--cache-dir`` on the CLI), each cell is keyed by a SHA-256 over its
+  content (system spec, resolved workload profile, simulation config,
+  format version). Re-running an experiment only simulates cells whose
+  content changed; everything else is served from disk, bit-for-bit
+  identical to a fresh run.
+
+Describe sweeps with :class:`~repro.sim.specs.SystemSpec` /
+:class:`~repro.sim.specs.ProgramSpec` values to get both behaviours.
+Plain factory callables are still accepted for ad-hoc sweeps, but they
+cannot be pickled or content-hashed, so they always run serially
+in-process with no caching.
 """
 
 from __future__ import annotations
@@ -14,9 +42,11 @@ from typing import Callable
 from repro.core.hybrid import PredictionSystem
 from repro.sim.driver import SimulationConfig, simulate
 from repro.sim.metrics import RunStats
+from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec
 from repro.workloads.program import Program
 
-#: A sweep cell: label → factory producing a *fresh* system.
+#: A sweep cell's system: a spec (parallelisable, cacheable) or a bare
+#: factory producing a *fresh* system (legacy, in-process only).
 SystemFactory = Callable[[], PredictionSystem]
 ProgramFactory = Callable[[], Program]
 
@@ -31,7 +61,13 @@ class SweepResult:
         self.runs[(system_label, bench_name)] = stats
 
     def get(self, system_label: str, bench_name: str) -> RunStats:
-        return self.runs[(system_label, bench_name)]
+        try:
+            return self.runs[(system_label, bench_name)]
+        except KeyError:
+            raise KeyError(
+                f"no run for system {system_label!r} on benchmark {bench_name!r}; "
+                f"systems: {self.system_labels()}; benchmarks: {self.bench_names()}"
+            ) from None
 
     def system_labels(self) -> list[str]:
         seen: dict[str, None] = {}
@@ -65,17 +101,59 @@ class SweepResult:
         return merged
 
 
+def _as_program_spec(value: ProgramSpec | str) -> ProgramSpec:
+    return ProgramSpec(benchmark=value) if isinstance(value, str) else value
+
+
 def run_sweep(
-    systems: dict[str, SystemFactory],
-    benchmarks: dict[str, ProgramFactory],
+    systems: dict[str, SystemSpec | SystemFactory],
+    benchmarks: dict[str, ProgramSpec | str | ProgramFactory],
     config: SimulationConfig | None = None,
+    engine=None,
 ) -> SweepResult:
-    """Run every system on every benchmark, fresh state per cell."""
+    """Run every system on every benchmark, fresh state per cell.
+
+    When every system is a :class:`SystemSpec` and every benchmark a
+    :class:`ProgramSpec` or benchmark name, the grid routes through the
+    sweep engine (``engine``, or the process-wide default — see
+    :func:`repro.sim.execution.get_default_engine`) and gains parallel
+    execution and result caching. Grids containing bare factory
+    callables fall back to the in-process serial loop.
+    """
+    config = config or SimulationConfig()
+    spec_based = all(isinstance(s, SystemSpec) for s in systems.values()) and all(
+        isinstance(b, (ProgramSpec, str)) for b in benchmarks.values()
+    )
+    if spec_based:
+        from repro.sim.execution import get_default_engine
+
+        cells = [
+            SweepCell(
+                system_label=system_label,
+                bench_name=bench_name,
+                system=system,
+                program=_as_program_spec(program),
+                config=config,
+            )
+            for bench_name, program in benchmarks.items()
+            for system_label, system in systems.items()
+        ]
+        engine = engine if engine is not None else get_default_engine()
+        return engine.run(cells)
+
     result = SweepResult()
     for bench_name, program_factory in benchmarks.items():
         for system_label, system_factory in systems.items():
-            program = program_factory()
-            system = system_factory()
+            program = (
+                _as_program_spec(program_factory).build()
+                if isinstance(program_factory, (ProgramSpec, str))
+                else program_factory()
+            )
+            system = (
+                system_factory.build()
+                if isinstance(system_factory, SystemSpec)
+                else system_factory()
+            )
             stats = simulate(program, system, config)
             stats.system = system_label
             result.add(system_label, bench_name, stats)

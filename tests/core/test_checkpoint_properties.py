@@ -1,0 +1,169 @@
+"""Property-based checkpoint/restore tests (seeded stdlib ``random``).
+
+The whole simulator rests on one invariant: speculative history state is
+always exactly the fold of the *surviving* path. Any interleaving of
+predict / critique / redirect / recover must leave the BHR and BOR equal
+to what replaying just the surviving insertions from scratch would
+produce. These tests drive randomised interleavings against simple
+reference models (plain Python bit lists) and check the invariant after
+every step — the same style of repair sequence the driver performs, but
+over a much wilder schedule than any real program induces.
+"""
+
+import random
+
+import pytest
+
+from repro.core.history import HistoryRegister
+from repro.core.hybrid import ProphetCriticSystem
+from repro.predictors.budget import make_critic, make_prophet
+
+N_SEEDS = 12
+STEPS = 400
+
+
+def fold(bits, width: int) -> int:
+    """Replay a list of inserted bits (oldest first) into an integer."""
+    value = 0
+    for bit in bits:
+        value = ((value << 1) | int(bit)) & ((1 << width) - 1)
+    return value
+
+
+class TestHistoryRegisterProperties:
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_random_interleavings_match_replay(self, seed):
+        rng = random.Random(seed)
+        width = rng.randint(1, 48)
+        register = HistoryRegister(width)
+        model: list[int] = []
+        checkpoints: list[tuple[int, list[int]]] = []
+        for _ in range(STEPS):
+            op = rng.random()
+            if op < 0.55:
+                bit = rng.random() < 0.5
+                register.insert(bit)
+                model.append(int(bit))
+            elif op < 0.70:
+                count = rng.randint(0, 8)
+                bits = rng.getrandbits(count) if count else 0
+                register.insert_bits(bits, count)
+                model.extend((bits >> i) & 1 for i in reversed(range(count)))
+            elif op < 0.85 or not checkpoints:
+                checkpoints.append((register.checkpoint(), list(model)))
+            else:
+                value, surviving = checkpoints[rng.randrange(len(checkpoints))]
+                register.restore(value)
+                model = list(surviving)
+            assert register.value == fold(model, width)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bit_accessor_matches_model(self, seed):
+        rng = random.Random(1000 + seed)
+        width = rng.randint(2, 24)
+        register = HistoryRegister(width)
+        model: list[int] = []
+        for _ in range(64):
+            bit = rng.random() < 0.5
+            register.insert(bit)
+            model.append(int(bit))
+            recent_first = list(reversed(model))[:width]
+            for position, expected in enumerate(recent_first):
+                assert register.bit(position) == expected
+
+
+class TestProphetCriticCheckpointProperties:
+    """Random driver-like schedules of predict/critique/redirect/recover.
+
+    The reference model tracks, per register, the list of surviving
+    speculative insertions; a redirect or recovery truncates the model to
+    the branch's insertion point and appends the corrective bit —
+    exactly the paper's checkpoint-repair semantics (§3.2, §3.3).
+    """
+
+    def _build_system(self, rng: random.Random) -> ProphetCriticSystem:
+        prophet_kind = rng.choice(("gshare", "2bc-gskew", "perceptron"))
+        critic_kind = rng.choice(("tagged-gshare", "gshare"))
+        return ProphetCriticSystem(
+            make_prophet(prophet_kind, 2),
+            make_critic(critic_kind, 2),
+            future_bits=rng.choice((0, 1, 4, 8)),
+        )
+
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_registers_equal_replay_of_surviving_path(self, seed):
+        rng = random.Random(seed)
+        system = self._build_system(rng)
+        bhr_model: list[int] = []
+        bor_model: list[int] = []
+        # In-flight branches, oldest first, with their insertion points.
+        inflight: list[tuple[object, int]] = []
+
+        def check() -> None:
+            assert system.bhr.value == fold(bhr_model, system.bhr.width)
+            assert system.bor.value == fold(bor_model, system.bor.width)
+
+        for _ in range(STEPS):
+            op = rng.random()
+            if op < 0.45 or not inflight:
+                pc = 0x400000 + rng.randrange(48) * 8
+                handle = system.predict(pc)
+                inflight.append((handle, len(bhr_model)))
+                bhr_model.append(int(handle.prophet_pred))
+                bor_model.append(int(handle.prophet_pred))
+            elif op < 0.75:
+                # Critique the oldest uncritiqued branch, in order.
+                index = next(
+                    (i for i, (h, _) in enumerate(inflight) if not h.critiqued),
+                    None,
+                )
+                if index is None:
+                    continue
+                handle, position = inflight[index]
+                final = system.critique(handle)
+                if final != handle.prophet_pred:
+                    # Critic override: squash the younger tail and repair.
+                    del inflight[index + 1:]
+                    system.apply_redirect(handle, final)
+                    del bhr_model[position:]
+                    del bor_model[position:]
+                    bhr_model.append(int(final))
+                    bor_model.append(int(final))
+            else:
+                # Resolve the head once critiqued (program order).
+                if not inflight or not inflight[0][0].critiqued:
+                    continue
+                handle, position = inflight.pop(0)
+                taken = rng.random() < 0.5
+                system.resolve(handle, taken)
+                if handle.final_pred != taken:
+                    system.recover(handle, taken)
+                    inflight.clear()
+                    del bhr_model[position:]
+                    del bor_model[position:]
+                    bhr_model.append(int(taken))
+                    bor_model.append(int(taken))
+            check()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_full_squash_returns_to_checkpoint(self, seed):
+        """recover() after a burst of predictions restores the pre-burst
+        registers exactly (plus the corrective outcome bit)."""
+        rng = random.Random(5000 + seed)
+        system = self._build_system(rng)
+        # Warm the registers with some committed history.
+        for _ in range(rng.randint(0, 40)):
+            handle = system.predict(0x400000 + rng.randrange(16) * 8)
+            system.critique(handle)
+        bhr_before = system.bhr.value
+        bor_before = system.bor.value
+        first = system.predict(0x400800)
+        for _ in range(rng.randint(0, 24)):
+            system.predict(0x400000 + rng.randrange(16) * 8)
+        taken = not first.prophet_pred  # force a mispredict
+        system.critique(first)
+        system.recover(first, taken)
+        expected_bhr = ((bhr_before << 1) | int(taken)) & ((1 << system.bhr.width) - 1)
+        expected_bor = ((bor_before << 1) | int(taken)) & ((1 << system.bor.width) - 1)
+        assert system.bhr.value == expected_bhr
+        assert system.bor.value == expected_bor

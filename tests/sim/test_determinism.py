@@ -1,0 +1,72 @@
+"""Regression tests for simulation determinism.
+
+The execution engine's caching and parallelism are only sound because a
+cell's result is a pure function of its spec. These tests pin that
+property at the `simulate` level: the same seed and config must produce
+identical ``RunStats`` across independent runs, across a ``reset()`` of
+the system, and regardless of unrelated simulations in between.
+"""
+
+from repro.experiments.base import hybrid_system, single_system
+from repro.sim import RunStats, SimulationConfig, simulate
+from repro.workloads.suites import benchmark
+
+CONFIG = SimulationConfig(n_branches=2000, warmup=400)
+
+_FIELDS = (
+    "benchmark",
+    "branches",
+    "committed_uops",
+    "mispredicts",
+    "prophet_mispredicts",
+    "static_branches",
+    "forced_critiques",
+    "critic_redirects",
+    "fetched_uops",
+    "taken_branches",
+)
+
+
+def assert_identical(a: RunStats, b: RunStats) -> None:
+    for field in _FIELDS:
+        assert getattr(a, field) == getattr(b, field), field
+    assert a.census.counts == b.census.counts
+
+
+class TestSimulateDeterminism:
+    def test_two_fresh_runs_are_identical(self):
+        first = simulate(
+            benchmark("flash"), hybrid_system("gshare", 2, "tagged-gshare", 2, 4)(), CONFIG
+        )
+        second = simulate(
+            benchmark("flash"), hybrid_system("gshare", 2, "tagged-gshare", 2, 4)(), CONFIG
+        )
+        assert first.mispredicts > 0  # a trivial run would prove nothing
+        assert_identical(first, second)
+
+    def test_rerun_after_system_reset_is_identical(self):
+        program = benchmark("swim")
+        system = hybrid_system("2bc-gskew", 2, "tagged-gshare", 2, 4)()
+        first = simulate(program, system, CONFIG)
+        system.reset()
+        second = simulate(program, system, CONFIG)  # simulate() resets the program
+        assert_identical(first, second)
+
+    def test_single_system_reset_is_identical(self):
+        program = benchmark("ammp")
+        system = single_system("gshare", 2)()
+        first = simulate(program, system, CONFIG)
+        system.reset()
+        second = simulate(program, system, CONFIG)
+        assert_identical(first, second)
+
+    def test_interleaved_unrelated_run_does_not_perturb(self):
+        """No hidden global state couples independent simulations."""
+        first = simulate(
+            benchmark("flash"), hybrid_system("gshare", 2, "tagged-gshare", 2, 4)(), CONFIG
+        )
+        simulate(benchmark("tpcc"), single_system("perceptron", 2)(), CONFIG)
+        second = simulate(
+            benchmark("flash"), hybrid_system("gshare", 2, "tagged-gshare", 2, 4)(), CONFIG
+        )
+        assert_identical(first, second)

@@ -1,0 +1,292 @@
+"""Differential tests for the parallel sweep execution engine.
+
+The engine's contract is that the executor and the cache are invisible:
+serial in-process execution, process-pool execution, and a cold-then-warm
+cache round trip must produce field-by-field identical
+``SweepResult``s. These tests enforce that contract on a small
+(3 systems × 3 benchmarks) grid, and pin down the supporting pieces —
+spec content hashing, cache robustness, duplicate-cell coalescing and
+the picklability of cells.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.pipeline.machine import PipelineResult
+from repro.sim import (
+    ProcessPoolExecutor,
+    ProgramSpec,
+    ResultCache,
+    RunStats,
+    SerialExecutor,
+    SimulationConfig,
+    SweepCell,
+    SweepEngine,
+    SystemSpec,
+    make_engine,
+    run_cell,
+    run_sweep,
+)
+from repro.sim.cache import stats_from_dict, stats_to_dict
+from repro.sim.specs import MODE_TIMING
+
+#: 3 systems × 3 benchmarks — the differential grid from the issue.
+SYSTEMS = {
+    "gshare-alone": SystemSpec.single("gshare", 2),
+    "filtered-hybrid": SystemSpec.hybrid("gshare", 2, "tagged-gshare", 2, 4),
+    "unfiltered-hybrid": SystemSpec.hybrid("2bc-gskew", 2, "gshare", 2, 1),
+}
+BENCHMARKS = ("swim", "facerec", "ammp")
+CONFIG = SimulationConfig(n_branches=1500, warmup=300)
+
+_STATS_COUNTERS = (
+    "benchmark",
+    "system",
+    "branches",
+    "committed_uops",
+    "mispredicts",
+    "prophet_mispredicts",
+    "static_branches",
+    "forced_critiques",
+    "critic_redirects",
+    "fetched_uops",
+    "taken_branches",
+)
+
+
+def make_cells():
+    return [
+        SweepCell(
+            system_label=label,
+            bench_name=name,
+            system=spec,
+            program=ProgramSpec(benchmark=name),
+            config=CONFIG,
+        )
+        for name in BENCHMARKS
+        for label, spec in SYSTEMS.items()
+    ]
+
+
+def assert_stats_identical(a: RunStats, b: RunStats) -> None:
+    """Field-by-field equality, including derived metrics and the census."""
+    for field in _STATS_COUNTERS:
+        assert getattr(a, field) == getattr(b, field), field
+    assert a.census.counts == b.census.counts
+    assert a.per_site == b.per_site
+    assert a.misp_per_kuops == b.misp_per_kuops
+
+
+def assert_sweeps_identical(a, b) -> None:
+    assert set(a.runs) == set(b.runs)
+    for key in a.runs:
+        assert_stats_identical(a.runs[key], b.runs[key])
+
+
+class TestDifferential:
+    def test_serial_pool_and_cache_paths_are_identical(self, tmp_path):
+        """The headline differential: serial == process pool == cold == warm."""
+        serial = SweepEngine(executor=SerialExecutor()).run(make_cells())
+        pooled = SweepEngine(executor=ProcessPoolExecutor(jobs=2)).run(make_cells())
+
+        cache = ResultCache(tmp_path / "cache")
+        cold_engine = SweepEngine(executor=SerialExecutor(), cache=cache)
+        cold = cold_engine.run(make_cells())
+        assert cache.hits == 0
+
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm_engine = SweepEngine(executor=SerialExecutor(), cache=warm_cache)
+        warm = warm_engine.run(make_cells())
+        assert warm_cache.misses == 0
+        # Every distinct cell came from disk, none were simulated.
+        assert warm_cache.hits == len({c.content_hash() for c in make_cells()})
+
+        assert_sweeps_identical(serial, pooled)
+        assert_sweeps_identical(serial, cold)
+        assert_sweeps_identical(serial, warm)
+
+    def test_grid_covers_expected_shape(self):
+        sweep = SweepEngine().run(make_cells())
+        assert set(sweep.system_labels()) == set(SYSTEMS)
+        assert set(sweep.bench_names()) == set(BENCHMARKS)
+        assert len(sweep.runs) == 9
+        for (_, bench), stats in sweep.runs.items():
+            assert stats.branches == CONFIG.n_branches - CONFIG.warmup
+            assert stats.benchmark == bench
+
+    def test_run_sweep_spec_path_matches_engine(self):
+        via_run_sweep = run_sweep(
+            SYSTEMS, {name: name for name in BENCHMARKS}, CONFIG
+        )
+        via_engine = SweepEngine().run(make_cells())
+        assert_sweeps_identical(via_run_sweep, via_engine)
+
+
+class TestContentHash:
+    def test_hash_is_stable_across_instances(self):
+        [a], [b] = make_cells()[:1], make_cells()[:1]
+        assert a is not b
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_ignores_labels(self):
+        a = make_cells()[0]
+        b = make_cells()[0]
+        b.system_label = "renamed"
+        b.bench_name = "swim"  # display key, same underlying program spec
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_varies_with_content(self):
+        base = make_cells()[0]
+        variants = [
+            SweepCell(
+                "x", "swim", SystemSpec.single("gshare", 4),
+                ProgramSpec(benchmark="swim"), CONFIG,
+            ),
+            SweepCell(
+                "x", "swim", base.system,
+                ProgramSpec(benchmark="ammp"), CONFIG,
+            ),
+            SweepCell(
+                "x", "swim", base.system,
+                ProgramSpec(benchmark="swim"),
+                SimulationConfig(n_branches=1501, warmup=300),
+            ),
+            SweepCell(
+                "x", "swim", base.system,
+                ProgramSpec(benchmark="swim", seed=7), CONFIG,
+            ),
+        ]
+        hashes = {base.content_hash()} | {v.content_hash() for v in variants}
+        assert len(hashes) == 5
+
+    def test_cell_seed_is_deterministic(self):
+        a, b = make_cells()[0], make_cells()[0]
+        assert a.cell_seed() == b.cell_seed()
+        assert 0 <= a.cell_seed() < 2**63
+
+
+class TestSpecs:
+    def test_system_spec_builds_fresh_systems(self):
+        spec = SYSTEMS["filtered-hybrid"]
+        a, b = spec.build(), spec.build()
+        assert a is not b
+        assert a.future_bits == 4
+
+    def test_single_spec_rejects_critic(self):
+        with pytest.raises(ValueError):
+            SystemSpec(kind="single", prophet=("gshare", 2), critic=("gshare", 2))
+
+    def test_hybrid_spec_requires_critic(self):
+        with pytest.raises(ValueError):
+            SystemSpec(kind="hybrid", prophet=("gshare", 2))
+
+    def test_program_spec_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            ProgramSpec()
+        with pytest.raises(ValueError):
+            from repro.workloads.generator import WorkloadProfile
+
+            ProgramSpec(benchmark="swim", profile=WorkloadProfile())
+
+    def test_program_spec_seed_override_changes_program(self):
+        base = ProgramSpec(benchmark="swim").build()
+        reseeded = ProgramSpec(benchmark="swim", seed=99).build()
+        assert base.name == reseeded.name
+        assert len(base.blocks) != len(reseeded.blocks) or any(
+            a.pc != b.pc for a, b in zip(base.blocks, reseeded.blocks)
+        )
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            ProgramSpec(benchmark="doom").build()
+
+
+class TestCache:
+    def test_stats_round_trip_is_lossless(self):
+        stats = run_cell(make_cells()[0])
+        stats.record_site(0x400100, prophet_misp=True, final_misp=False)
+        rebuilt = stats_from_dict(json.loads(json.dumps(stats_to_dict(stats))))
+        assert_stats_identical(stats, rebuilt)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cells()[0]
+        key = cell.content_hash()
+        cache.put(key, run_cell(cell))
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_wrong_typed_fields_are_a_miss(self, tmp_path):
+        """Valid JSON with a null counter must degrade to a miss, not crash."""
+        cache = ResultCache(tmp_path)
+        cell = make_cells()[0]
+        key = cell.content_hash()
+        cache.put(key, run_cell(cell))
+        path = cache.path_for(key)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["payload"]["branches"] = None
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cell = make_cells()[0]
+        key = cell.content_hash()
+        cache.put(key, run_cell(cell))
+        other = "0" * 64
+        cache.path_for(other).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(other).write_text(
+            cache.path_for(key).read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        assert cache.get(other) is None
+
+    def test_timing_cells_cache_round_trip(self, tmp_path):
+        cell = make_cells()[0]
+        cell.mode = MODE_TIMING
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(cache=cache)
+        [cold] = engine.run_cells([cell])
+        [warm] = engine.run_cells([cell])
+        assert isinstance(cold, PipelineResult)
+        assert dataclasses.asdict(cold) == dataclasses.asdict(warm)
+        assert cache.hits == 1
+
+    def test_engine_coalesces_duplicate_cells(self):
+        cell_a = make_cells()[0]
+        cell_b = make_cells()[0]
+        cell_b.system_label = "twin"
+
+        calls = []
+
+        class CountingExecutor(SerialExecutor):
+            def map_cells(self, cells):
+                calls.extend(cells)
+                return super().map_cells(cells)
+
+        engine = SweepEngine(executor=CountingExecutor())
+        first, twin = engine.run_cells([cell_a, cell_b])
+        assert len(calls) == 1
+        assert twin.system == "twin"
+        assert first is not twin
+        assert_stats_identical(
+            first, RunStats(**{**vars(twin), "system": first.system})
+        )
+
+
+class TestMakeEngine:
+    def test_jobs_selects_executor(self):
+        assert isinstance(make_engine(jobs=1).executor, SerialExecutor)
+        assert isinstance(make_engine(jobs=3).executor, ProcessPoolExecutor)
+        assert make_engine(jobs=3).executor.jobs == 3
+
+    def test_cache_dir_enables_cache(self, tmp_path):
+        assert make_engine().cache is None
+        engine = make_engine(cache_dir=tmp_path / "c")
+        assert engine.cache is not None
+        assert (tmp_path / "c").is_dir()
+
+    def test_pool_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(jobs=0)

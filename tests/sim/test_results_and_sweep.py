@@ -114,3 +114,24 @@ class TestRunSweep:
         from repro.sim.sweep import SweepResult
 
         assert SweepResult().average_misp_per_kuops("nope") == 0.0
+
+    def test_get_missing_pair_raises_descriptive_keyerror(self):
+        from repro.sim.sweep import SweepResult
+
+        result = SweepResult()
+        result.add("gshare", "w1", RunStats())
+        result.add("bimodal", "w2", RunStats())
+        with pytest.raises(KeyError) as excinfo:
+            result.get("gshare", "w9")
+        message = str(excinfo.value)
+        assert "gshare" in message and "w9" in message
+        assert "w1" in message and "w2" in message  # lists what *is* available
+        assert "bimodal" in message
+
+    def test_get_returns_existing_run(self):
+        from repro.sim.sweep import SweepResult
+
+        stats = RunStats(branches=5)
+        result = SweepResult()
+        result.add("gshare", "w1", stats)
+        assert result.get("gshare", "w1") is stats
