@@ -7,18 +7,26 @@ Usage::
     python -m repro run headline --jobs 8
     python -m repro --jobs 4 --cache-dir .repro-cache run figure6c
     python -m repro bench gcc --system hybrid --branches 100000
+    python -m repro trace record gcc --out traces/gcc.trace
+    python -m repro trace replay traces/gcc.trace --jobs 2 --cache-dir .repro-cache
+    python -m repro trace info traces/gcc.trace --verify
 
 ``run`` executes one registered experiment (see ``list``) and prints the
 paper-style rows/series. ``bench`` runs a single benchmark under either
 the 16KB 2Bc-gskew baseline or the 8+8 prophet/critic hybrid and prints
 the accuracy metrics — the quickest way to poke at a configuration.
+``trace`` records a workload's committed branch stream to a portable
+file, replays recorded traces through any system (bit-for-bit identical
+to the live run), and inspects/verifies trace files; see ``docs/CLI.md``
+for the full record → sweep → replay walkthrough.
 
-Sweep execution knobs for ``run`` (accepted before or after the
-subcommand; ``bench`` simulates a single cell, so they do not apply):
+Sweep execution knobs for ``run`` and ``trace replay`` (accepted before
+or after the subcommand; ``bench`` simulates a single cell, so they do
+not apply):
 
 ``--jobs N``
-    Fan the experiment's sweep cells out over an N-process pool
-    (results are bit-for-bit identical to ``--jobs 1``; see
+    Fan the sweep cells out over an N-process pool (results are
+    bit-for-bit identical to ``--jobs 1``; see
     :mod:`repro.sim.execution`).
 ``--cache-dir PATH``
     Cache per-cell results on disk, keyed by a content hash of the cell
@@ -31,14 +39,24 @@ subcommand; ``bench`` simulates a single cell, so they do not apply):
 from __future__ import annotations
 
 import argparse
+import itertools
 import sys
+from pathlib import Path
 
-from repro.core import ProphetCriticSystem, SinglePredictorSystem
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.predictors import make_critic, make_prophet
-from repro.sim import SimulationConfig, make_engine, simulate
+from repro.sim import SimulationConfig, make_engine, oracle_replay, simulate
 from repro.sim.results import render_mapping
+from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec
 from repro.workloads import benchmark, benchmark_names
+from repro.workloads.suites import SUITES
+from repro.workloads.trace import record_trace
+from repro.workloads.trace_io import (
+    TraceFormatError,
+    TraceReader,
+    read_trace_header,
+    verify_trace,
+)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -56,34 +74,172 @@ def _engine_from_args(args: argparse.Namespace):
     return make_engine(jobs=args.jobs, cache_dir=cache_dir)
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    engine = _engine_from_args(args)
-    result = run_experiment(args.experiment, scale=args.scale, engine=engine)
-    print(result.render())
+def _print_cache_stats(engine) -> None:
     if engine.cache is not None:
         print(
             f"cache: {engine.cache.hits} hit(s), {engine.cache.misses} miss(es) "
             f"under {engine.cache.root}",
             file=sys.stderr,
         )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    engine = _engine_from_args(args)
+    result = run_experiment(args.experiment, scale=args.scale, engine=engine)
+    print(result.render())
+    _print_cache_stats(engine)
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    if args.system == "baseline":
-        system = SinglePredictorSystem(make_prophet("2bc-gskew", 16))
-    else:
-        system = ProphetCriticSystem(
-            make_prophet(args.prophet, args.prophet_kb),
-            make_critic(args.critic, args.critic_kb),
-            future_bits=args.future_bits,
-        )
+    system = _system_spec_from_args(args).build()
     config = SimulationConfig(n_branches=args.branches, warmup=args.branches // 5)
     stats = simulate(benchmark(args.benchmark), system, config)
     print(render_mapping(f"{args.benchmark} / {args.system}", stats.summary()))
     if args.system == "hybrid":
         print(render_mapping("critique census", stats.census.as_dict()))
     return 0
+
+
+def _system_spec_from_args(args: argparse.Namespace) -> SystemSpec:
+    """The baseline/hybrid spec the ``bench`` and ``trace replay`` verbs share."""
+    if args.system == "baseline":
+        return SystemSpec.single("2bc-gskew", 16)
+    return SystemSpec.hybrid(
+        args.prophet, args.prophet_kb, args.critic, args.critic_kb, args.future_bits
+    )
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    if (args.benchmark is None) == (args.suite is None):
+        print("trace record: name exactly one benchmark or pass --suite", file=sys.stderr)
+        return 2
+    if args.branches < 1:
+        print("trace record: --branches must be positive", file=sys.stderr)
+        return 2
+    names = [args.benchmark] if args.benchmark else list(SUITES[args.suite])
+    out = Path(args.out)
+    if len(names) > 1 or out.is_dir() or str(args.out).endswith(("/", ".")):
+        paths = [out / f"{name}.trace" for name in names]
+    else:
+        paths = [out]
+    for name, path in zip(names, paths):
+        source = {"benchmark": name, "branches": args.branches}
+        try:
+            header = record_trace(benchmark(name), args.branches, path, source=source)
+        except OSError as exc:
+            print(f"trace record: cannot write {path}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"{path}: {header.record_count} branches, {header.total_uops} uops, "
+            f"taken rate {header.taken_rate:.3f}, digest {header.digest[:12]}…"
+        )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.paths:
+        try:
+            header = verify_trace(path) if args.verify else read_trace_header(path)
+        except (OSError, TraceFormatError) as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            status = 1
+            continue
+        payload = header.describe()
+        if args.verify:
+            payload["verified"] = "ok (digest and record count match)"
+        print(render_mapping(str(path), payload))
+    return status
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    if args.oracle and args.system == "baseline":
+        print(
+            "trace replay: --oracle evaluates a prophet/critic hybrid by "
+            "construction; --system baseline is not applicable",
+            file=sys.stderr,
+        )
+        return 2
+    if args.oracle and (args.jobs > 1 or (args.cache_dir and not args.no_cache)):
+        print(
+            "trace replay: --oracle streams in-process; --jobs/--cache-dir "
+            "are ignored",
+            file=sys.stderr,
+        )
+    cells = []
+    for path in args.paths:
+        try:
+            header = read_trace_header(path)
+        except (OSError, TraceFormatError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 2
+        n_branches = header.record_count if args.branches is None else args.branches
+        if n_branches < 1:
+            print("trace replay: --branches must be positive", file=sys.stderr)
+            return 2
+        if n_branches > header.record_count:
+            print(
+                f"{path}: trace holds {header.record_count} branches; "
+                f"cannot replay {n_branches}",
+                file=sys.stderr,
+            )
+            return 2
+        warmup = args.warmup if args.warmup is not None else n_branches // 5
+        if warmup < 0 or warmup >= n_branches:
+            print(
+                f"trace replay: --warmup must be in [0, {n_branches}) to leave "
+                "a measurement window",
+                file=sys.stderr,
+            )
+            return 2
+        config = SimulationConfig(n_branches=n_branches, warmup=warmup)
+        if args.oracle:
+            try:
+                with TraceReader(path) as reader:
+                    stats = oracle_replay(
+                        itertools.islice(reader.records(), n_branches),
+                        prophet=make_prophet(args.prophet, args.prophet_kb),
+                        critic=make_critic(args.critic, args.critic_kb),
+                        future_bits=args.future_bits,
+                        warmup=warmup,
+                    )
+            except (OSError, TraceFormatError) as exc:
+                print(f"{path}: INVALID — {exc}", file=sys.stderr)
+                return 1
+            print(render_mapping(f"{header.name} / oracle replay (§6 leak)", stats.summary()))
+            continue
+        cells.append(
+            SweepCell(
+                system_label=args.system,
+                bench_name=header.name,
+                system=_system_spec_from_args(args),
+                program=ProgramSpec(trace=path),
+                config=config,
+            )
+        )
+    if cells:
+        engine = _engine_from_args(args)
+        try:
+            results = engine.run_cells(cells)
+        except (OSError, TraceFormatError) as exc:
+            # A valid header over a truncated/corrupt body surfaces here.
+            print(f"trace replay: INVALID trace — {exc}", file=sys.stderr)
+            return 1
+        for cell, stats in zip(cells, results):
+            print(render_mapping(f"{cell.bench_name} / {args.system} (replayed)", stats.summary()))
+        _print_cache_stats(engine)
+    return 0
+
+
+def _add_system_options(parser: argparse.ArgumentParser) -> None:
+    """Prediction-system selection shared by ``bench`` and ``trace replay``."""
+    parser.add_argument("--system", choices=("baseline", "hybrid"), default="hybrid")
+    parser.add_argument("--prophet", default="2bc-gskew")
+    parser.add_argument("--prophet-kb", type=int, default=8)
+    parser.add_argument("--critic", default="tagged-gshare")
+    parser.add_argument("--critic-kb", type=int, default=8)
+    parser.add_argument("--future-bits", type=int, default=8)
 
 
 def _add_engine_options(parser: argparse.ArgumentParser, top_level: bool) -> None:
@@ -130,14 +286,68 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = sub.add_parser("bench", help="run one benchmark/system pair")
     bench_parser.add_argument("benchmark", choices=benchmark_names())
-    bench_parser.add_argument("--system", choices=("baseline", "hybrid"), default="hybrid")
-    bench_parser.add_argument("--prophet", default="2bc-gskew")
-    bench_parser.add_argument("--prophet-kb", type=int, default=8)
-    bench_parser.add_argument("--critic", default="tagged-gshare")
-    bench_parser.add_argument("--critic-kb", type=int, default=8)
-    bench_parser.add_argument("--future-bits", type=int, default=8)
+    _add_system_options(bench_parser)
     bench_parser.add_argument("--branches", type=int, default=50_000)
     bench_parser.set_defaults(func=_cmd_bench)
+
+    trace_parser = sub.add_parser(
+        "trace", help="record, replay and inspect on-disk branch traces"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    record_parser = trace_sub.add_parser(
+        "record", help="record a workload's committed branch stream to a file"
+    )
+    record_parser.add_argument(
+        "benchmark", nargs="?", choices=benchmark_names(),
+        help="benchmark to record (or use --suite)",
+    )
+    record_parser.add_argument(
+        "--suite", choices=sorted(SUITES),
+        help="record every member of a Table-1 suite (--out names a directory)",
+    )
+    record_parser.add_argument(
+        "--out", "-o", required=True, metavar="PATH",
+        help="output trace file (or directory for --suite / multi recordings)",
+    )
+    record_parser.add_argument(
+        "--branches", type=int, default=50_000,
+        help="committed branches to record (default 50000)",
+    )
+    record_parser.set_defaults(func=_cmd_trace_record)
+
+    replay_parser = trace_sub.add_parser(
+        "replay",
+        help="replay recorded traces through a prediction system "
+             "(bit-for-bit identical to the live run)",
+    )
+    replay_parser.add_argument("paths", nargs="+", metavar="TRACE")
+    _add_system_options(replay_parser)
+    replay_parser.add_argument(
+        "--branches", type=int, default=None,
+        help="branches to replay (default: the whole trace)",
+    )
+    replay_parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="warmup branches (default: branches / 5)",
+    )
+    replay_parser.add_argument(
+        "--oracle", action="store_true",
+        help="replay with oracle future bits instead (the §6 information "
+             "leak; prints inflated accuracy for comparison)",
+    )
+    _add_engine_options(replay_parser, top_level=False)
+    replay_parser.set_defaults(func=_cmd_trace_replay)
+
+    info_parser = trace_sub.add_parser(
+        "info", help="print a trace file's header (O(1), no decompression)"
+    )
+    info_parser.add_argument("paths", nargs="+", metavar="TRACE")
+    info_parser.add_argument(
+        "--verify", action="store_true",
+        help="stream the whole file, checking record count and content digest",
+    )
+    info_parser.set_defaults(func=_cmd_trace_info)
     return parser
 
 

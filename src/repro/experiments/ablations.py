@@ -15,8 +15,6 @@
 
 from __future__ import annotations
 
-from repro.core.history import HistoryRegister
-from repro.engine.executor import ArchitecturalExecutor
 from repro.experiments.base import (
     ExperimentResult,
     hybrid_spec,
@@ -25,59 +23,22 @@ from repro.experiments.base import (
     single_spec,
 )
 from repro.predictors.budget import make_critic, make_prophet
+from repro.sim.driver import oracle_replay
 from repro.workloads.suites import benchmark
-from repro.workloads.trace import BranchRecord, BranchTrace
+from repro.workloads.trace import capture_trace
 
 DEFAULT_BENCHMARK = "gcc"
-
-
-def _record_trace(bench_name: str, n_branches: int) -> BranchTrace:
-    program = benchmark(bench_name)
-    executor = ArchitecturalExecutor(program)
-    trace = BranchTrace(bench_name)
-    for _ in range(n_branches):
-        resolved = executor.next_branch()
-        trace.append(BranchRecord(pc=resolved.pc, taken=resolved.taken, uops=resolved.uops))
-    return trace
-
-
-def _oracle_replay_mispredicts(
-    trace: BranchTrace, future_bits: int, warmup: int
-) -> tuple[int, int]:
-    """Trace-driven hybrid with oracle future bits (the §6 fallacy).
-
-    Returns (mispredicts, measured branches). The critic's BOR is built
-    from *actual* outcomes — including the branch's own — which is
-    exactly the information leak the paper warns about.
-    """
-    prophet = make_prophet("2bc-gskew", 8)
-    critic = make_critic("tagged-gshare", 8)
-    bhr = HistoryRegister(max(prophet.history_length, 1))
-    past = 0
-    mispredicts = 0
-    measured = 0
-    for index, record in enumerate(trace):
-        prophet_pred = prophet.predict(record.pc, bhr.value)
-        oracle_bor = ((past << future_bits) | trace.future_bits(index, future_bits)) & (
-            (1 << 64) - 1
-        )
-        lookup = critic.lookup(record.pc, oracle_bor)
-        final = lookup.prediction if lookup.hit else prophet_pred
-        if index >= warmup:
-            measured += 1
-            if final != record.taken:
-                mispredicts += 1
-        prophet.update(record.pc, bhr.value, record.taken, prophet_pred)
-        critic.train(record.pc, oracle_bor, record.taken, final != record.taken)
-        bhr.insert(record.taken)
-        past = ((past << 1) | int(record.taken)) & ((1 << 64) - 1)
-    return mispredicts, measured
 
 
 def run_oracle_vs_wrongpath(
     scale: float = 1.0, bench_name: str = DEFAULT_BENCHMARK, future_bits: int = 8
 ) -> ExperimentResult:
-    """Ablation 1: honest wrong-path simulation vs oracle trace replay."""
+    """Ablation 1: honest wrong-path simulation vs oracle trace replay.
+
+    The oracle arm routes through :func:`repro.sim.driver.oracle_replay`
+    — the same code the CLI's ``trace replay --oracle`` uses — fed by an
+    in-memory capture of the committed stream.
+    """
     config = scaled_config(scale)
     honest_sweep = run_grid(
         {"honest": hybrid_spec("2bc-gskew", 8, "tagged-gshare", 8, future_bits)},
@@ -85,9 +46,13 @@ def run_oracle_vs_wrongpath(
         config,
     )
     honest = honest_sweep.get("honest", bench_name)
-    trace = _record_trace(bench_name, config.n_branches)
-    oracle_misp, oracle_measured = _oracle_replay_mispredicts(
-        trace, future_bits, config.warmup
+    trace = capture_trace(benchmark(bench_name), config.n_branches)
+    oracle = oracle_replay(
+        trace,
+        prophet=make_prophet("2bc-gskew", 8),
+        critic=make_critic("tagged-gshare", 8),
+        future_bits=future_bits,
+        warmup=config.warmup,
     )
     result = ExperimentResult(
         experiment_id="ablation-oracle",
@@ -95,7 +60,7 @@ def run_oracle_vs_wrongpath(
         headers=["evaluation", "mispredict_%"],
         rows=[
             ["wrong-path simulation", round(100 * honest.mispredict_rate, 3)],
-            ["oracle trace replay", round(100 * oracle_misp / max(1, oracle_measured), 3)],
+            ["oracle trace replay", round(100 * oracle.mispredict_rate, 3)],
         ],
         notes=(
             "The oracle replay hands the critic the branch's actual outcome "

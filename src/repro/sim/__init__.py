@@ -14,7 +14,12 @@ process pool, with an optional content-addressed on-disk result cache
 """
 
 from repro.sim.cache import ResultCache
-from repro.sim.driver import SimulationConfig, SimulationDesyncError, simulate
+from repro.sim.driver import (
+    SimulationConfig,
+    SimulationDesyncError,
+    oracle_replay,
+    simulate,
+)
 from repro.sim.execution import (
     ProcessPoolExecutor,
     SerialExecutor,
@@ -45,6 +50,7 @@ __all__ = [
     "format_table",
     "get_default_engine",
     "make_engine",
+    "oracle_replay",
     "render_series",
     "run_cell",
     "run_sweep",

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.hybrid import InflightBranch, PredictionSystem
 from repro.engine.btb import BranchTargetBuffer
@@ -42,6 +43,10 @@ from repro.engine.executor import ArchitecturalExecutor
 from repro.engine.frontend import SpeculativeWalker
 from repro.sim.metrics import RunStats
 from repro.workloads.program import Program
+
+if TYPE_CHECKING:
+    from repro.predictors.base import DirectionPredictor
+    from repro.workloads.trace import BranchRecord
 
 
 class SimulationDesyncError(RuntimeError):
@@ -210,4 +215,76 @@ def simulate(
         resolve_head()
 
     stats.fetched_uops = max(0, walker.fetched_uops - warmup_fetched)
+    return stats
+
+
+def oracle_replay(
+    records: "Iterable[BranchRecord]",
+    *,
+    prophet: "DirectionPredictor",
+    critic: "DirectionPredictor",
+    future_bits: int,
+    warmup: int,
+) -> RunStats:
+    """Trace-driven hybrid evaluation with **oracle** future bits (§6).
+
+    The methodological foil to :func:`simulate`: instead of fetching down
+    the predicted (possibly wrong) path, the critic's BOR is assembled
+    from the trace's *actual* outcomes — including the branch's own, the
+    exact information leak the paper warns a correct-path trace-driven
+    evaluation commits. The returned accuracy is therefore inflated and
+    unreal; the ``ablations`` experiment quantifies the gap.
+
+    ``records`` may be any iterable of committed
+    :class:`~repro.workloads.trace.BranchRecord`\\ s — an in-memory
+    :class:`~repro.workloads.trace.BranchTrace` or a streaming
+    :class:`~repro.workloads.trace_io.TraceReader`; only a
+    ``future_bits``-deep lookahead window is ever held in memory.
+    """
+    from repro.core.history import HistoryRegister
+
+    if future_bits < 0:
+        raise ValueError("future_bits must be non-negative")
+    mask = (1 << 64) - 1
+    bhr = HistoryRegister(max(prophet.history_length, 1))
+    stats = RunStats(system="oracle-replay")
+    window: deque[BranchRecord] = deque()
+    iterator = iter(records)
+    exhausted = False
+    past = 0
+    index = 0
+    while True:
+        # Keep the branch under evaluation plus its future_bits - 1
+        # successors buffered (the branch's own outcome is bit
+        # future_bits - 1 of the oracle BOR, mirroring
+        # BranchTrace.future_bits).
+        while not exhausted and len(window) < max(1, future_bits):
+            try:
+                window.append(next(iterator))
+            except StopIteration:
+                exhausted = True
+        if not window:
+            break
+        record = window[0]
+        future = 0
+        for offset in range(min(future_bits, len(window))):
+            future |= int(window[offset].taken) << (future_bits - 1 - offset)
+        prophet_pred = prophet.predict(record.pc, bhr.value)
+        oracle_bor = ((past << future_bits) | future) & mask
+        lookup = critic.lookup(record.pc, oracle_bor)
+        final = lookup.prediction if lookup.hit else prophet_pred
+        if index >= warmup:
+            stats.branches += 1
+            stats.committed_uops += record.uops
+            stats.taken_branches += int(record.taken)
+            if prophet_pred != record.taken:
+                stats.prophet_mispredicts += 1
+            if final != record.taken:
+                stats.mispredicts += 1
+        prophet.update(record.pc, bhr.value, record.taken, prophet_pred)
+        critic.train(record.pc, oracle_bor, record.taken, final != record.taken)
+        bhr.insert(record.taken)
+        past = ((past << 1) | int(record.taken)) & mask
+        window.popleft()
+        index += 1
     return stats

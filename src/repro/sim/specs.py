@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
@@ -141,23 +142,82 @@ class SystemSpec:
 class ProgramSpec:
     """A workload described as data.
 
-    Exactly one of ``benchmark`` (a name from
-    :data:`repro.workloads.suites.BENCHMARKS`) or ``profile`` (an explicit
-    :class:`WorkloadProfile`) must be set. ``seed`` overrides the
-    profile's seed when not None — the hook for deterministic per-cell
-    seeding of replicated cells (see :meth:`SweepCell.cell_seed`).
+    Exactly one of three sources must be set:
+
+    * ``benchmark`` — a name from
+      :data:`repro.workloads.suites.BENCHMARKS`, or a trace workload
+      registered via :func:`repro.workloads.suites.register_trace` (the
+      registered path is captured eagerly, so the spec stays valid in
+      worker processes that never saw the registration);
+    * ``profile`` — an explicit :class:`WorkloadProfile`;
+    * ``trace`` — a path to a recorded trace file (see
+      :mod:`repro.workloads.trace_io`).
+
+    ``seed`` overrides the profile's seed when not None — the hook for
+    deterministic per-cell seeding of replicated cells (see
+    :meth:`SweepCell.cell_seed`). Recorded traces replay verbatim, so a
+    seed override on a trace-backed spec is rejected.
+
+    Trace-backed specs hash by the trace's **content digest** (stored in
+    its O(1)-readable header), never its path — a trace can be renamed,
+    moved between machines or registered under a different name and
+    still hit the same cache entries.
+
+    >>> ProgramSpec(benchmark="gcc").name
+    'gcc'
+    >>> ProgramSpec(benchmark="gcc", profile=WorkloadProfile())
+    Traceback (most recent call last):
+        ...
+    ValueError: set exactly one of benchmark, profile or trace
     """
 
     benchmark: str | None = None
     profile: WorkloadProfile | None = None
+    trace: str | None = None
     seed: int | None = None
 
     def __post_init__(self) -> None:
-        if (self.benchmark is None) == (self.profile is None):
-            raise ValueError("set exactly one of benchmark or profile")
+        populated = sum(
+            value is not None for value in (self.benchmark, self.profile, self.trace)
+        )
+        if populated != 1:
+            raise ValueError("set exactly one of benchmark, profile or trace")
+        if self.benchmark is not None:
+            # A benchmark name may denote a registered trace; resolve it to
+            # a pure trace spec now, so pickled or field-reconstructed
+            # specs work in processes whose registry was never populated
+            # (the cell label, not this spec, carries the display name).
+            from repro.workloads.suites import TRACES
+
+            if self.benchmark in TRACES:
+                self.trace = os.fspath(TRACES[self.benchmark])
+                self.benchmark = None
+        if self.trace is not None:
+            self.trace = os.fspath(self.trace)
+            if self.seed is not None:
+                raise ValueError(
+                    "recorded traces replay verbatim; a seed override is "
+                    "meaningless on a trace-backed spec"
+                )
+
+    def _trace_header(self):
+        """The backing trace's header (memoised; O(1) per read)."""
+        assert self.trace is not None
+        header = getattr(self, "_header_cache", None)
+        if header is None:
+            from repro.workloads.trace_io import read_trace_header
+
+            header = read_trace_header(self.trace)
+            self._header_cache = header
+        return header
 
     def resolved_profile(self) -> WorkloadProfile:
         """The profile this spec denotes, seed override applied."""
+        if self.trace is not None:
+            raise ValueError(
+                "trace-backed specs replay a recorded stream; they have no "
+                "generator profile"
+            )
         if self.benchmark is not None:
             from repro.workloads.suites import BENCHMARKS
 
@@ -173,16 +233,39 @@ class ProgramSpec:
             profile = replace(profile, seed=self.seed)
         return profile
 
+    @staticmethod
+    def from_trace(path: str | os.PathLike) -> "ProgramSpec":
+        """Spec for a recorded trace file."""
+        return ProgramSpec(trace=os.fspath(path))
+
     def build(self) -> Program:
-        """Generate a fresh program (deterministic in the spec alone)."""
+        """Build a fresh program (deterministic in the spec alone)."""
+        if self.trace is not None:
+            from repro.workloads.trace import replay_program
+
+            return replay_program(self.trace)
         return generate_program(self.resolved_profile())
 
     @property
     def name(self) -> str:
-        return self.benchmark if self.benchmark is not None else self.profile.name
+        if self.benchmark is not None:
+            return self.benchmark
+        if self.trace is not None:
+            return self._trace_header().name
+        return self.profile.name
 
     def describe(self) -> dict:
         payload: dict[str, Any] = {}
+        if self.trace is not None:
+            # The digest covers the CFG structure and every record, so it
+            # *is* the workload's content; paths and display names stay
+            # out of the hash (same trace ⇒ same cache entry, anywhere).
+            header = self._trace_header()
+            payload["trace"] = {
+                "digest": header.digest,
+                "records": header.record_count,
+            }
+            return payload
         if self.benchmark is not None:
             # Hash the *resolved* profile, not just the name: renaming or
             # retuning a benchmark in suites.py must invalidate old entries.

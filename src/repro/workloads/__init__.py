@@ -1,22 +1,34 @@
 """Synthetic workload substrate — the stand-in for the paper's LIT traces.
 
 The paper evaluates on 341 proprietary Intel LITs (snapshots of IA32
-programs). We cannot obtain those, and — critically — a plain branch trace
-would not suffice anyway: prophet/critic hybrids must be evaluated with
-*wrong-path* fetch (paper §6). This package therefore synthesises whole
-**programs** (control-flow graphs whose conditional branches carry
-deterministic behaviour models driven by architectural state), which an
-executor can run down both correct and wrong paths.
+programs). We cannot obtain those, and — critically — a plain branch
+*outcome* trace would not suffice anyway: prophet/critic hybrids must be
+evaluated with *wrong-path* fetch (paper §6). This package therefore
+synthesises whole **programs** (control-flow graphs whose conditional
+branches carry deterministic behaviour models driven by architectural
+state), which an executor can run down both correct and wrong paths.
+
+The same insight powers the persistent trace subsystem: because
+wrong-path fetch needs only CFG *structure* (never behaviours), a trace
+file that stores the CFG plus the committed outcome stream
+(:mod:`~repro.workloads.trace_io`) replays through the simulator
+bit-for-bit identical to the live run — the record-once / sweep-many
+workflow of ``python -m repro trace``.
 
 Entry points:
 
 * :func:`~repro.workloads.suites.benchmark` — named benchmarks mirroring
   the paper's exemplars (gcc, unzip, premiere, msvc7, flash, facerec,
-  tpcc, …).
+  tpcc, …), plus any trace workloads registered via
+  :func:`~repro.workloads.suites.register_trace`.
 * :func:`~repro.workloads.suites.suite_benchmarks` — the seven Table-1
   suite profiles (INT00, FP00, WEB, MM, PROD, SERV, WS).
 * :class:`~repro.workloads.generator.ProgramGenerator` — build custom
   programs from a :class:`~repro.workloads.generator.WorkloadProfile`.
+* :func:`~repro.workloads.trace.record_trace` /
+  :func:`~repro.workloads.trace.replay_program` — record a workload's
+  committed branch stream to disk and rebuild an exactly-replaying
+  program from the file.
 """
 
 from repro.workloads.behaviors import (
@@ -35,12 +47,33 @@ from repro.workloads.program import BasicBlock, BlockKind, Program
 from repro.workloads.suites import (
     BENCHMARKS,
     SUITES,
+    TRACES,
     benchmark,
     benchmark_names,
+    register_trace,
+    register_trace_suite,
     suite_benchmarks,
     suite_names,
+    trace_names,
+    trace_path,
 )
-from repro.workloads.trace import BranchRecord, BranchTrace
+from repro.workloads.trace import (
+    BranchRecord,
+    BranchTrace,
+    ReplayCursor,
+    TraceReplayBehavior,
+    capture_trace,
+    record_trace,
+    replay_program,
+)
+from repro.workloads.trace_io import (
+    TraceFormatError,
+    TraceHeader,
+    TraceReader,
+    TraceWriter,
+    read_trace_header,
+    verify_trace,
+)
 
 __all__ = [
     "BENCHMARKS",
@@ -59,10 +92,26 @@ __all__ = [
     "PatternBehavior",
     "Program",
     "ProgramGenerator",
+    "ReplayCursor",
     "SUITES",
+    "TRACES",
+    "TraceFormatError",
+    "TraceHeader",
+    "TraceReader",
+    "TraceReplayBehavior",
+    "TraceWriter",
     "WorkloadProfile",
     "benchmark",
     "benchmark_names",
+    "capture_trace",
+    "read_trace_header",
+    "record_trace",
+    "register_trace",
+    "register_trace_suite",
+    "replay_program",
     "suite_benchmarks",
     "suite_names",
+    "trace_names",
+    "trace_path",
+    "verify_trace",
 ]

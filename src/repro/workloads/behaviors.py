@@ -161,7 +161,18 @@ class LoopBehavior(BranchBehavior):
 
 
 class PatternBehavior(BranchBehavior):
-    """Cyclic outcome pattern, e.g. ``"TTN"`` → taken, taken, not-taken."""
+    """Cyclic outcome pattern, e.g. ``"TTN"`` → taken, taken, not-taken.
+
+    The cycle is indexed by the site's architectural occurrence count:
+
+    >>> behavior, ctx = PatternBehavior("TTN"), ExecutionContext()
+    >>> outcomes = []
+    >>> for _ in range(4):
+    ...     outcomes.append(behavior.resolve(0x40, ctx))
+    ...     ctx.record_outcome(0x40, outcomes[-1])
+    >>> outcomes
+    [True, True, False, True]
+    """
 
     kind = "pattern"
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.workloads.behaviors import BranchBehavior, ExecutionContext
 
@@ -125,3 +126,76 @@ class Program:
     def conditional_sites(self) -> list[int]:
         """PCs of all conditional branch sites."""
         return [b.pc for b in self.blocks if b.kind is BlockKind.COND]
+
+    # -- structural (de)serialisation -----------------------------------------
+    #
+    # The on-disk trace format (workloads/trace_io.py) persists a program's
+    # *shape* — everything the speculative walker and executor traverse —
+    # without its behaviour models, which are replaced on replay by
+    # scripted behaviours that feed back the recorded outcome stream.
+
+    def structure(self) -> dict:
+        """JSON-serialisable CFG structure (no behaviour models).
+
+        Round-trips through :meth:`from_structure`:
+
+        >>> from repro.workloads.behaviors import PatternBehavior
+        >>> block = BasicBlock(0, 0x40, 2, BlockKind.COND, taken_target=0,
+        ...                    fallthrough=0, behavior=PatternBehavior("TN"))
+        >>> data = Program("demo", [block], entry=0, seed=7).structure()
+        >>> data["blocks"]
+        [[0, 64, 2, 'cond', 0, 0]]
+        >>> rebuilt = Program.from_structure(
+        ...     data, lambda block_id, pc: PatternBehavior("TN"))
+        >>> (rebuilt.name, rebuilt.seed, rebuilt.block(0).pc)
+        ('demo', 7, 64)
+        """
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "entry": self.entry,
+            "watched": sorted(self.watched_blocks),
+            "blocks": [
+                [b.block_id, b.pc, b.uops, b.kind.value, b.taken_target, b.fallthrough]
+                for b in self.blocks
+            ],
+        }
+
+    @staticmethod
+    def from_structure(
+        data: dict,
+        behavior_for: Callable[[int, int], BranchBehavior | None],
+    ) -> "Program":
+        """Rebuild a program from :meth:`structure` output.
+
+        ``behavior_for(block_id, pc)`` supplies the behaviour for each
+        conditional block (the structure itself carries none). Raises
+        :class:`ValueError` on structurally invalid data — the same
+        validation a generated program gets.
+        """
+        try:
+            blocks = [
+                BasicBlock(
+                    block_id=int(block_id),
+                    pc=int(pc),
+                    uops=int(uops),
+                    kind=BlockKind(kind),
+                    taken_target=None if taken is None else int(taken),
+                    fallthrough=None if fall is None else int(fall),
+                )
+                for block_id, pc, uops, kind, taken, fall in data["blocks"]
+            ]
+            for block in blocks:
+                if block.kind is BlockKind.COND:
+                    block.behavior = behavior_for(block.block_id, block.pc)
+            program = Program(
+                name=str(data["name"]),
+                blocks=blocks,
+                entry=int(data["entry"]),
+                seed=int(data["seed"]),
+                watched_blocks={int(b) for b in data.get("watched", ())},
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed program structure: {exc}") from exc
+        program.validate()
+        return program

@@ -22,6 +22,9 @@ Profiles are deterministic: the same name always yields the same program.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 from repro.workloads.generator import WorkloadProfile, generate_program
 from repro.workloads.program import Program
 
@@ -168,29 +171,116 @@ SUITES: dict[str, tuple[str, ...]] = {
 #: The six benchmarks Figure 5 plots.
 FIGURE5_BENCHMARKS: tuple[str, ...] = ("unzip", "premiere", "msvc7", "flash", "facerec", "tpcc")
 
+#: Registered on-disk traces: workload name -> trace file path. Trace
+#: workloads resolve through :func:`benchmark` and
+#: :class:`~repro.sim.specs.ProgramSpec` exactly like generated ones.
+TRACES: dict[str, Path] = {}
+
 _program_cache: dict[str, Program] = {}
 
 
-def benchmark(name: str, fresh: bool = True) -> Program:
-    """Build the named benchmark's program.
+def register_trace(path: str | os.PathLike, name: str | None = None) -> str:
+    """Register a recorded trace file as a named workload.
 
-    Programs contain stateful behaviours, so by default a fresh instance
-    is generated per call; pass ``fresh=False`` to reuse (and reset) a
-    cached instance when only structure matters.
+    The name defaults to the one stored in the trace header. Once
+    registered, the name works everywhere a benchmark name does —
+    :func:`benchmark`, experiment grids, ``ProgramSpec(benchmark=...)`` —
+    with cache keys derived from the trace's content digest, not its
+    path. Returns the registered name.
     """
-    if name not in BENCHMARKS:
-        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}")
-    if fresh:
-        return generate_program(BENCHMARKS[name])
-    if name not in _program_cache:
-        _program_cache[name] = generate_program(BENCHMARKS[name])
-    program = _program_cache[name]
-    program.reset()
-    return program
+    from repro.workloads.trace_io import read_trace_header
+
+    header = read_trace_header(path)
+    name = name or header.name
+    if name in BENCHMARKS:
+        raise ValueError(
+            f"trace name {name!r} collides with a generated benchmark; "
+            "pass an explicit name"
+        )
+    resolved = Path(path).resolve()
+    if name in TRACES and TRACES[name] != resolved:
+        raise ValueError(
+            f"trace name {name!r} is already registered to {TRACES[name]}; "
+            "pass an explicit name to register both"
+        )
+    TRACES[name] = resolved
+    return name
+
+
+def register_trace_suite(
+    directory: str | os.PathLike, pattern: str = "*.trace", prefix: str = "trace:"
+) -> list[str]:
+    """Register every trace file in a directory; return the names.
+
+    The record-once / sweep-many workflow: ``repro trace record --suite``
+    fills a directory, and this call turns it into a workload suite any
+    experiment grid can iterate. Each workload is registered as
+    ``prefix + header name`` — the default prefix keeps recordings of
+    named benchmarks (``swim`` → ``trace:swim``) from shadowing their
+    generators.
+    """
+    from repro.workloads.trace_io import read_trace_header
+
+    names = [
+        register_trace(path, name=prefix + read_trace_header(path).name)
+        for path in sorted(Path(directory).glob(pattern))
+    ]
+    if not names:
+        raise FileNotFoundError(
+            f"no trace files matching {pattern!r} under {os.fspath(directory)}"
+        )
+    return names
+
+
+def trace_names() -> list[str]:
+    """All registered trace workloads, stable order."""
+    return list(TRACES)
+
+
+def trace_path(name: str) -> Path:
+    """The trace file backing a registered trace workload."""
+    if name not in TRACES:
+        raise KeyError(f"unknown trace workload {name!r}; known: {sorted(TRACES)}")
+    return TRACES[name]
+
+
+def benchmark(name: str, fresh: bool = True) -> Program:
+    """Build the named workload's program.
+
+    Resolves generated benchmarks first, then registered traces
+    (:func:`register_trace`). Programs contain stateful behaviours, so by
+    default a fresh instance is built per call; pass ``fresh=False`` to
+    reuse (and reset) a cached instance when only structure matters.
+    Trace-backed programs are always fresh (each carries its own stream
+    cursor).
+
+    >>> benchmark("swim").name
+    'swim'
+    """
+    if name in BENCHMARKS:
+        if fresh:
+            return generate_program(BENCHMARKS[name])
+        if name not in _program_cache:
+            _program_cache[name] = generate_program(BENCHMARKS[name])
+        program = _program_cache[name]
+        program.reset()
+        return program
+    if name in TRACES:
+        from repro.workloads.trace import replay_program
+
+        return replay_program(TRACES[name])
+    raise KeyError(
+        f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}"
+        + (f"; registered traces: {sorted(TRACES)}" if TRACES else "")
+    )
 
 
 def benchmark_names() -> list[str]:
-    """All named benchmarks, stable order."""
+    """All named generated benchmarks, stable order.
+
+    >>> "gcc" in benchmark_names() and "tpcc" in benchmark_names()
+    True
+    """
     return list(BENCHMARKS)
 
 

@@ -37,3 +37,119 @@ class TestCli:
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "doom"])
+
+
+class TestTraceCli:
+    def record(self, tmp_path, branches=2500):
+        path = tmp_path / "swim.trace"
+        assert main(
+            ["trace", "record", "swim", "--out", str(path), "--branches", str(branches)]
+        ) == 0
+        return path
+
+    def test_record_then_info(self, tmp_path, capsys):
+        path = self.record(tmp_path)
+        out = capsys.readouterr().out
+        assert "2500 branches" in out
+        assert main(["trace", "info", str(path), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "digest" in out and "verified" in out
+
+    def test_record_requires_one_source(self, tmp_path, capsys):
+        assert main(["trace", "record", "--out", str(tmp_path / "x.trace")]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_record_suite_fills_directory(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        assert main(
+            ["trace", "record", "--suite", "SERV", "--out", f"{out_dir}/",
+             "--branches", "1500"]
+        ) == 0
+        assert sorted(p.name for p in out_dir.iterdir()) == [
+            "timesten.trace", "tpcc.trace",
+        ]
+
+    def test_replay_matches_bench_metrics(self, tmp_path, capsys):
+        path = self.record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "replay", str(path), "--branches", "2000"]) == 0
+        replay_out = capsys.readouterr().out
+        assert main(
+            ["bench", "swim", "--system", "hybrid", "--branches", "2000"]
+        ) == 0
+        bench_out = capsys.readouterr().out
+
+        def metric(text, key):
+            (line,) = [l for l in text.splitlines() if l.strip().startswith(key)]
+            return line.split(":")[1].strip()
+
+        # The recorded-then-replayed run reproduces the live run's numbers.
+        for key in ("branches", "committed_uops", "mispredicts", "misp_per_kuops"):
+            assert metric(replay_out, key) == metric(bench_out, key), key
+
+    def test_replay_uses_cache_across_invocations(self, tmp_path, capsys):
+        path = self.record(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        args = ["trace", "replay", str(path), "--cache-dir", cache_dir]
+        assert main(args) == 0
+        assert "1 miss" in capsys.readouterr().err
+        assert main(args) == 0  # fresh engine: cross-"process" warm hit
+        assert "1 hit" in capsys.readouterr().err
+
+    def test_replay_oracle(self, tmp_path, capsys):
+        path = self.record(tmp_path)
+        assert main(["trace", "replay", str(path), "--oracle"]) == 0
+        assert "oracle replay" in capsys.readouterr().out
+
+    def test_replay_rejects_overlong_window(self, tmp_path, capsys):
+        path = self.record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "replay", str(path), "--branches", "9999"]) == 2
+        assert "cannot replay" in capsys.readouterr().err
+
+    def test_replay_rejects_degenerate_windows(self, tmp_path, capsys):
+        path = self.record(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "replay", str(path), "--branches", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+        assert main(["trace", "replay", str(path), "--warmup", "99999"]) == 2
+        assert "measurement window" in capsys.readouterr().err
+
+    def test_record_rejects_nonpositive_branches(self, tmp_path, capsys):
+        assert main(
+            ["trace", "record", "swim", "--out", str(tmp_path / "x.trace"),
+             "--branches", "0"]
+        ) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_oracle_rejects_baseline_system(self, tmp_path, capsys):
+        path = self.record(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["trace", "replay", str(path), "--oracle", "--system", "baseline"]
+        ) == 2
+        assert "not applicable" in capsys.readouterr().err
+
+    def test_replay_reports_truncated_body_cleanly(self, tmp_path, capsys):
+        path = self.record(tmp_path)
+        path.write_bytes(path.read_bytes()[:-80])  # valid header, cut body
+        capsys.readouterr()
+        assert main(["trace", "replay", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+        assert main(["trace", "replay", str(path), "--oracle"]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_record_reports_unwritable_destination(self, tmp_path, capsys):
+        occupied = tmp_path / "occupied.trace"
+        occupied.write_bytes(b"a file, not a directory")
+        assert main(
+            ["trace", "record", "--suite", "SERV", "--out", str(occupied),
+             "--branches", "1500"]
+        ) == 1
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_info_rejects_garbage(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.trace"
+        bogus.write_bytes(b"not a trace\n")
+        assert main(["trace", "info", str(bogus)]) == 1
+        assert "INVALID" in capsys.readouterr().err

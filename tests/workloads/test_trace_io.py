@@ -1,0 +1,234 @@
+"""Tests for the on-disk trace format: round trips, truncation, corruption."""
+
+import gzip
+import json
+import random
+
+import pytest
+
+from repro.workloads.program import BasicBlock, BlockKind, Program
+from repro.workloads.behaviors import PatternBehavior
+from repro.workloads.trace import BranchRecord, ReplayCursor, record_trace
+from repro.workloads.trace_io import (
+    TRACE_FORMAT_VERSION,
+    TRACE_MAGIC,
+    TraceFormatError,
+    TraceReader,
+    TraceWriter,
+    pack_record,
+    read_trace_header,
+    verify_trace,
+)
+
+STRUCTURE = {
+    "name": "t",
+    "seed": 3,
+    "entry": 0,
+    "watched": [],
+    "blocks": [[0, 0x40, 2, "cond", 0, 0]],
+}
+
+
+def random_records(seed: int, count: int) -> list[BranchRecord]:
+    rng = random.Random(seed)
+    return [
+        BranchRecord(
+            pc=rng.randrange(1 << 48), taken=rng.random() < 0.6, uops=rng.randint(1, 40)
+        )
+        for _ in range(count)
+    ]
+
+
+def write_trace(path, records, structure=STRUCTURE, **kwargs):
+    with TraceWriter(path, structure, **kwargs) as writer:
+        for record in records:
+            writer.write(record)
+    return writer.header
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_write_read_identity(self, tmp_path, seed):
+        """Property: write -> read yields identical records and counters."""
+        records = random_records(seed, count=50 + seed * 173)
+        header = write_trace(tmp_path / "t.trace", records)
+        with TraceReader(tmp_path / "t.trace") as reader:
+            assert reader.header == header
+            assert reader.structure() == STRUCTURE
+            assert list(reader.records()) == records
+        assert header.record_count == len(records)
+        assert header.total_uops == sum(r.uops for r in records)
+        assert header.taken_count == sum(r.taken for r in records)
+
+    def test_equal_content_gives_equal_digest_and_bytes(self, tmp_path):
+        records = random_records(7, 200)
+        first = write_trace(tmp_path / "a.trace", records)
+        second = write_trace(tmp_path / "b.trace", records)
+        assert first.digest == second.digest
+        assert (tmp_path / "a.trace").read_bytes() == (tmp_path / "b.trace").read_bytes()
+
+    def test_any_record_flip_changes_digest(self, tmp_path):
+        records = random_records(8, 64)
+        base = write_trace(tmp_path / "a.trace", records)
+        flipped = list(records)
+        flipped[31] = BranchRecord(
+            pc=records[31].pc, taken=not records[31].taken, uops=records[31].uops
+        )
+        assert write_trace(tmp_path / "b.trace", flipped).digest != base.digest
+
+    def test_header_read_is_cheap_and_complete(self, tmp_path):
+        header = write_trace(
+            tmp_path / "t.trace", random_records(1, 30), source={"origin": "unit"}
+        )
+        loaded = read_trace_header(tmp_path / "t.trace")
+        assert loaded == header
+        assert loaded.source == {"origin": "unit"}
+        assert 0.0 <= loaded.taken_rate <= 1.0
+
+    def test_verify_accepts_intact_file(self, tmp_path):
+        write_trace(tmp_path / "t.trace", random_records(2, 40))
+        assert verify_trace(tmp_path / "t.trace").record_count == 40
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        header = write_trace(tmp_path / "t.trace", [])
+        assert header.record_count == 0
+        assert list(TraceReader(tmp_path / "t.trace")) == []
+        verify_trace(tmp_path / "t.trace")
+
+
+class TestWriter:
+    def test_abort_leaves_no_file(self, tmp_path):
+        path = tmp_path / "t.trace"
+        with pytest.raises(RuntimeError):
+            with TraceWriter(path, STRUCTURE) as writer:
+                writer.write(BranchRecord(pc=1, taken=True, uops=1))
+                raise RuntimeError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_write_after_close_rejected(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.trace", STRUCTURE)
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.write(BranchRecord(pc=1, taken=True, uops=1))
+
+    def test_out_of_range_fields_rejected(self):
+        with pytest.raises(ValueError, match="64-bit"):
+            pack_record(BranchRecord(pc=1 << 64, taken=True, uops=1))
+        with pytest.raises(ValueError, match="32-bit"):
+            pack_record(BranchRecord(pc=1, taken=True, uops=1 << 32))
+
+
+def rewrite_header(path, **overrides):
+    """Tamper with the uncompressed header line of a trace file."""
+    raw = path.read_bytes()
+    line, body = raw.split(b"\n", 1)
+    payload = json.loads(line[len(TRACE_MAGIC) + 1 :])
+    payload.update(overrides)
+    new_line = TRACE_MAGIC + b" " + json.dumps(payload).encode() + b"\n"
+    path.write_bytes(new_line + body)
+
+
+class TestMalformedFiles:
+    """Every malformed input raises TraceFormatError with useful context."""
+
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, random_records(11, 120))
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.trace"
+        path.write_bytes(b"NOTATRACE {}\n")
+        with pytest.raises(TraceFormatError, match="bad magic") as excinfo:
+            read_trace_header(path)
+        assert excinfo.value.path == str(path)
+
+    def test_unsupported_version_names_versions(self, trace_path):
+        rewrite_header(trace_path, version=TRACE_FORMAT_VERSION + 1)
+        with pytest.raises(TraceFormatError, match="version") as excinfo:
+            read_trace_header(trace_path)
+        assert excinfo.value.version == TRACE_FORMAT_VERSION + 1
+        assert excinfo.value.expected == TRACE_FORMAT_VERSION
+
+    def test_malformed_header_json(self, trace_path):
+        raw = trace_path.read_bytes()
+        _, body = raw.split(b"\n", 1)
+        trace_path.write_bytes(TRACE_MAGIC + b' {"version": 1}\n' + body)
+        with pytest.raises(TraceFormatError, match="header json is malformed"):
+            read_trace_header(trace_path)
+
+    def test_truncated_file_reports_offset(self, trace_path):
+        raw = trace_path.read_bytes()
+        trace_path.write_bytes(raw[:-60])
+        with pytest.raises(TraceFormatError) as excinfo:
+            verify_trace(trace_path)
+        assert "truncat" in str(excinfo.value) or "ends early" in str(excinfo.value)
+        assert excinfo.value.path == str(trace_path)
+
+    def test_inflated_record_count_reports_expected_vs_actual(self, trace_path):
+        rewrite_header(trace_path, record_count=125)
+        with pytest.raises(TraceFormatError, match="ends early") as excinfo:
+            verify_trace(trace_path)
+        assert excinfo.value.offset == 120
+        assert "125 records" in str(excinfo.value.expected)
+
+    def test_deflated_record_count_reports_trailing_data(self, trace_path):
+        rewrite_header(trace_path, record_count=100)
+        with pytest.raises(TraceFormatError, match="trailing data"):
+            verify_trace(trace_path)
+
+    def test_digest_mismatch_detected(self, trace_path):
+        rewrite_header(trace_path, digest="0" * 64)
+        with pytest.raises(TraceFormatError, match="digest mismatch") as excinfo:
+            verify_trace(trace_path)
+        assert excinfo.value.expected == "0" * 64
+
+    def test_corrupt_compressed_stream(self, trace_path):
+        raw = bytearray(trace_path.read_bytes())
+        # Flip bits deep inside the gzip payload (past header + gzip magic).
+        for offset in range(len(raw) - 200, len(raw) - 190):
+            raw[offset] ^= 0xFF
+        trace_path.write_bytes(bytes(raw))
+        with pytest.raises(TraceFormatError):
+            verify_trace(trace_path)
+
+    def test_not_gzip_after_header(self, tmp_path):
+        path = tmp_path / "t.trace"
+        header = {
+            "version": 1, "name": "x", "record_count": 1,
+            "total_uops": 1, "taken_count": 1, "digest": "0" * 64, "source": None,
+        }
+        path.write_bytes(TRACE_MAGIC + b" " + json.dumps(header).encode() + b"\nGARBAGE")
+        with pytest.raises(TraceFormatError):
+            verify_trace(path)
+
+
+class TestReplayCursor:
+    def make_program(self) -> Program:
+        block = BasicBlock(
+            0, 0x40, 2, BlockKind.COND, taken_target=0, fallthrough=0,
+            behavior=PatternBehavior("TTN"),
+        )
+        return Program(name="tiny", blocks=[block], entry=0, seed=1)
+
+    def test_streams_and_rewinds(self, tmp_path):
+        path = tmp_path / "tiny.trace"
+        record_trace(self.make_program(), 9, path)
+        cursor = ReplayCursor(path)
+        first_pass = [cursor.next_record().taken for _ in range(9)]
+        cursor.rewind()
+        second_pass = [cursor.next_record().taken for _ in range(9)]
+        assert first_pass == second_pass == [True, True, False] * 3
+        cursor.close()
+
+    def test_exhaustion_is_descriptive(self, tmp_path):
+        path = tmp_path / "tiny.trace"
+        record_trace(self.make_program(), 4, path)
+        cursor = ReplayCursor(path)
+        for _ in range(4):
+            cursor.next_record()
+        with pytest.raises(TraceFormatError, match="exhausted") as excinfo:
+            cursor.next_record()
+        assert excinfo.value.offset == 4
+        cursor.close()

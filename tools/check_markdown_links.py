@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README and docs/ (no third-party deps).
+
+Scans markdown files for inline links and images (``[text](target)``),
+skips external schemes (http/https/mailto) and pure anchors, and
+verifies every relative target resolves to an existing file or
+directory. Used by the CI docs job and by ``tests/test_docs.py``.
+
+    python tools/check_markdown_links.py README.md docs/
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link/image: [label](target) — code spans are stripped
+#: beforehand, so pseudo-links in code samples don't trip the checker.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(targets: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix.lower() == ".md":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {target}")
+    return files
+
+
+def broken_links(files: list[Path]) -> list[str]:
+    problems: list[str] = []
+    for md_file in files:
+        in_fence = False
+        for line_number, line in enumerate(
+            md_file.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(_CODE_SPAN.sub("", line)):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                if not (md_file.parent / relative).exists():
+                    problems.append(
+                        f"{md_file}:{line_number}: broken link -> {target}"
+                    )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or ["README.md", "docs"]
+    files = iter_markdown_files(targets)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    problems = broken_links(files)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{'FAILED' if problems else 'all links resolve'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
