@@ -19,6 +19,16 @@ events of §3 and §5:
     Commit-time, in program order: train the pattern tables
     non-speculatively; on a resolved mispredict restore the checkpoints
     and insert the actual outcome (§3.2, §3.3).
+
+Hot-path variant: the driver pools :class:`InflightBranch` handles in a
+ring and calls ``predict_into(handle, pc)`` / ``predict_static_into``
+instead of the allocating ``predict``/``predict_static``. Both systems
+also exploit predictor fast paths when present — ``predict_packed``/
+``update_packed`` on prophets (pure index/hash state carried on the
+handle from fetch to commit) and ``lookup_into``/``train_hashed`` on
+filtered critics — falling back to the plain predictor interface
+otherwise. Fast and classic paths are bit-for-bit identical; the
+differential kernel tests enforce that.
 """
 
 from __future__ import annotations
@@ -33,7 +43,12 @@ from repro.predictors.base import DirectionPredictor
 
 @dataclass(slots=True)
 class InflightBranch:
-    """Everything a dynamic branch carries between fetch and commit."""
+    """Everything a dynamic branch carries between fetch and commit.
+
+    Instances are pooled by the driver: ``predict_into`` re-initialises
+    every field a later stage may read, so a recycled handle can never
+    leak state from its previous occupant.
+    """
 
     pc: int
     prophet_pred: bool
@@ -51,6 +66,16 @@ class InflightBranch:
     bor_at_critique: int = 0
     #: Opaque walker snapshot installed by the driver.
     walker_snapshot: object = None
+    #: Flat walker checkpoint (block id + RAS tuple), driver-managed.
+    snap_block: int = -1
+    snap_ras: tuple = ()
+    #: Prophet fast-path state (pure hash/index data from predict time).
+    prophet_state: object = None
+    #: Critic fast-path state: filter hash pair from critique time.
+    critic_ix: int = -1
+    critic_tag: int = 0
+    #: Unfiltered-critic fast-path state (pure, from critique time).
+    critic_state: object = None
     #: uops fetched with this branch's block (timing model bookkeeping).
     uops_hint: int = 1
 
@@ -59,6 +84,25 @@ class InflightBranch:
         prophet_correct = self.prophet_pred == taken
         agreed = self.critic_pred == self.prophet_pred if self.critic_hit else True
         return CritiqueKind.classify(prophet_correct, self.critic_hit, agreed)
+
+    def copy_fetch_fields(self, fresh: "InflightBranch") -> None:
+        """Re-initialise this pooled handle from a freshly predicted one
+        (fallback path for systems without a native ``predict_into``)."""
+        self.pc = fresh.pc
+        self.prophet_pred = fresh.prophet_pred
+        self.bhr_before = fresh.bhr_before
+        self.bor_before = fresh.bor_before
+        self.is_static = fresh.is_static
+        self.critiqued = False
+        self.final_pred = False
+        self.critic_hit = False
+        self.critic_pred = None
+        self.bor_at_critique = 0
+        self.prophet_state = fresh.prophet_state
+        self.critic_ix = -1
+        self.critic_tag = 0
+        self.critic_state = None
+        self.uops_hint = 1
 
 
 class PredictionSystem(abc.ABC):
@@ -74,6 +118,18 @@ class PredictionSystem(abc.ABC):
     @abc.abstractmethod
     def predict_static(self, pc: int) -> InflightBranch:
         """BTB miss: implicit not-taken, no register update, no training."""
+
+    def predict_into(self, handle: InflightBranch, pc: int) -> None:
+        """Pooled-handle variant of :meth:`predict`.
+
+        The default delegates to :meth:`predict` and copies the result;
+        concrete systems override it to fill the handle in place.
+        """
+        handle.copy_fetch_fields(self.predict(pc))
+
+    def predict_static_into(self, handle: InflightBranch, pc: int) -> None:
+        """Pooled-handle variant of :meth:`predict_static`."""
+        handle.copy_fetch_fields(self.predict_static(pc))
 
     @abc.abstractmethod
     def critique(self, handle: InflightBranch) -> bool:
@@ -95,6 +151,9 @@ class PredictionSystem(abc.ABC):
     def storage_bits(self) -> int:
         """Total modelled hardware budget."""
 
+    def set_stats_enabled(self, enabled: bool) -> None:
+        """Toggle per-prediction PredictorStats accounting (default on)."""
+
     def reset(self) -> None:
         """Clear learned and speculative state."""
 
@@ -112,21 +171,49 @@ class SinglePredictorSystem(PredictionSystem):
     def __init__(self, predictor: DirectionPredictor) -> None:
         self.predictor = predictor
         self.bhr = HistoryRegister(max(predictor.history_length, 1))
+        self._predict_packed = getattr(predictor, "predict_packed", None)
+        self._update_packed = getattr(predictor, "update_packed", None)
+        if self._update_packed is None:
+            self._predict_packed = None  # state with no consumer is waste
 
     def predict(self, pc: int) -> InflightBranch:
-        bhr_before = self.bhr.value
-        pred = self.predictor.predict(pc, bhr_before)
-        self.bhr.insert(pred)
-        return InflightBranch(pc=pc, prophet_pred=pred, bhr_before=bhr_before, bor_before=0)
+        handle = InflightBranch(pc=pc, prophet_pred=False, bhr_before=0, bor_before=0)
+        self.predict_into(handle, pc)
+        return handle
+
+    def predict_into(self, handle: InflightBranch, pc: int) -> None:
+        # Only the fields critique() does not unconditionally rewrite
+        # before any read need resetting on a pooled handle; critique
+        # owns final_pred/critic_* and bor_at_critique.
+        bhr = self.bhr
+        bhr_before = bhr._value
+        fast = self._predict_packed
+        if fast is not None:
+            pred, state = fast(pc, bhr_before)
+        else:
+            pred = self.predictor.predict(pc, bhr_before)
+            state = None
+        bhr._value = ((bhr_before << 1) | pred) & bhr._mask
+        handle.pc = pc
+        handle.prophet_pred = pred
+        handle.bhr_before = bhr_before
+        handle.bor_before = 0
+        handle.is_static = False
+        handle.critiqued = False
+        handle.prophet_state = state
 
     def predict_static(self, pc: int) -> InflightBranch:
-        return InflightBranch(
-            pc=pc,
-            prophet_pred=False,
-            bhr_before=self.bhr.value,
-            bor_before=0,
-            is_static=True,
-        )
+        handle = InflightBranch(pc=pc, prophet_pred=False, bhr_before=0, bor_before=0)
+        self.predict_static_into(handle, pc)
+        return handle
+
+    def predict_static_into(self, handle: InflightBranch, pc: int) -> None:
+        handle.pc = pc
+        handle.prophet_pred = False
+        handle.bhr_before = self.bhr._value
+        handle.bor_before = 0
+        handle.is_static = True
+        handle.critiqued = False
 
     def critique(self, handle: InflightBranch) -> bool:
         handle.critiqued = True
@@ -140,7 +227,11 @@ class SinglePredictorSystem(PredictionSystem):
     def resolve(self, handle: InflightBranch, taken: bool) -> None:
         if handle.is_static:
             return
-        self.predictor.update(handle.pc, handle.bhr_before, taken, handle.prophet_pred)
+        state = handle.prophet_state
+        if state is not None:
+            self._update_packed(handle.pc, handle.bhr_before, taken, handle.prophet_pred, state)
+        else:
+            self.predictor.update(handle.pc, handle.bhr_before, taken, handle.prophet_pred)
 
     def recover(self, handle: InflightBranch, taken: bool) -> None:
         self.bhr.restore(handle.bhr_before)
@@ -148,6 +239,9 @@ class SinglePredictorSystem(PredictionSystem):
 
     def storage_bits(self) -> int:
         return self.predictor.storage_bits()
+
+    def set_stats_enabled(self, enabled: bool) -> None:
+        self.predictor.stats_enabled = enabled
 
     def reset(self) -> None:
         self.predictor.reset()
@@ -192,32 +286,73 @@ class ProphetCriticSystem(PredictionSystem):
         #: inserts whenever the *prophet* was wrong even if the critic
         #: already fixed it.
         self.insert_on = insert_on
+        self._insert_on_final = insert_on == "final"
         self.bhr = HistoryRegister(max(prophet.history_length, 1))
         self.bor = HistoryRegister(max(critic.history_length, future_bits, 1))
         self._critic_is_filtered = hasattr(critic, "lookup") and hasattr(critic, "train")
+        # Fast paths (probed once; None = use the classic interface).
+        self._prophet_predict_packed = getattr(prophet, "predict_packed", None)
+        self._prophet_update_packed = getattr(prophet, "update_packed", None)
+        if self._prophet_update_packed is None:
+            self._prophet_predict_packed = None
+        self._critic_lookup_into = getattr(critic, "lookup_into", None)
+        self._critic_train_hashed = getattr(critic, "train_hashed", None)
+        if self._critic_train_hashed is None:
+            self._critic_lookup_into = None
+        self._critic_predict_packed = None
+        self._critic_update_packed = None
+        if not self._critic_is_filtered:
+            self._critic_predict_packed = getattr(critic, "predict_packed", None)
+            self._critic_update_packed = getattr(critic, "update_packed", None)
+            if self._critic_update_packed is None:
+                self._critic_predict_packed = None
 
     # -- fetch ------------------------------------------------------------------
 
     def predict(self, pc: int) -> InflightBranch:
-        bhr_before = self.bhr.value
-        bor_before = self.bor.value
-        pred = self.prophet.predict(pc, bhr_before)
+        handle = InflightBranch(pc=pc, prophet_pred=False, bhr_before=0, bor_before=0)
+        self.predict_into(handle, pc)
+        return handle
+
+    def predict_into(self, handle: InflightBranch, pc: int) -> None:
+        # Only the fields critique() does not unconditionally rewrite
+        # before any read need resetting on a pooled handle; critique
+        # owns final_pred/critic_* and bor_at_critique.
+        bhr = self.bhr
+        bor = self.bor
+        bhr_before = bhr._value
+        bor_before = bor._value
+        fast = self._prophet_predict_packed
+        if fast is not None:
+            pred, state = fast(pc, bhr_before)
+        else:
+            pred = self.prophet.predict(pc, bhr_before)
+            state = None
         # Speculative insertion: the prophet's prediction enters both its
         # own history and the critic's BOR (never the critic's output, §3.2).
-        self.bhr.insert(pred)
-        self.bor.insert(pred)
-        return InflightBranch(
-            pc=pc, prophet_pred=pred, bhr_before=bhr_before, bor_before=bor_before
-        )
+        bit = 1 if pred else 0
+        bhr._value = ((bhr_before << 1) | bit) & bhr._mask
+        bor._value = ((bor_before << 1) | bit) & bor._mask
+        handle.pc = pc
+        handle.prophet_pred = pred
+        handle.bhr_before = bhr_before
+        handle.bor_before = bor_before
+        handle.is_static = False
+        handle.critiqued = False
+        handle.prophet_state = state
 
     def predict_static(self, pc: int) -> InflightBranch:
-        return InflightBranch(
-            pc=pc,
-            prophet_pred=False,
-            bhr_before=self.bhr.value,
-            bor_before=self.bor.value,
-            is_static=True,
-        )
+        handle = InflightBranch(pc=pc, prophet_pred=False, bhr_before=0, bor_before=0)
+        self.predict_static_into(handle, pc)
+        return handle
+
+    def predict_static_into(self, handle: InflightBranch, pc: int) -> None:
+        handle.pc = pc
+        handle.prophet_pred = False
+        handle.bhr_before = self.bhr._value
+        handle.bor_before = self.bor._value
+        handle.is_static = True
+        handle.critiqued = False
 
     # -- critique ------------------------------------------------------------------
 
@@ -226,22 +361,36 @@ class ProphetCriticSystem(PredictionSystem):
         if handle.is_static:
             handle.final_pred = False
             handle.critic_hit = False
-            return handle.final_pred
+            return False
         # With F >= 1 the BOR now holds this branch's own prediction plus
         # the F-1 that followed; with F == 0 the critic sees exactly what
         # the prophet saw (conventional-hybrid information timing).
-        bor_value = self.bor.value if self.future_bits >= 1 else handle.bor_before
+        bor_value = self.bor._value if self.future_bits >= 1 else handle.bor_before
         handle.bor_at_critique = bor_value
-        if self._critic_is_filtered:
+        lookup_into = self._critic_lookup_into
+        if lookup_into is not None:
+            if lookup_into(handle, handle.pc, bor_value):
+                final = handle.critic_pred
+            else:
+                final = handle.prophet_pred
+        elif self._critic_is_filtered:
             result = self.critic.lookup(handle.pc, bor_value)
             handle.critic_hit = result.hit
             handle.critic_pred = result.prediction
-            handle.final_pred = result.prediction if result.hit else handle.prophet_pred
+            final = result.prediction if result.hit else handle.prophet_pred
         else:
+            fast = self._critic_predict_packed
+            if fast is not None:
+                pred, state = fast(handle.pc, bor_value)
+                handle.critic_state = state
+            else:
+                pred = self.critic.predict(handle.pc, bor_value)
+                handle.critic_state = None  # pooled handle: clear stale state
             handle.critic_hit = True
-            handle.critic_pred = self.critic.predict(handle.pc, bor_value)
-            handle.final_pred = handle.critic_pred
-        return handle.final_pred
+            handle.critic_pred = pred
+            final = pred
+        handle.final_pred = final
+        return final
 
     def apply_redirect(self, handle: InflightBranch, final: bool) -> None:
         """Critic override: repair both registers to the critique point.
@@ -251,38 +400,64 @@ class ProphetCriticSystem(PredictionSystem):
         handle keeps its original ``bor_at_critique`` — commit-time
         training must see the wrong-path future bits (§3.3).
         """
-        self.bhr.restore(handle.bhr_before)
-        self.bor.restore(handle.bor_before)
-        self.bhr.insert(final)
-        self.bor.insert(final)
+        bhr = self.bhr
+        bor = self.bor
+        bit = 1 if final else 0
+        bhr._value = ((handle.bhr_before << 1) | bit) & bhr._mask
+        bor._value = ((handle.bor_before << 1) | bit) & bor._mask
 
     # -- commit ------------------------------------------------------------------
 
     def resolve(self, handle: InflightBranch, taken: bool) -> None:
         if handle.is_static:
             return
-        self.prophet.update(handle.pc, handle.bhr_before, taken, handle.prophet_pred)
+        state = handle.prophet_state
+        if state is not None:
+            self._prophet_update_packed(
+                handle.pc, handle.bhr_before, taken, handle.prophet_pred, state
+            )
+        else:
+            self.prophet.update(handle.pc, handle.bhr_before, taken, handle.prophet_pred)
         if not handle.critiqued:
             # Flushed before critique would mean never resolved; reaching
             # here implies a driver sequencing bug.
             raise RuntimeError("resolving a branch that was never critiqued")
-        if self.insert_on == "final":
+        if self._insert_on_final:
             final_mispredict = handle.final_pred != taken
         else:
             final_mispredict = handle.prophet_pred != taken
-        if self._critic_is_filtered:
+        if self._critic_train_hashed is not None and handle.critic_ix >= 0:
+            self._critic_train_hashed(
+                handle.pc, handle.bor_at_critique, taken, final_mispredict,
+                handle.critic_ix, handle.critic_tag,
+            )
+        elif self._critic_is_filtered:
             self.critic.train(handle.pc, handle.bor_at_critique, taken, final_mispredict)
         else:
-            self.critic.update(handle.pc, handle.bor_at_critique, taken, bool(handle.critic_pred))
+            critic_state = handle.critic_state
+            if critic_state is not None:
+                self._critic_update_packed(
+                    handle.pc, handle.bor_at_critique, taken,
+                    bool(handle.critic_pred), critic_state,
+                )
+            else:
+                self.critic.update(
+                    handle.pc, handle.bor_at_critique, taken, bool(handle.critic_pred)
+                )
 
     def recover(self, handle: InflightBranch, taken: bool) -> None:
-        self.bhr.restore(handle.bhr_before)
-        self.bor.restore(handle.bor_before)
-        self.bhr.insert(taken)
-        self.bor.insert(taken)
+        bhr = self.bhr
+        bor = self.bor
+        bit = 1 if taken else 0
+        bhr._value = ((handle.bhr_before << 1) | bit) & bhr._mask
+        bor._value = ((handle.bor_before << 1) | bit) & bor._mask
 
     def storage_bits(self) -> int:
         return self.prophet.storage_bits() + self.critic.storage_bits()
+
+    def set_stats_enabled(self, enabled: bool) -> None:
+        self.prophet.stats_enabled = enabled
+        self.critic.stats_enabled = enabled
 
     def reset(self) -> None:
         self.prophet.reset()

@@ -42,30 +42,35 @@ class BranchTargetBuffer:
         if self.sets & (self.sets - 1):
             raise ValueError("sets must be a power of two")
         self._set_bits = self.sets.bit_length() - 1
+        self._set_mask = mask(self._set_bits)
         # Per set: list of tags, most recently used last.
         self._sets: list[list[int]] = [[] for _ in range(self.sets)]
         self.stats = BtbStats()
 
     def _index_tag(self, pc: int) -> tuple[int, int]:
         word = pc >> 2
-        return word & mask(self._set_bits), word >> self._set_bits
+        return word & self._set_mask, word >> self._set_bits
 
     def lookup(self, pc: int) -> bool:
         """True when the branch is recognised; refreshes LRU on hit."""
-        self.stats.lookups += 1
-        index, tag = self._index_tag(pc)
-        entry_list = self._sets[index]
+        stats = self.stats
+        stats.lookups += 1
+        word = pc >> 2
+        tag = word >> self._set_bits
+        entry_list = self._sets[word & self._set_mask]
         if tag in entry_list:
-            entry_list.remove(tag)
-            entry_list.append(tag)
-            self.stats.hits += 1
+            if entry_list[-1] != tag:
+                entry_list.remove(tag)
+                entry_list.append(tag)
+            stats.hits += 1
             return True
         return False
 
     def allocate(self, pc: int) -> None:
         """Install the branch (commit-time allocation), evicting LRU."""
-        index, tag = self._index_tag(pc)
-        entry_list = self._sets[index]
+        word = pc >> 2
+        tag = word >> self._set_bits
+        entry_list = self._sets[word & self._set_mask]
         if tag in entry_list:
             entry_list.remove(tag)
         elif len(entry_list) >= self.ways:

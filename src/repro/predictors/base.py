@@ -56,6 +56,24 @@ class DirectionPredictor(abc.ABC):
     :meth:`storage_bits`. ``history_length`` announces how many history
     bits the predictor consumes; the engine sizes the BHR/BOR to the
     maximum over all components.
+
+    Packed fast path (optional)
+    ---------------------------
+
+    Hot-loop callers (the simulation driver via the prediction systems)
+    probe for a ``predict_packed(pc, history) -> (prediction, state)`` /
+    ``update_packed(pc, history, taken, predicted, state)`` pair. The
+    state is an opaque value capturing whatever pure function of
+    ``(pc, history)`` the predictor computes on both sides — table
+    indices, hashes, folded histories — so commit-time training skips
+    recomputing it. Implementations must read *mutable* structures
+    (counters, tags, usefulness) afresh at update time: only pure
+    derivations may ride in the state, keeping packed and classic paths
+    bit-for-bit identical.
+
+    Per-prediction accounting in :attr:`stats` can be switched off by
+    setting :attr:`stats_enabled` — throughput harnesses do — and every
+    ``update``/``update_packed`` must honour the flag.
     """
 
     #: Number of history bits consumed from the supplied history value.
@@ -63,6 +81,9 @@ class DirectionPredictor(abc.ABC):
 
     #: Human-readable short name, used in experiment tables.
     name: str = "predictor"
+
+    #: When False, update() skips PredictorStats accounting entirely.
+    stats_enabled: bool = True
 
     def __init__(self) -> None:
         self.stats = PredictorStats()

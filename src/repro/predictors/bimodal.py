@@ -31,9 +31,19 @@ class BimodalPredictor(DirectionPredictor):
     def predict(self, pc: int, history: int) -> bool:
         return self.table.taken(self._index(pc))
 
+    def predict_packed(self, pc: int, history: int) -> tuple[bool, int]:
+        index = (pc >> 2) & mask(self._index_bits)
+        return self.table.taken(index), index
+
+    def update_packed(
+        self, pc: int, history: int, taken: bool, predicted: bool, index: int
+    ) -> None:
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
+        self.table.update(index, taken)
+
     def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
-        self.table.update(self._index(pc), taken)
+        self.update_packed(pc, history, taken, predicted, self._index(pc))
 
     def storage_bits(self) -> int:
         return self.table.storage_bits()

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 
 class SaturatingCounter:
     """An n-bit saturating up/down counter.
@@ -61,14 +59,20 @@ class SaturatingCounter:
 
 
 class CounterTable:
-    """A dense table of n-bit saturating counters backed by a numpy array.
+    """A dense table of n-bit saturating counters backed by a plain list.
 
-    Most predictors need thousands of counters; packing them in an int8
-    array keeps memory and per-access cost low compared to a list of
-    :class:`SaturatingCounter` objects.
+    Most predictors need thousands of counters and touch a handful per
+    branch. A Python list of small ints makes every scalar read/write a
+    couple of native ops; a numpy array here would pay the scalar-boxing
+    toll (``int(arr[i])``) on every single counter access, which
+    dominated the old kernel's predictor profile.
+
+    The backing list's identity is stable for the lifetime of the table
+    (``reset`` reuses it in place), so hot paths may cache a reference
+    to :attr:`raw` alongside :attr:`midpoint` and index it directly.
     """
 
-    __slots__ = ("_table", "bits", "maximum", "size")
+    __slots__ = ("_table", "bits", "maximum", "midpoint", "size")
 
     def __init__(self, size: int, bits: int = 2, initial: int | None = None) -> None:
         if size < 1:
@@ -78,23 +82,30 @@ class CounterTable:
         self.size = size
         self.bits = bits
         self.maximum = (1 << bits) - 1
+        #: Decision boundary: a counter strictly above this predicts taken.
+        self.midpoint = self.maximum >> 1
         if initial is None:
-            initial = self.maximum >> 1
+            initial = self.midpoint
         if not 0 <= initial <= self.maximum:
             raise ValueError("initial value out of counter range")
-        self._table = np.full(size, initial, dtype=np.int8)
+        self._table = [initial] * size
+
+    @property
+    def raw(self) -> list[int]:
+        """The backing list (identity-stable across :meth:`reset`)."""
+        return self._table
 
     def value(self, index: int) -> int:
         """Raw counter value at ``index``."""
-        return int(self._table[index])
+        return self._table[index]
 
     def taken(self, index: int) -> bool:
         """Predicted direction of the counter at ``index``."""
-        return int(self._table[index]) > (self.maximum >> 1)
+        return self._table[index] > self.midpoint
 
     def confidence(self, index: int) -> int:
         """Distance from the decision boundary (0 = weakest)."""
-        value = int(self._table[index])
+        value = self._table[index]
         midpoint = self.maximum / 2.0
         return int(abs(value - midpoint))
 
@@ -109,7 +120,7 @@ class CounterTable:
 
     def set_direction(self, index: int, taken: bool) -> None:
         """Force the counter at ``index`` to weakly agree with ``taken``."""
-        half = self.maximum >> 1
+        half = self.midpoint
         self._table[index] = half + 1 if taken else half
 
     def storage_bits(self) -> int:
@@ -117,7 +128,10 @@ class CounterTable:
         return self.size * self.bits
 
     def reset(self, initial: int | None = None) -> None:
-        """Reset every counter (default: weakly not-taken)."""
+        """Reset every counter in place (default: weakly not-taken).
+
+        In-place so that cached :attr:`raw` references stay valid.
+        """
         if initial is None:
-            initial = self.maximum >> 1
-        self._table[:] = initial
+            initial = self.midpoint
+        self._table[:] = [initial] * self.size

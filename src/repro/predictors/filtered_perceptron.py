@@ -48,21 +48,35 @@ class FilteredPerceptronPredictor(DirectionPredictor):
 
     # -- critic interface ------------------------------------------------------
 
-    def lookup(self, pc: int, history: int) -> CritiqueLookup:
-        """Parallel tag probe + perceptron compute; opinion only on hit."""
-        way = self.filter.lookup(self._set_index(pc, history), self._tag(pc, history))
-        if way is None:
-            return CritiqueLookup(hit=False, prediction=None)
-        return CritiqueLookup(hit=True, prediction=self.perceptron.predict(pc, history))
+    def lookup_into(self, handle, pc: int, history: int) -> bool:
+        """Hot-path lookup writing straight into an in-flight handle.
 
-    def train(self, pc: int, history: int, taken: bool, final_mispredict: bool) -> None:
-        """Train on hits; allocate (and prime the perceptron) on mispredict+miss."""
+        Same observable behaviour as :meth:`lookup`; additionally stashes
+        the filter hash pair on the handle so training skips rehashing.
+        """
         set_index = self._set_index(pc, history)
         tag = self._tag(pc, history)
+        handle.critic_ix = set_index
+        handle.critic_tag = tag
+        way = self.filter.lookup(set_index, tag)
+        if way is None:
+            handle.critic_hit = False
+            handle.critic_pred = None
+            return False
+        handle.critic_hit = True
+        handle.critic_pred = self.perceptron.predict(pc, history)
+        return True
+
+    def train_hashed(
+        self, pc: int, history: int, taken: bool, final_mispredict: bool,
+        set_index: int, tag: int,
+    ) -> None:
+        """:meth:`train` with the filter hash pair precomputed at lookup."""
         way = self.filter.probe(set_index, tag)
         if way is not None:
             predicted = self.perceptron.predict(pc, history)
-            self.stats.record(predicted == taken)
+            if self.stats_enabled:
+                self.stats.record(predicted == taken)
             self.perceptron.update(pc, history, taken, predicted)
             self.filter._touch(set_index, way)
             return
@@ -72,6 +86,20 @@ class FilteredPerceptronPredictor(DirectionPredictor):
             # perceptron analogue of setting a counter weakly taken/not.
             predicted = self.perceptron.predict(pc, history)
             self.perceptron.update(pc, history, taken, predicted)
+
+    def lookup(self, pc: int, history: int) -> CritiqueLookup:
+        """Parallel tag probe + perceptron compute; opinion only on hit."""
+        way = self.filter.lookup(self._set_index(pc, history), self._tag(pc, history))
+        if way is None:
+            return CritiqueLookup(hit=False, prediction=None)
+        return CritiqueLookup(hit=True, prediction=self.perceptron.predict(pc, history))
+
+    def train(self, pc: int, history: int, taken: bool, final_mispredict: bool) -> None:
+        """Train on hits; allocate (and prime the perceptron) on mispredict+miss."""
+        self.train_hashed(
+            pc, history, taken, final_mispredict,
+            self._set_index(pc, history), self._tag(pc, history),
+        )
 
     # -- standalone DirectionPredictor interface -------------------------------
 

@@ -53,27 +53,30 @@ class TagFilter:
 
     def _touch(self, set_index: int, way: int) -> None:
         order = self._lru[set_index]
-        order.remove(way)
-        order.append(way)
+        if order[-1] != way:
+            order.remove(way)
+            order.append(way)
 
     def lookup(self, set_index: int, tag: int) -> int | None:
         """Return the hit way, or None on miss. Updates LRU on hit."""
-        self.stats.lookups += 1
+        stats = self.stats
+        stats.lookups += 1
         row = self._tags[set_index]
-        for way in range(self.ways):
-            if row[way] == tag:
-                self.stats.hits += 1
-                self._touch(set_index, way)
-                return way
-        return None
+        try:
+            way = row.index(tag)
+        except ValueError:
+            return None
+        stats.hits += 1
+        self._touch(set_index, way)
+        return way
 
     def probe(self, set_index: int, tag: int) -> int | None:
         """Like :meth:`lookup` but with no LRU or statistics side effects."""
         row = self._tags[set_index]
-        for way in range(self.ways):
-            if row[way] == tag:
-                return way
-        return None
+        try:
+            return row.index(tag)
+        except ValueError:
+            return None
 
     def insert(self, set_index: int, tag: int) -> tuple[int, bool]:
         """Insert ``tag``, evicting the LRU way if the set is full.

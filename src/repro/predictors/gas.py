@@ -38,9 +38,19 @@ class GAsPredictor(DirectionPredictor):
     def predict(self, pc: int, history: int) -> bool:
         return self.table.taken(self._index(pc, history))
 
+    def predict_packed(self, pc: int, history: int) -> tuple[bool, int]:
+        index = self._index(pc, history)
+        return self.table.taken(index), index
+
+    def update_packed(
+        self, pc: int, history: int, taken: bool, predicted: bool, index: int
+    ) -> None:
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
+        self.table.update(index, taken)
+
     def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
-        self.table.update(self._index(pc, history), taken)
+        self.update_packed(pc, history, taken, predicted, self._index(pc, history))
 
     def storage_bits(self) -> int:
         return self.table.storage_bits()

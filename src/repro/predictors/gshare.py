@@ -33,16 +33,31 @@ class GsharePredictor(DirectionPredictor):
             )
         self.history_length = history_length
         self.table = CounterTable(entries, bits=counter_bits)
+        self._history_mask = mask(history_length)
+        self._index_mask = mask(self._index_bits)
+        self._raw = self.table.raw
+        self._midpoint = self.table.midpoint
 
     def _index(self, pc: int, history: int) -> int:
-        return ((pc >> 2) ^ (history & mask(self.history_length))) & mask(self._index_bits)
+        return ((pc >> 2) ^ (history & self._history_mask)) & self._index_mask
 
     def predict(self, pc: int, history: int) -> bool:
-        return self.table.taken(self._index(pc, history))
+        return self._raw[self._index(pc, history)] > self._midpoint
+
+    def predict_packed(self, pc: int, history: int) -> tuple[bool, int]:
+        """Packed fast path: the table index is pure in (pc, history)."""
+        index = ((pc >> 2) ^ (history & self._history_mask)) & self._index_mask
+        return self._raw[index] > self._midpoint, index
+
+    def update_packed(
+        self, pc: int, history: int, taken: bool, predicted: bool, index: int
+    ) -> None:
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
+        self.table.update(index, taken)
 
     def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
-        self.table.update(self._index(pc, history), taken)
+        self.update_packed(pc, history, taken, predicted, self._index(pc, history))
 
     def storage_bits(self) -> int:
         return self.table.storage_bits()

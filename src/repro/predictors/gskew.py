@@ -54,6 +54,15 @@ class TwoBcGskewPredictor(DirectionPredictor):
         n = self._index_bits
         self._h_table = [skew_h(value, n) for value in range(1 << n)]
         self._hinv_table = [skew_hinv(value, n) for value in range(1 << n)]
+        # Hot-path constants and raw table references (identity-stable
+        # across reset(), see CounterTable.raw).
+        self._index_mask = mask(n)
+        self._history_mask = mask(history_length)
+        self._pc_high_shift = 2 + n
+        self._bim_raw = self.bim.raw
+        self._g0_raw = self.g0.raw
+        self._g1_raw = self.g1.raw
+        self._meta_raw = self.meta.raw
 
     # -- indexing -----------------------------------------------------------
 
@@ -90,42 +99,123 @@ class TwoBcGskewPredictor(DirectionPredictor):
             return self._majority(bim, g0, g1)
         return bim
 
-    # -- update -------------------------------------------------------------
+    # -- packed fast path ----------------------------------------------------
+    #
+    # The four bank indices are pure functions of (pc, history); the engine
+    # carries the prediction-time history to commit, so the driver-facing
+    # systems compute the indices once at predict and replay them at
+    # update. Counter *values* are always re-read at update time — other
+    # in-flight branches may have trained the same entries — keeping the
+    # packed path bit-identical to predict()/update().
 
-    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
-        bim_idx = self._bim_index(pc)
-        g0_idx = self._skewed_index(0, pc, history)
-        g1_idx = self._skewed_index(1, pc, history)
-        meta_idx = self._skewed_index(2, pc, history)
+    def _pack_indices(self, pc: int, history: int) -> int:
+        n = self._index_bits
+        index_mask = self._index_mask
+        v1 = (pc >> 2) & index_mask
+        v2 = ((history & self._history_mask) ^ (pc >> self._pc_high_shift)) & index_mask
+        h = self._h_table
+        hinv = self._hinv_table
+        hv1 = h[v1]
+        hinv_v2 = hinv[v2]
+        g0_idx = hv1 ^ hinv_v2 ^ v2
+        g1_idx = hv1 ^ hinv_v2 ^ v1
+        meta_idx = hinv[v1] ^ h[v2] ^ v2
+        return v1 | (g0_idx << n) | (g1_idx << (2 * n)) | (meta_idx << (3 * n))
 
-        bim = self.bim.taken(bim_idx)
-        g0 = self.g0.taken(g0_idx)
-        g1 = self.g1.taken(g1_idx)
-        meta_majority = self.meta.taken(meta_idx)
-        majority = self._majority(bim, g0, g1)
+    def predict_packed(self, pc: int, history: int) -> tuple[bool, int]:
+        # _pack_indices fused in: computing the four indices as locals,
+        # reading the banks, then packing avoids an immediate unpack.
+        n = self._index_bits
+        index_mask = self._index_mask
+        v1 = (pc >> 2) & index_mask
+        v2 = ((history & self._history_mask) ^ (pc >> self._pc_high_shift)) & index_mask
+        h = self._h_table
+        hinv = self._hinv_table
+        hv1 = h[v1]
+        hinv_v2 = hinv[v2]
+        g0_idx = hv1 ^ hinv_v2 ^ v2
+        g1_idx = hv1 ^ hinv_v2 ^ v1
+        meta_idx = hinv[v1] ^ h[v2] ^ v2
+        packed = v1 | (g0_idx << n) | (g1_idx << (2 * n)) | (meta_idx << (3 * n))
+        bim = self._bim_raw[v1] > 1
+        if self._meta_raw[meta_idx] > 1:
+            g0 = self._g0_raw[g0_idx] > 1
+            g1 = self._g1_raw[g1_idx] > 1
+            return (bim + g0 + g1) >= 2, packed
+        return bim, packed
+
+    def update_packed(
+        self, pc: int, history: int, taken: bool, predicted: bool, packed: int
+    ) -> None:
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
+        n = self._index_bits
+        index_mask = self._index_mask
+        bim_idx = packed & index_mask
+        g0_idx = (packed >> n) & index_mask
+        g1_idx = (packed >> (2 * n)) & index_mask
+        meta_idx = packed >> (3 * n)
+        bim_raw = self._bim_raw
+        g0_raw = self._g0_raw
+        g1_raw = self._g1_raw
+
+        bim_value = bim_raw[bim_idx]
+        g0_value = g0_raw[g0_idx]
+        g1_value = g1_raw[g1_idx]
+        bim = bim_value > 1
+        g0 = g0_value > 1
+        g1 = g1_value > 1
+        meta_majority = self._meta_raw[meta_idx] > 1
+        majority = (bim + g0 + g1) >= 2
         overall = majority if meta_majority else bim
 
-        if overall == taken:
-            if meta_majority:
-                # Partial update: strengthen only the banks that voted right.
-                if bim == taken:
-                    self.bim.update(bim_idx, taken)
-                if g0 == taken:
-                    self.g0.update(g0_idx, taken)
-                if g1 == taken:
-                    self.g1.update(g1_idx, taken)
+        # Same partial-update policy as the classic path, on raw 2-bit
+        # counters: saturating step toward `taken` for the chosen banks.
+        if taken:
+            if overall == taken:
+                if meta_majority:
+                    if bim and bim_value < 3:
+                        bim_raw[bim_idx] = bim_value + 1
+                    if g0 and g0_value < 3:
+                        g0_raw[g0_idx] = g0_value + 1
+                    if g1 and g1_value < 3:
+                        g1_raw[g1_idx] = g1_value + 1
+                elif bim_value < 3:
+                    bim_raw[bim_idx] = bim_value + 1
             else:
-                self.bim.update(bim_idx, taken)
+                if bim_value < 3:
+                    bim_raw[bim_idx] = bim_value + 1
+                if g0_value < 3:
+                    g0_raw[g0_idx] = g0_value + 1
+                if g1_value < 3:
+                    g1_raw[g1_idx] = g1_value + 1
         else:
-            # Mispredict: write the outcome into all voting banks.
-            self.bim.update(bim_idx, taken)
-            self.g0.update(g0_idx, taken)
-            self.g1.update(g1_idx, taken)
+            if overall == taken:
+                if meta_majority:
+                    if not bim and bim_value > 0:
+                        bim_raw[bim_idx] = bim_value - 1
+                    if not g0 and g0_value > 0:
+                        g0_raw[g0_idx] = g0_value - 1
+                    if not g1 and g1_value > 0:
+                        g1_raw[g1_idx] = g1_value - 1
+                elif bim_value > 0:
+                    bim_raw[bim_idx] = bim_value - 1
+            else:
+                if bim_value > 0:
+                    bim_raw[bim_idx] = bim_value - 1
+                if g0_value > 0:
+                    g0_raw[g0_idx] = g0_value - 1
+                if g1_value > 0:
+                    g1_raw[g1_idx] = g1_value - 1
 
         # META learns which source to trust, only on disagreement.
         if bim != majority:
             self.meta.update(meta_idx, majority == taken)
+
+    # -- update -------------------------------------------------------------
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.update_packed(pc, history, taken, predicted, self._pack_indices(pc, history))
 
     def storage_bits(self) -> int:
         return (

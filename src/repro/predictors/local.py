@@ -61,7 +61,8 @@ class LocalHistoryPredictor(DirectionPredictor):
         return self.table.taken(self._pattern_index(self.local_history(pc)))
 
     def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
         h_idx = self._history_index(pc)
         local = int(self._histories[h_idx]) & mask(self.local_history_length)
         self.table.update(self._pattern_index(local), taken)

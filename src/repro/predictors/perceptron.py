@@ -62,16 +62,29 @@ class PerceptronPredictor(DirectionPredictor):
     def predict(self, pc: int, history: int) -> bool:
         return self.output(pc, history) >= 0
 
-    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
-        row = self._row(pc)
+    def predict_packed(self, pc: int, history: int) -> tuple[bool, np.ndarray]:
+        """Packed fast path: the ±1 input vector is pure in the history."""
         x = self._inputs(history)
+        y = int(np.dot(self.weights[self._row(pc)].astype(np.int32), x))
+        return y >= 0, x
+
+    def update_packed(
+        self, pc: int, history: int, taken: bool, predicted: bool, x: np.ndarray
+    ) -> None:
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
+        row = self._row(pc)
+        # The output is recomputed against current weights — aliasing
+        # branches may have trained this row since prediction time.
         y = int(np.dot(self.weights[row].astype(np.int32), x))
         if (y >= 0) != taken or abs(y) <= self.threshold:
             t = 1 if taken else -1
             updated = self.weights[row] + t * x
             np.clip(updated, self.WEIGHT_MIN, self.WEIGHT_MAX, out=updated)
             self.weights[row] = updated
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.update_packed(pc, history, taken, predicted, self._inputs(history))
 
     def storage_bits(self) -> int:
         # 8-bit weights, (h+1) per perceptron; the global history register

@@ -15,7 +15,8 @@ class AlwaysTakenPredictor(DirectionPredictor):
         return True
 
     def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
 
     def storage_bits(self) -> int:
         return 0
@@ -31,7 +32,8 @@ class AlwaysNotTakenPredictor(DirectionPredictor):
         return False
 
     def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
 
     def storage_bits(self) -> int:
         return 0
@@ -60,7 +62,8 @@ class BackwardTakenForwardNotTaken(DirectionPredictor):
         return target <= pc
 
     def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
 
     def storage_bits(self) -> int:
         return 0

@@ -104,15 +104,35 @@ class TagePredictor(DirectionPredictor):
             self._base[idx] = value - 1
 
     # -- provider search --------------------------------------------------------
+    #
+    # Component indices and tags are pure (pc, history) hashes built from
+    # multi-step history folds — by far the predictor's per-branch cost.
+    # The packed state memoises them (tags lazily: a tag is only hashed
+    # when some lookup needs it) so that commit-time training, which must
+    # re-run the provider search against *current* table contents, reuses
+    # every fold computed at prediction time.
 
-    def _find(self, pc: int, history: int) -> tuple[int | None, int | None]:
-        """Return (provider component idx, alternate component idx)."""
+    def _hash_state(self, pc: int, history: int) -> tuple[list[int], list[int | None]]:
+        indices = [comp.index(pc, history) for comp in self.components]
+        tags: list[int | None] = [None] * len(self.components)
+        return indices, tags
+
+    def _tag_of(self, i: int, pc: int, history: int, tags: list[int | None]) -> int:
+        tag = tags[i]
+        if tag is None:
+            tag = self.components[i].tag(pc, history)
+            tags[i] = tag
+        return tag
+
+    def _find_cached(
+        self, pc: int, history: int, indices: list[int], tags: list[int | None]
+    ) -> tuple[int | None, int | None]:
+        """Provider search against current tables, memoised hashes."""
         provider = None
         alternate = None
         for i in range(len(self.components) - 1, -1, -1):
-            comp = self.components[i]
-            entry = comp.table[comp.index(pc, history)]
-            if entry.valid and entry.tag == comp.tag(pc, history):
+            entry = self.components[i].table[indices[i]]
+            if entry.valid and entry.tag == self._tag_of(i, pc, history, tags):
                 if provider is None:
                     provider = i
                 else:
@@ -120,12 +140,23 @@ class TagePredictor(DirectionPredictor):
                     break
         return provider, alternate
 
+    def _find(self, pc: int, history: int) -> tuple[int | None, int | None]:
+        """Return (provider component idx, alternate component idx)."""
+        indices, tags = self._hash_state(pc, history)
+        return self._find_cached(pc, history, indices, tags)
+
     def predict(self, pc: int, history: int) -> bool:
-        provider, _alternate = self._find(pc, history)
+        pred, _state = self.predict_packed(pc, history)
+        return pred
+
+    def predict_packed(self, pc: int, history: int):
+        state = self._hash_state(pc, history)
+        indices, tags = state
+        provider, _alternate = self._find_cached(pc, history, indices, tags)
         if provider is None:
-            return self._base_predict(pc)
-        comp = self.components[provider]
-        return comp.table[comp.index(pc, history)].ctr >= 0
+            return self._base_predict(pc), state
+        entry = self.components[provider].table[indices[provider]]
+        return entry.ctr >= 0, state
 
     # -- update ------------------------------------------------------------------
 
@@ -133,17 +164,24 @@ class TagePredictor(DirectionPredictor):
         comp = self.components[i]
         return comp.table[comp.index(pc, history)].ctr >= 0
 
-    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
-        provider, alternate = self._find(pc, history)
+    def update_packed(
+        self, pc: int, history: int, taken: bool, predicted: bool, state
+    ) -> None:
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
+        indices, tags = state
+        # Re-run the provider search against current table contents:
+        # allocations/evictions by other in-flight branches may have
+        # changed validity or tags since prediction time.
+        provider, alternate = self._find_cached(pc, history, indices, tags)
 
         if provider is None:
             provider_pred = self._base_predict(pc)
             alt_pred = provider_pred
         else:
-            provider_pred = self._component_prediction(provider, pc, history)
+            provider_pred = self.components[provider].table[indices[provider]].ctr >= 0
             if alternate is not None:
-                alt_pred = self._component_prediction(alternate, pc, history)
+                alt_pred = self.components[alternate].table[indices[alternate]].ctr >= 0
             else:
                 alt_pred = self._base_predict(pc)
 
@@ -151,8 +189,7 @@ class TagePredictor(DirectionPredictor):
         if provider is None:
             self._base_update(pc, taken)
         else:
-            comp = self.components[provider]
-            entry = comp.table[comp.index(pc, history)]
+            entry = self.components[provider].table[indices[provider]]
             if taken and entry.ctr < 3:
                 entry.ctr += 1
             elif not taken and entry.ctr > -4:
@@ -169,20 +206,29 @@ class TagePredictor(DirectionPredictor):
         # Allocate a longer-history entry on a provider mispredict.
         if provider_pred != taken:
             start = (provider + 1) if provider is not None else 0
-            self._allocate(start, pc, history, taken)
+            self._allocate(start, pc, history, taken, indices, tags)
 
-    def _allocate(self, start: int, pc: int, history: int, taken: bool) -> None:
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        self.update_packed(pc, history, taken, predicted, self._hash_state(pc, history))
+
+    def _allocate(
+        self,
+        start: int,
+        pc: int,
+        history: int,
+        taken: bool,
+        indices: list[int],
+        tags: list[int | None],
+    ) -> None:
         candidates = []
         for i in range(start, len(self.components)):
-            comp = self.components[i]
-            entry = comp.table[comp.index(pc, history)]
+            entry = self.components[i].table[indices[i]]
             if not entry.valid or entry.useful == 0:
                 candidates.append(i)
         if not candidates:
             # Pressure release: age everything on the allocation path.
             for i in range(start, len(self.components)):
-                comp = self.components[i]
-                entry = comp.table[comp.index(pc, history)]
+                entry = self.components[i].table[indices[i]]
                 if entry.useful > 0:
                     entry.useful -= 1
             return
@@ -191,10 +237,9 @@ class TagePredictor(DirectionPredictor):
         pick = candidates[0]
         if len(candidates) > 1 and (self._alloc_state & 3) == 3:
             pick = candidates[1]
-        comp = self.components[pick]
-        entry = comp.table[comp.index(pc, history)]
+        entry = self.components[pick].table[indices[pick]]
         entry.valid = True
-        entry.tag = comp.tag(pc, history)
+        entry.tag = self._tag_of(pick, pc, history, tags)
         entry.ctr = 0 if taken else -1
         entry.useful = 0
 

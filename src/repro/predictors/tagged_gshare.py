@@ -61,8 +61,48 @@ class TaggedGsharePredictor(DirectionPredictor):
         self.filter = TagFilter(sets, ways, tag_bits)
         # One counter per (set, way); flattened row-major.
         self.counters = CounterTable(sets * ways, bits=2)
+        # Hot-path constants for the fused hash (see _hash_pair).
+        self._set_mask = (1 << self.filter.set_bits) - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self._history_mask = (1 << history_length) - 1 if history_length > 0 else 0
+        self._rotate_shift = history_length - 1
+        self._counters_raw = self.counters.raw
+        # Unrolled fold schedules: XORing the unmasked shifted chunks and
+        # masking once at the end equals the chunk-by-chunk masked fold
+        # (only the low out_width bits of the XOR survive the final mask).
+        self._set_fold_shifts = tuple(range(0, history_length, max(self.filter.set_bits, 1)))
+        self._tag_fold_shifts = tuple(range(0, history_length, max(tag_bits, 1)))
 
     # -- hashing -------------------------------------------------------------
+
+    def _hash_pair(self, pc: int, history: int) -> tuple[int, int]:
+        """(set index, tag) in one pass — inlined fold loops.
+
+        Produces exactly :func:`repro.utils.hashing.index_hash` and
+        :func:`repro.utils.hashing.tag_hash` over ``history_length``
+        history bits; critics hash every branch twice (lookup + train),
+        so the folding is flattened here.
+        """
+        tag_bits = self.tag_bits
+        tag_shifts = self._tag_fold_shifts
+
+        value = history & self._history_mask
+        folded_index = pc >> 2
+        for shift in self._set_fold_shifts:
+            folded_index ^= value >> shift
+        folded_tag = 0
+        for shift in tag_shifts:
+            folded_tag ^= value >> shift
+        # tag_hash's second fold runs over the rotated history.
+        folded_tag2 = 0
+        if tag_shifts:  # empty iff history_length == 0 (no rotation either)
+            rotated = ((history >> 1) | ((history & 1) << self._rotate_shift)) & self._history_mask
+            for shift in tag_shifts:
+                folded_tag2 ^= rotated >> shift
+        tag = (
+            (pc >> 5) ^ (pc >> (5 + tag_bits)) ^ folded_tag ^ (folded_tag2 << 1)
+        ) & self._tag_mask
+        return folded_index & self._set_mask, tag
 
     def _set_index(self, pc: int, history: int) -> int:
         return index_hash(pc, history, self.filter.set_bits, self.history_length)
@@ -75,22 +115,38 @@ class TaggedGsharePredictor(DirectionPredictor):
 
     # -- critic interface ------------------------------------------------------
 
-    def lookup(self, pc: int, history: int) -> CritiqueLookup:
-        """Filtered lookup: (hit, prediction-or-None)."""
-        set_index = self._set_index(pc, history)
-        way = self.filter.lookup(set_index, self._tag(pc, history))
-        if way is None:
-            return CritiqueLookup(hit=False, prediction=None)
-        return CritiqueLookup(hit=True, prediction=self.counters.taken(self._counter_index(set_index, way)))
+    def lookup_into(self, handle, pc: int, history: int) -> bool:
+        """Hot-path lookup writing straight into an in-flight handle.
 
-    def train(self, pc: int, history: int, taken: bool, final_mispredict: bool) -> None:
-        """Commit-time training with insert-on-mispredict allocation."""
-        set_index = self._set_index(pc, history)
-        tag = self._tag(pc, history)
+        Sets ``critic_hit``/``critic_pred`` plus the hash pair
+        (``critic_ix``/``critic_tag``) so commit-time training can skip
+        rehashing; returns the hit flag. Identical observable behaviour
+        to :meth:`lookup` (LRU refresh included).
+        """
+        set_index, tag = self._hash_pair(pc, history)
+        handle.critic_ix = set_index
+        handle.critic_tag = tag
+        way = self.filter.lookup(set_index, tag)
+        if way is None:
+            handle.critic_hit = False
+            handle.critic_pred = None
+            return False
+        handle.critic_hit = True
+        handle.critic_pred = self._counters_raw[set_index * self.ways + way] > 1
+        return True
+
+    def train_hashed(
+        self, pc: int, history: int, taken: bool, final_mispredict: bool,
+        set_index: int, tag: int,
+    ) -> None:
+        """:meth:`train` with the (set index, tag) pair precomputed at
+        lookup time — the hashes are pure in (pc, history), which the
+        engine already carries from critique to commit."""
         way = self.filter.probe(set_index, tag)
         if way is not None:
-            idx = self._counter_index(set_index, way)
-            self.stats.record(self.counters.taken(idx) == taken)
+            idx = set_index * self.ways + way
+            if self.stats_enabled:
+                self.stats.record((self._counters_raw[idx] > 1) == taken)
             self.counters.update(idx, taken)
             # Refresh recency so live contexts survive (probe() is
             # side-effect free; LRU is maintained here and at lookup).
@@ -98,7 +154,20 @@ class TaggedGsharePredictor(DirectionPredictor):
             return
         if final_mispredict:
             way, _evicted = self.filter.insert(set_index, tag)
-            self.counters.set_direction(self._counter_index(set_index, way), taken)
+            self.counters.set_direction(set_index * self.ways + way, taken)
+
+    def lookup(self, pc: int, history: int) -> CritiqueLookup:
+        """Filtered lookup: (hit, prediction-or-None)."""
+        set_index, tag = self._hash_pair(pc, history)
+        way = self.filter.lookup(set_index, tag)
+        if way is None:
+            return CritiqueLookup(hit=False, prediction=None)
+        return CritiqueLookup(hit=True, prediction=self.counters.taken(self._counter_index(set_index, way)))
+
+    def train(self, pc: int, history: int, taken: bool, final_mispredict: bool) -> None:
+        """Commit-time training with insert-on-mispredict allocation."""
+        set_index, tag = self._hash_pair(pc, history)
+        self.train_hashed(pc, history, taken, final_mispredict, set_index, tag)
 
     # -- standalone DirectionPredictor interface -------------------------------
 

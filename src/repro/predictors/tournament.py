@@ -45,7 +45,8 @@ class TournamentPredictor(DirectionPredictor):
         return pred_b if self.chooser.taken(self._chooser_index(pc)) else pred_a
 
     def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
         pred_a = self.component_a.predict(pc, history)
         pred_b = self.component_b.predict(pc, history)
         self.component_a.update(pc, history, taken, pred_a)

@@ -74,12 +74,31 @@ class YagsPredictor(DirectionPredictor):
             return cache.counters.taken(index)
         return choice_taken
 
-    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
-        self.stats.record(predicted == taken)
+    def predict_packed(self, pc: int, history: int) -> tuple[bool, tuple[int, int, int]]:
+        """Packed fast path: (choice index, cache index, tag) are pure."""
         choice_index = self._choice_index(pc)
-        choice_taken = self.choice.taken(choice_index)
         index = self._cache_index(pc, history)
         tag = self._cache_tag(pc)
+        choice_taken = self.choice.taken(choice_index)
+        cache = self.nt_cache if choice_taken else self.t_cache
+        if cache.probe(index, tag):
+            return cache.counters.taken(index), (choice_index, index, tag)
+        return choice_taken, (choice_index, index, tag)
+
+    def update_packed(
+        self,
+        pc: int,
+        history: int,
+        taken: bool,
+        predicted: bool,
+        state: tuple[int, int, int],
+    ) -> None:
+        if self.stats_enabled:
+            self.stats.record(predicted == taken)
+        choice_index, index, tag = state
+        # The choice direction is re-read: it may have trained since
+        # prediction, and it selects which exception cache to consult.
+        choice_taken = self.choice.taken(choice_index)
         cache = self.nt_cache if choice_taken else self.t_cache
         hit = cache.probe(index, tag)
         if hit:
@@ -93,6 +112,10 @@ class YagsPredictor(DirectionPredictor):
         # exception cache handled the outlier.
         if not (hit and cache.counters.taken(index) == taken and choice_taken != taken):
             self.choice.update(choice_index, taken)
+
+    def update(self, pc: int, history: int, taken: bool, predicted: bool) -> None:
+        state = (self._choice_index(pc), self._cache_index(pc, history), self._cache_tag(pc))
+        self.update_packed(pc, history, taken, predicted, state)
 
     def storage_bits(self) -> int:
         return (

@@ -29,6 +29,19 @@ Training the critic with the BOR captured at critique time — wrong-path
 bits included — is what the whole paper hinges on (§3.3): a branch can be
 mispredicted yet on the correct path, and it must train the critic with
 the wrong-path future the prophet actually produced.
+
+Hot-path shape
+--------------
+
+``simulate`` is the innermost loop of every experiment grid, so it is
+written as one flat loop over a **ring of pooled in-flight handles**
+sized to the fetch window: no per-branch allocation, no closure calls,
+attribute lookups hoisted into locals. The in-flight window lives in the
+ring as ``slots[head % cap] .. slots[(tail-1) % cap]`` with monotonically
+increasing ``head``/``tail`` counters; a flush simply moves ``tail``
+back. The frozen pre-optimization kernel is kept in
+``tests/reference_kernel.py`` and differential tests pin this loop to it
+bit for bit.
 """
 
 from __future__ import annotations
@@ -71,6 +84,10 @@ class SimulationConfig:
     btb_ways: int = 4
     #: Keep per-site (pc) mispredict attribution in the result.
     collect_per_site: bool = False
+    #: Keep per-predictor lifetime accuracy counters (PredictorStats).
+    #: Pure telemetry — RunStats is identical either way; throughput
+    #: harnesses switch it off to shave per-update accounting.
+    collect_predictor_stats: bool = True
 
     def effective_depth(self, future_bits: int) -> int:
         """In-flight depth, never smaller than the critique window."""
@@ -93,126 +110,198 @@ def simulate(
     btb = BranchTargetBuffer(config.btb_entries, config.btb_ways) if config.use_btb else None
 
     stats = RunStats(benchmark=program.name, system=type(system).__name__)
-    pending: deque[InflightBranch] = deque()
-    critiqued_count = 0  # pending[:critiqued_count] are critiqued (in order)
-    next_seq = 0         # BOR-insertion sequence number
     required_bits = max(system.future_bits, 0)
     depth = config.effective_depth(required_bits)
     hard_cap = depth + 8
+    n_branches = config.n_branches
+    warmup = config.warmup
+    collect_per_site = config.collect_per_site
+
+    # Pooled in-flight window: a ring of reusable handles. Monotonic
+    # head/tail counters; occupancy = tail - head, never above hard_cap.
+    cap = hard_cap
+    slots = [
+        InflightBranch(pc=0, prophet_pred=False, bhr_before=0, bor_before=0)
+        for _ in range(cap)
+    ]
+    head = 0
+    tail = 0
+    critiqued = 0  # handles [head, head+critiqued) are critiqued, in order
+    next_seq = 0   # BOR-insertion sequence number
     resolved = 0
     warmup_fetched = 0
 
-    def gathered(handle: InflightBranch) -> int:
-        return next_seq - handle.seq
+    # Hoisted bound methods and fields (the loop body runs per event; a
+    # dotted lookup per event is measurable at sweep scale).
+    sys_predict_into = system.predict_into
+    sys_predict_static_into = system.predict_static_into
+    sys_critique = system.critique
+    sys_apply_redirect = system.apply_redirect
+    sys_resolve = system.resolve
+    sys_recover = system.recover
+    walker_next_block = walker.next_branch_block
+    walker_restore = walker.restore_state
+    ras_snapshot = walker.ras.snapshot
+    executor_resolve = executor.resolve_next
+    btb_lookup = btb.lookup if btb is not None else None
+    btb_allocate = btb.allocate if btb is not None else None
+    census_record = stats.census.record
+    record_site = stats.record_site
 
-    def fetch_one() -> None:
-        nonlocal next_seq
-        fetched = walker.next_branch()
-        snap = walker.snapshot()
-        known = btb.lookup(fetched.pc) if btb is not None else True
-        if known:
-            handle = system.predict(fetched.pc)
-            handle.seq = next_seq
-            next_seq += 1  # one BOR bit inserted
-        else:
-            handle = system.predict_static(fetched.pc)
-            handle.seq = next_seq  # contributes no BOR bit: no increment
-        handle.walker_snapshot = snap
-        pending.append(handle)
-        walker.advance(handle.prophet_pred)
-
-    def critique_next() -> None:
-        nonlocal critiqued_count, next_seq
-        handle = pending[critiqued_count]
-        final = system.critique(handle)
-        critiqued_count += 1
-        if handle.is_static:
-            return
-        if final != handle.prophet_pred:
-            # Critic override: drop the younger, uncritiqued tail and
-            # steer fetch down the critic's path (FTQ-confined flush).
-            while len(pending) > critiqued_count:
-                pending.pop()
-            system.apply_redirect(handle, final)
-            walker.restore(handle.walker_snapshot)
-            walker.advance(final)
-            next_seq = handle.seq + 1
-            if resolved >= config.warmup:
-                stats.critic_redirects += 1
-
-    def resolve_head() -> None:
-        nonlocal critiqued_count, next_seq, resolved
-        head = pending.popleft()
-        critiqued_count -= 1
-        actual = executor.next_branch()
-        if actual.pc != head.pc:
-            raise SimulationDesyncError(
-                f"committed branch {actual.pc:#x} but front end fetched {head.pc:#x} "
-                f"(branch #{resolved})"
-            )
-        measuring = resolved >= config.warmup
-        if measuring:
-            stats.branches += 1
-            stats.committed_uops += actual.uops
-            stats.taken_branches += int(actual.taken)
-            if head.is_static:
-                stats.static_branches += 1
-                if actual.taken:  # implicit not-taken was wrong
-                    stats.mispredicts += 1
-                    stats.prophet_mispredicts += 1
+    if not config.collect_predictor_stats:
+        system.set_stats_enabled(False)
+    try:
+        while resolved < n_branches:
+            pending = tail - head
+            # 1) Critique in order as soon as the future bits are
+            #    available. 4) When the fetch window is exhausted before
+            #    the bits arrived (BTB-miss branches can occupy slots),
+            #    critique with the bits available, as the paper's
+            #    implementation does (§5). Both arms share this block;
+            #    `forced` distinguishes them for accounting.
+            forced = False
+            if critiqued < pending:
+                handle = slots[(head + critiqued) % cap]
+                if handle.is_static or next_seq - handle.seq >= required_bits:
+                    pass  # bits available: ordinary critique
+                elif pending >= hard_cap and not (critiqued > 0 and pending > depth):
+                    # Window exhausted, nothing to fetch *or* resolve:
+                    # critique anyway (a resolvable head always drains
+                    # first, exactly as the phase order prescribes).
+                    forced = True
+                else:
+                    handle = None
             else:
-                stats.census.record(head.critique_kind(actual.taken))
-                prophet_misp = head.prophet_pred != actual.taken
-                final_misp = head.final_pred != actual.taken
-                if prophet_misp:
-                    stats.prophet_mispredicts += 1
-                if final_misp:
-                    stats.mispredicts += 1
-                if config.collect_per_site:
-                    stats.record_site(head.pc, prophet_misp, final_misp)
-        system.resolve(head, actual.taken)
-        if btb is not None and head.is_static:
-            btb.allocate(head.pc)
-        if head.final_pred != actual.taken or (head.is_static and actual.taken):
-            # Resolved mispredict: flush everything younger, repair, redirect.
-            system.recover(head, actual.taken)
-            walker.restore(head.walker_snapshot)
-            walker.advance(actual.taken)
-            pending.clear()
-            critiqued_count = 0
-            next_seq = head.seq + 1
-        resolved += 1
-
-    while resolved < config.n_branches:
-        # 1) Critique in order as soon as the future bits are available.
-        if critiqued_count < len(pending):
-            handle = pending[critiqued_count]
-            needed = 0 if handle.is_static else required_bits
-            if gathered(handle) >= needed:
-                critique_next()
+                handle = None
+            if handle is not None:
+                if forced and resolved >= warmup:
+                    stats.forced_critiques += 1
+                final = sys_critique(handle)
+                critiqued += 1
+                if not handle.is_static and final != handle.prophet_pred:
+                    # Critic override: drop the younger, uncritiqued tail
+                    # and steer fetch down the critic's path
+                    # (FTQ-confined flush).
+                    tail = head + critiqued
+                    sys_apply_redirect(handle, final)
+                    walker_restore(handle.snap_block, handle.snap_ras)
+                    walker.advance(final)
+                    next_seq = handle.seq + 1
+                    if resolved >= warmup:
+                        stats.critic_redirects += 1
                 continue
-        # 2) Resolve once the head is critiqued and the window is deep
-        #    enough (committing earlier would under-model update delay).
-        if pending and pending[0].critiqued and len(pending) > depth:
-            resolve_head()
-            continue
-        # 3) Otherwise keep fetching.
-        if len(pending) < hard_cap:
-            fetch_one()
-            # Capture the warmup boundary for uop accounting.
-            if resolved < config.warmup:
-                warmup_fetched = walker.fetched_uops
-            continue
-        # 4) Fetch window exhausted before the future bits arrived (can
-        #    happen when BTB-miss branches occupy slots): critique with
-        #    the bits available, as the paper's implementation does (§5).
-        if critiqued_count < len(pending):
-            if resolved >= config.warmup:
-                stats.forced_critiques += 1
-            critique_next()
-            continue
-        # Everything critiqued but window shallow — resolve anyway.
-        resolve_head()
+
+            # 3) Fetch while the window has room (and nothing above ran).
+            #    Runs as a burst: nothing older can become actionable
+            #    until the oldest uncritiqued branch has its future bits,
+            #    the head becomes resolvable, or the window fills —
+            #    conditions only the fetches themselves advance.
+            if pending < hard_cap and not (critiqued > 0 and pending > depth):
+                if critiqued < pending:
+                    candidate = slots[(head + critiqued) % cap]
+                    target_seq = candidate.seq + required_bits
+                else:
+                    candidate = None
+                    target_seq = 0
+                while True:
+                    branch = walker_next_block()
+                    pc = branch.pc
+                    handle = slots[tail % cap]
+                    tail += 1
+                    if btb_lookup is None or btb_lookup(pc):
+                        sys_predict_into(handle, pc)
+                        handle.seq = next_seq
+                        next_seq += 1  # one BOR bit inserted
+                    else:
+                        sys_predict_static_into(handle, pc)
+                        handle.seq = next_seq  # no BOR bit: no increment
+                    handle.snap_block = branch.block_id
+                    handle.snap_ras = ras_snapshot()
+                    # Inlined walker.advance(handle.prophet_pred).
+                    walker.block_id = (
+                        branch.taken_target if handle.prophet_pred
+                        else branch.fallthrough
+                    )
+                    walker._at_branch = False
+                    pending = tail - head
+                    if pending >= hard_cap:
+                        break
+                    if critiqued > 0 and pending > depth:
+                        break
+                    if candidate is None:
+                        candidate = handle
+                        if handle.is_static:
+                            break  # immediately critique-eligible
+                        target_seq = handle.seq + required_bits
+                    if next_seq >= target_seq:
+                        break  # oldest uncritiqued branch has its bits
+                continue
+
+            # 2) Resolve once the head is critiqued and the window is deep
+            #    enough (committing earlier would under-model update
+            #    delay); also the drain path when everything is critiqued
+            #    but the window is shallow. Runs as a burst: resolves
+            #    never make an older critique newly eligible, so drain
+            #    until a mispredict flushes or the window gets shallow.
+            while True:
+                head_handle = slots[head % cap]
+                pc, taken, uops = executor_resolve()
+                if pc != head_handle.pc:
+                    raise SimulationDesyncError(
+                        f"committed branch {pc:#x} but front end fetched "
+                        f"{head_handle.pc:#x} (branch #{resolved})"
+                    )
+                if resolved >= warmup:
+                    stats.branches += 1
+                    stats.committed_uops += uops
+                    if taken:
+                        stats.taken_branches += 1
+                    if head_handle.is_static:
+                        stats.static_branches += 1
+                        if taken:  # implicit not-taken was wrong
+                            stats.mispredicts += 1
+                            stats.prophet_mispredicts += 1
+                    else:
+                        census_record(head_handle.critique_kind(taken))
+                        prophet_misp = head_handle.prophet_pred != taken
+                        final_misp = head_handle.final_pred != taken
+                        if prophet_misp:
+                            stats.prophet_mispredicts += 1
+                        if final_misp:
+                            stats.mispredicts += 1
+                        if collect_per_site:
+                            record_site(head_handle.pc, prophet_misp, final_misp)
+                sys_resolve(head_handle, taken)
+                if head_handle.is_static:
+                    if btb_allocate is not None:
+                        btb_allocate(head_handle.pc)
+                    mispredicted = taken
+                else:
+                    mispredicted = head_handle.final_pred != taken
+                head += 1
+                resolved += 1
+                if resolved == warmup:
+                    # Warmup boundary: everything fetched up to this
+                    # commit is excluded from the measured fetch traffic.
+                    warmup_fetched = walker.fetched_uops
+                if mispredicted:
+                    # Resolved mispredict: flush everything younger,
+                    # repair, redirect down the actual outcome.
+                    sys_recover(head_handle, taken)
+                    walker_restore(head_handle.snap_block, head_handle.snap_ras)
+                    walker.advance(taken)
+                    tail = head
+                    critiqued = 0
+                    next_seq = head_handle.seq + 1
+                    break
+                critiqued -= 1
+                if resolved >= n_branches:
+                    break
+                if not (critiqued > 0 and tail - head > depth):
+                    break
+    finally:
+        if not config.collect_predictor_stats:
+            system.set_stats_enabled(True)
 
     stats.fetched_uops = max(0, walker.fetched_uops - warmup_fetched)
     return stats
@@ -240,18 +329,29 @@ def oracle_replay(
     :class:`~repro.workloads.trace.BranchTrace` or a streaming
     :class:`~repro.workloads.trace_io.TraceReader`; only a
     ``future_bits``-deep lookahead window is ever held in memory.
+
+    The oracle future mask is maintained incrementally: sliding the
+    window shifts the previous mask up one and inserts the newly buffered
+    outcome at bit 0, rather than rebuilding the mask from the deque —
+    O(1) per branch instead of O(future_bits).
     """
     from repro.core.history import HistoryRegister
 
     if future_bits < 0:
         raise ValueError("future_bits must be non-negative")
     mask = (1 << 64) - 1
+    future_mask = (1 << future_bits) - 1
     bhr = HistoryRegister(max(prophet.history_length, 1))
     stats = RunStats(system="oracle-replay")
     window: deque[BranchRecord] = deque()
     iterator = iter(records)
     exhausted = False
     past = 0
+    #: Bit i of `future` is window[future_bits - 1 - i]'s outcome — the
+    #: branch under evaluation occupies the top bit, successors below it,
+    #: zeros beyond the end of a draining window (same layout the old
+    #: per-branch rescan produced).
+    future = 0
     index = 0
     while True:
         # Keep the branch under evaluation plus its future_bits - 1
@@ -260,15 +360,18 @@ def oracle_replay(
         # BranchTrace.future_bits).
         while not exhausted and len(window) < max(1, future_bits):
             try:
-                window.append(next(iterator))
+                record = next(iterator)
             except StopIteration:
                 exhausted = True
+                break
+            window.append(record)
+            if future_bits:
+                # The newcomer sits `len(window) - 1` slots ahead of the
+                # window head, i.e. at bit future_bits - len(window).
+                future |= int(record.taken) << (future_bits - len(window))
         if not window:
             break
         record = window[0]
-        future = 0
-        for offset in range(min(future_bits, len(window))):
-            future |= int(window[offset].taken) << (future_bits - 1 - offset)
         prophet_pred = prophet.predict(record.pc, bhr.value)
         oracle_bor = ((past << future_bits) | future) & mask
         lookup = critic.lookup(record.pc, oracle_bor)
@@ -286,5 +389,9 @@ def oracle_replay(
         bhr.insert(record.taken)
         past = ((past << 1) | int(record.taken)) & mask
         window.popleft()
+        # Slide the oracle mask: drop the evaluated branch's (top) bit,
+        # promote every successor one slot; the refill loop above inserts
+        # the next buffered outcome at the vacated low end.
+        future = (future << 1) & future_mask
         index += 1
     return stats

@@ -38,13 +38,14 @@ def fold_bits(value: int, width: int, out_width: int) -> int:
     """
     if out_width <= 0:
         return 0
-    value &= mask(width)
+    out_mask = (1 << out_width) - 1
+    value &= (1 << width) - 1 if width > 0 else 0
     folded = 0
     while width > 0:
-        folded ^= value & mask(out_width)
+        folded ^= value & out_mask
         value >>= out_width
         width -= out_width
-    return folded & mask(out_width)
+    return folded & out_mask
 
 
 def reverse_bits(value: int, width: int) -> int:

@@ -34,6 +34,178 @@ class BlockKind(enum.Enum):
     RETURN = "return"
 
 
+class CompiledSegment:
+    """One precompiled straight-line run of the CFG.
+
+    A segment starts at a given block and swallows every JUMP/CALL/RETURN
+    up to (and including) either the next conditional branch or the first
+    RETURN whose target is not statically known (a return address pushed
+    *before* the segment began). Traversers replay a segment in O(1) plus
+    its recorded call/return traffic, instead of walking block by block.
+
+    ``ras_ops``/``call_ops`` are parallel scripts: entry ``i`` of both
+    describes the same CALL (push the return point / push the call-site
+    block) or the same statically-paired RETURN (``-1``: pop). Replaying
+    the script verbatim — rather than its net effect — preserves the
+    exact overflow/drop-oldest behaviour of a bounded hardware RAS.
+
+    Static pairing is only valid while the paired push is guaranteed to
+    survive on a bounded RAS, so the compiler caps the un-popped local
+    call depth at the table's ``pair_limit`` (the traverser's RAS
+    capacity): a CALL nesting deeper ends the segment with a
+    *continuation* into the callee, and the matching RETURNs become
+    run-time pops in later segments — which read the live stack top and
+    therefore reproduce drop-oldest/underflow behaviour exactly.
+    """
+
+    __slots__ = (
+        "branch",
+        "call_ops",
+        "ends_at_branch",
+        "next_block",
+        "ras_ops",
+        "steps",
+        "uops",
+        "watched",
+    )
+
+    def __init__(
+        self,
+        uops: int,
+        steps: int,
+        ras_ops: tuple[int, ...],
+        call_ops: tuple[int, ...],
+        watched: tuple[tuple[int, int], ...],
+        branch: "BasicBlock | None",
+        next_block: int | None = None,
+    ) -> None:
+        #: Total uops of every consumed block (terminator included).
+        self.uops = uops
+        #: Blocks consumed (drives the context's ``step`` clock).
+        self.steps = steps
+        #: RAS script: push return-point block id (>= 0) or pop (-1).
+        self.ras_ops = ras_ops
+        #: Caller-stack script, parallel to ``ras_ops`` (call-site ids).
+        self.call_ops = call_ops
+        #: ``(step_offset, block_id)`` for watched blocks consumed, in
+        #: traversal order; offsets are 1-based within the segment.
+        self.watched = watched
+        #: The terminating conditional block, or None when the segment
+        #: ends before one (run-time pop or depth-capped continuation).
+        self.branch = branch
+        #: Set (with ``branch`` None) when the segment was split by the
+        #: pairing depth cap: traversal continues at this block without
+        #: popping. None with ``branch`` None means: pop the live RAS.
+        self.next_block = next_block
+        self.ends_at_branch = branch is not None
+
+
+class CompiledCFG:
+    """Per-block transition table over :class:`CompiledSegment`.
+
+    Built lazily: segments are compiled on first traversal of each start
+    block, so only reachable fetch/commit targets pay compilation cost.
+    The table assumes the CFG is structurally frozen after ``Program``
+    construction (which the rest of the engine already relies on — block
+    identity underpins snapshots and trace serialisation).
+
+    ``pair_limit`` must not exceed the RAS capacity of the traverser
+    using the table (see :class:`CompiledSegment` on why); traversers
+    request a table via ``Program.compiled(pair_limit=ras_capacity)``.
+    """
+
+    __slots__ = ("_program", "_segments", "entry", "pair_limit")
+
+    #: Upper bound on blocks consumed while compiling one segment. A
+    #: segment longer than this means a branch-free CFG cycle, which the
+    #: old block-stepping walker would have spun on forever; failing at
+    #: compile time turns that hang into a diagnosable error.
+    MAX_SEGMENT_BLOCKS = 100_000
+
+    def __init__(self, program: "Program", pair_limit: int = 64) -> None:
+        if pair_limit < 1:
+            raise ValueError("pair_limit must be positive")
+        self._program = program
+        self._segments: dict[int, CompiledSegment] = {}
+        self.entry = program.entry
+        self.pair_limit = pair_limit
+
+    def segment(self, block_id: int) -> CompiledSegment:
+        """The segment starting at ``block_id`` (compiled on first use)."""
+        seg = self._segments.get(block_id)
+        if seg is None:
+            seg = self._compile(block_id)
+            self._segments[block_id] = seg
+        return seg
+
+    def _compile(self, start: int) -> CompiledSegment:
+        program = self._program
+        watched_set = program.watched_blocks
+        pair_limit = self.pair_limit
+        uops = 0
+        steps = 0
+        ras_ops: list[int] = []
+        call_ops: list[int] = []
+        watched: list[tuple[int, int]] = []
+        local_stack: list[int] = []
+        next_block: int | None = None
+        block_id = start
+        limit = max(self.MAX_SEGMENT_BLOCKS, 16 * len(program.blocks))
+        while True:
+            block = program.block(block_id)
+            steps += 1
+            if steps > limit:
+                raise ValueError(
+                    f"no conditional branch reachable from block {start}: "
+                    "the CFG contains a branch-free cycle"
+                )
+            uops += block.uops
+            if block.block_id in watched_set:
+                watched.append((steps, block.block_id))
+            kind = block.kind
+            if kind is BlockKind.COND:
+                branch = block
+                break
+            if kind is BlockKind.JUMP:
+                block_id = block.taken_target
+            elif kind is BlockKind.CALL:
+                ras_ops.append(block.fallthrough)
+                call_ops.append(block.block_id)
+                if len(local_stack) >= pair_limit:
+                    # Pairing this push with its RETURN would not survive
+                    # a capacity-`pair_limit` RAS (drop-oldest could
+                    # evict it). Split: the segment ends here and the
+                    # callee starts a new one; the matching RETURNs
+                    # become run-time pops, which read the live stack.
+                    branch = None
+                    next_block = block.taken_target
+                    break
+                local_stack.append(block.fallthrough)
+                block_id = block.taken_target
+            else:  # RETURN
+                if local_stack:
+                    # Paired with a CALL inside this segment: the target
+                    # is static, and the pop is scripted so the real RAS
+                    # sees the exact same push/pop sequence.
+                    ras_ops.append(-1)
+                    call_ops.append(-1)
+                    block_id = local_stack.pop()
+                else:
+                    # Return address predates the segment — the traverser
+                    # must pop the live RAS and continue from there.
+                    branch = None
+                    break
+        return CompiledSegment(
+            uops=uops,
+            steps=steps,
+            ras_ops=tuple(ras_ops),
+            call_ops=tuple(call_ops),
+            watched=tuple(watched),
+            branch=branch,
+            next_block=next_block,
+        )
+
+
 @dataclass
 class BasicBlock:
     """One basic block: some uops, then a control-flow terminator."""
@@ -82,10 +254,27 @@ class Program:
             raise ValueError("duplicate block ids")
         if self.entry not in self._by_id:
             raise ValueError("entry block missing")
+        self._compiled: dict[int, CompiledCFG] = {}
 
     def block(self, block_id: int) -> BasicBlock:
         """Look up a block by id."""
         return self._by_id[block_id]
+
+    def compiled(self, pair_limit: int = 64) -> CompiledCFG:
+        """The precompiled traversal table for this program.
+
+        Built lazily on first use and shared by every traverser of this
+        program instance (walker, executor, timing model) that uses the
+        same ``pair_limit`` — which must not exceed the traverser's RAS
+        capacity (the engine default, 64, is also the default here). The
+        CFG is treated as structurally immutable after construction;
+        behaviours remain free to mutate (segments reference blocks, not
+        outcomes).
+        """
+        table = self._compiled.get(pair_limit)
+        if table is None:
+            table = self._compiled[pair_limit] = CompiledCFG(self, pair_limit)
+        return table
 
     def validate(self) -> None:
         """Validate every block and that all edges resolve."""

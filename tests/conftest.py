@@ -1,0 +1,14 @@
+"""Test-suite configuration: make `tests/` itself importable.
+
+Shared test-support modules (notably :mod:`reference_kernel`, the frozen
+pre-optimization simulation kernel used by the differential tests and by
+``tools/profile_kernel.py --compare-reference``) live directly under
+``tests/``; nested test packages need that directory on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,393 @@
+"""Frozen reference implementation of the simulation kernel.
+
+This module is a **verbatim behavioural copy** of the pre-optimization
+kernel (`sim/driver.simulate` plus the engine pieces it drives) as it
+stood before the hot-path overhaul: block-by-block CFG traversal, a
+fresh ``FetchedBranch``/snapshot/handle allocation per dynamic branch,
+closure-based driver phases. It exists so the optimized kernel can be
+proven **bit-for-bit identical** by differential tests — any change to
+`RunStats` (census, per-site attribution and ``fetched_uops`` included)
+between this and `repro.sim.driver.simulate` is a regression, never a
+tolerance question.
+
+Two deliberate properties:
+
+* It is self-contained at the engine layer: it carries its own copies of
+  the walker, executor, return-address stack and BTB, so optimizing (or
+  breaking) the production engine can never silently change the
+  reference.
+* It shares the *model* layer (``Program``, behaviours, predictors,
+  prediction systems, ``RunStats``) with production code, because those
+  define the semantics both kernels must implement — a divergence there
+  is exactly what the differential test should surface.
+
+The only intentional difference from the historical kernel is the
+``warmup_fetched`` capture: the boundary is recorded when ``resolved``
+crosses ``config.warmup`` (the semantics both kernels now implement)
+rather than on the most recent fetch before it. In every reachable
+interleaving the two formulations agree — ``fetched_uops`` only changes
+on a fetch, and every fetch below the warmup threshold refreshed the old
+capture — but the crossing formulation states the intent directly and is
+what the optimized kernel implements.
+
+Do not "improve" this file alongside kernel optimizations. It changes
+only when the *semantics* of the simulation change on purpose, in which
+case the differential test pins the new semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.hybrid import InflightBranch, PredictionSystem
+from repro.sim.driver import SimulationConfig, SimulationDesyncError
+from repro.sim.metrics import RunStats
+from repro.workloads.program import BlockKind, Program
+
+
+# ---------------------------------------------------------------------------
+# Return address stack (frozen copy of engine/ras.py)
+# ---------------------------------------------------------------------------
+
+
+class _ReferenceRas:
+    """Bounded stack of return targets; overflow drops the oldest entry."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._stack: list[int] = []
+
+    def push(self, block_id: int) -> None:
+        if len(self._stack) >= self.capacity:
+            self._stack.pop(0)
+        self._stack.append(block_id)
+
+    def pop(self) -> int | None:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def snapshot(self) -> tuple[int, ...]:
+        return tuple(self._stack)
+
+    def restore(self, snapshot: tuple[int, ...]) -> None:
+        self._stack = list(snapshot)
+
+
+# ---------------------------------------------------------------------------
+# Speculative walker (frozen copy of engine/frontend.py)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _ReferenceSnapshot:
+    block_id: int
+    ras: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class _ReferenceFetched:
+    pc: int
+    block_id: int
+    uops: int
+    taken_target: int
+    fallthrough: int
+
+
+class _ReferenceWalker:
+    """Prediction-driven CFG traverser, one block per iteration."""
+
+    def __init__(self, program: Program, ras_capacity: int = 64) -> None:
+        self.program = program
+        self._block = program.block(program.entry)
+        self._ras = _ReferenceRas(ras_capacity)
+        self.fetched_uops = 0
+        self._at_branch = False
+
+    def next_branch(self) -> _ReferenceFetched:
+        if self._at_branch:
+            raise RuntimeError("already positioned at a branch; call advance() first")
+        uops = 0
+        while True:
+            block = self._block
+            uops += block.uops
+            self.fetched_uops += block.uops
+            if block.kind is BlockKind.COND:
+                self._at_branch = True
+                return _ReferenceFetched(
+                    pc=block.pc,
+                    block_id=block.block_id,
+                    uops=uops,
+                    taken_target=block.taken_target,
+                    fallthrough=block.fallthrough,
+                )
+            if block.kind is BlockKind.JUMP:
+                self._block = self.program.block(block.taken_target)
+            elif block.kind is BlockKind.CALL:
+                self._ras.push(block.fallthrough)
+                self._block = self.program.block(block.taken_target)
+            elif block.kind is BlockKind.RETURN:
+                target = self._ras.pop()
+                if target is None:
+                    target = self.program.entry
+                self._block = self.program.block(target)
+
+    def advance(self, taken: bool) -> None:
+        if not self._at_branch:
+            raise RuntimeError("not positioned at a branch; call next_branch() first")
+        block = self._block
+        target = block.taken_target if taken else block.fallthrough
+        self._block = self.program.block(target)
+        self._at_branch = False
+
+    def snapshot(self) -> _ReferenceSnapshot:
+        if not self._at_branch:
+            raise RuntimeError("snapshots are taken at conditional branches")
+        return _ReferenceSnapshot(block_id=self._block.block_id, ras=self._ras.snapshot())
+
+    def restore(self, snap: _ReferenceSnapshot) -> None:
+        self._block = self.program.block(snap.block_id)
+        self._ras.restore(snap.ras)
+        self._at_branch = True
+
+
+# ---------------------------------------------------------------------------
+# Architectural executor (frozen copy of engine/executor.py)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _ReferenceResolved:
+    pc: int
+    taken: bool
+    block_id: int
+    uops: int
+    next_block: int
+
+
+class _ReferenceExecutor:
+    """Resolves the program's branch stream in committed order."""
+
+    def __init__(self, program: Program, ras_capacity: int = 64) -> None:
+        self.program = program
+        self.ctx = program.make_context()
+        self._block = program.block(program.entry)
+        self._ras = _ReferenceRas(ras_capacity)
+        self.committed_uops = 0
+        self.resolved_branches = 0
+
+    def next_branch(self) -> _ReferenceResolved:
+        uops = 0
+        while True:
+            block = self._block
+            self.ctx.record_block(block.block_id)
+            uops += block.uops
+            self.committed_uops += block.uops
+            if block.kind is BlockKind.COND:
+                taken = bool(block.behavior.resolve(block.pc, self.ctx))
+                self.ctx.record_outcome(block.pc, taken)
+                target = block.taken_target if taken else block.fallthrough
+                self._block = self.program.block(target)
+                self.resolved_branches += 1
+                return _ReferenceResolved(
+                    pc=block.pc,
+                    taken=taken,
+                    block_id=block.block_id,
+                    uops=uops,
+                    next_block=target,
+                )
+            if block.kind is BlockKind.JUMP:
+                self._block = self.program.block(block.taken_target)
+            elif block.kind is BlockKind.CALL:
+                self._ras.push(block.fallthrough)
+                self.ctx.push_caller(block.block_id)
+                self._block = self.program.block(block.taken_target)
+            elif block.kind is BlockKind.RETURN:
+                target = self._ras.pop()
+                self.ctx.pop_caller()
+                if target is None:
+                    target = self.program.entry
+                self._block = self.program.block(target)
+
+
+# ---------------------------------------------------------------------------
+# Branch target buffer (frozen copy of engine/btb.py, stats dropped)
+# ---------------------------------------------------------------------------
+
+
+class _ReferenceBtb:
+    """Set-associative tag store, LRU, commit-time allocation."""
+
+    def __init__(self, entries: int = 4096, ways: int = 4) -> None:
+        self.entries = entries
+        self.ways = ways
+        self.sets = entries // ways
+        self._set_bits = self.sets.bit_length() - 1
+        self._sets: list[list[int]] = [[] for _ in range(self.sets)]
+
+    def _index_tag(self, pc: int) -> tuple[int, int]:
+        word = pc >> 2
+        return word & ((1 << self._set_bits) - 1), word >> self._set_bits
+
+    def lookup(self, pc: int) -> bool:
+        index, tag = self._index_tag(pc)
+        entry_list = self._sets[index]
+        if tag in entry_list:
+            entry_list.remove(tag)
+            entry_list.append(tag)
+            return True
+        return False
+
+    def allocate(self, pc: int) -> None:
+        index, tag = self._index_tag(pc)
+        entry_list = self._sets[index]
+        if tag in entry_list:
+            entry_list.remove(tag)
+        elif len(entry_list) >= self.ways:
+            entry_list.pop(0)
+        entry_list.append(tag)
+
+
+# ---------------------------------------------------------------------------
+# The reference driver loop (frozen copy of sim/driver.simulate)
+# ---------------------------------------------------------------------------
+
+
+def reference_simulate(
+    program: Program,
+    system: PredictionSystem,
+    config: SimulationConfig | None = None,
+) -> RunStats:
+    """Run ``system`` over ``program`` with the frozen reference kernel."""
+    config = config or SimulationConfig()
+    if config.warmup >= config.n_branches:
+        raise ValueError("warmup must leave a measurement window")
+
+    program.reset()
+    executor = _ReferenceExecutor(program)
+    walker = _ReferenceWalker(program)
+    btb = _ReferenceBtb(config.btb_entries, config.btb_ways) if config.use_btb else None
+
+    stats = RunStats(benchmark=program.name, system=type(system).__name__)
+    pending: deque[InflightBranch] = deque()
+    critiqued_count = 0  # pending[:critiqued_count] are critiqued (in order)
+    next_seq = 0         # BOR-insertion sequence number
+    required_bits = max(system.future_bits, 0)
+    depth = config.effective_depth(required_bits)
+    hard_cap = depth + 8
+    resolved = 0
+    warmup_fetched = 0
+
+    def gathered(handle: InflightBranch) -> int:
+        return next_seq - handle.seq
+
+    def fetch_one() -> None:
+        nonlocal next_seq
+        fetched = walker.next_branch()
+        snap = walker.snapshot()
+        known = btb.lookup(fetched.pc) if btb is not None else True
+        if known:
+            handle = system.predict(fetched.pc)
+            handle.seq = next_seq
+            next_seq += 1  # one BOR bit inserted
+        else:
+            handle = system.predict_static(fetched.pc)
+            handle.seq = next_seq  # contributes no BOR bit: no increment
+        handle.walker_snapshot = snap
+        pending.append(handle)
+        walker.advance(handle.prophet_pred)
+
+    def critique_next() -> None:
+        nonlocal critiqued_count, next_seq
+        handle = pending[critiqued_count]
+        final = system.critique(handle)
+        critiqued_count += 1
+        if handle.is_static:
+            return
+        if final != handle.prophet_pred:
+            while len(pending) > critiqued_count:
+                pending.pop()
+            system.apply_redirect(handle, final)
+            walker.restore(handle.walker_snapshot)
+            walker.advance(final)
+            next_seq = handle.seq + 1
+            if resolved >= config.warmup:
+                stats.critic_redirects += 1
+
+    def resolve_head() -> None:
+        nonlocal critiqued_count, next_seq, resolved, warmup_fetched
+        head = pending.popleft()
+        critiqued_count -= 1
+        actual = executor.next_branch()
+        if actual.pc != head.pc:
+            raise SimulationDesyncError(
+                f"committed branch {actual.pc:#x} but front end fetched {head.pc:#x} "
+                f"(branch #{resolved})"
+            )
+        measuring = resolved >= config.warmup
+        if measuring:
+            stats.branches += 1
+            stats.committed_uops += actual.uops
+            stats.taken_branches += int(actual.taken)
+            if head.is_static:
+                stats.static_branches += 1
+                if actual.taken:  # implicit not-taken was wrong
+                    stats.mispredicts += 1
+                    stats.prophet_mispredicts += 1
+            else:
+                stats.census.record(head.critique_kind(actual.taken))
+                prophet_misp = head.prophet_pred != actual.taken
+                final_misp = head.final_pred != actual.taken
+                if prophet_misp:
+                    stats.prophet_mispredicts += 1
+                if final_misp:
+                    stats.mispredicts += 1
+                if config.collect_per_site:
+                    stats.record_site(head.pc, prophet_misp, final_misp)
+        system.resolve(head, actual.taken)
+        if btb is not None and head.is_static:
+            btb.allocate(head.pc)
+        if head.final_pred != actual.taken or (head.is_static and actual.taken):
+            system.recover(head, actual.taken)
+            walker.restore(head.walker_snapshot)
+            walker.advance(actual.taken)
+            pending.clear()
+            critiqued_count = 0
+            next_seq = head.seq + 1
+        resolved += 1
+        if resolved == config.warmup:
+            # Warmup boundary: everything fetched up to this commit is
+            # excluded from the measured fetch-traffic figure.
+            warmup_fetched = walker.fetched_uops
+
+    while resolved < config.n_branches:
+        # 1) Critique in order as soon as the future bits are available.
+        if critiqued_count < len(pending):
+            handle = pending[critiqued_count]
+            needed = 0 if handle.is_static else required_bits
+            if gathered(handle) >= needed:
+                critique_next()
+                continue
+        # 2) Resolve once the head is critiqued and the window is deep
+        #    enough (committing earlier would under-model update delay).
+        if pending and pending[0].critiqued and len(pending) > depth:
+            resolve_head()
+            continue
+        # 3) Otherwise keep fetching.
+        if len(pending) < hard_cap:
+            fetch_one()
+            continue
+        # 4) Fetch window exhausted before the future bits arrived (can
+        #    happen when BTB-miss branches occupy slots): critique with
+        #    the bits available, as the paper's implementation does (§5).
+        if critiqued_count < len(pending):
+            if resolved >= config.warmup:
+                stats.forced_critiques += 1
+            critique_next()
+            continue
+        # Everything critiqued but window shallow — resolve anyway.
+        resolve_head()
+
+    stats.fetched_uops = max(0, walker.fetched_uops - warmup_fetched)
+    return stats

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Simulation-kernel throughput profiler.
+
+Measures **branches per second** of :func:`repro.sim.driver.simulate` on
+canonical (benchmark × system) cells — the repo's performance trajectory
+for the innermost loop every experiment inherits. Emits a
+machine-readable ``BENCH_kernel.json`` and can gate CI against a
+checked-in floor.
+
+Methodology (see docs/PERFORMANCE.md):
+
+* throughput = resolved branches / wall-clock of one ``simulate`` call,
+  after a separate untimed warm-up run has compiled the CFG transition
+  tables and settled allocator state;
+* per-predictor ``PredictorStats`` accounting is off during timed runs
+  (``collect_predictor_stats=False``), matching how sweeps run;
+* ``--compare-reference`` times the frozen pre-optimization kernel
+  (``tests/reference_kernel.py``) on the same cells in the same process
+  and reports the speedup ratio. Ratios are much more stable across
+  machines than absolute branches/sec, so the CI floor is expressed in
+  ratios;
+* ``--check-floor FILE`` fails (exit 1) when a cell's speedup falls more
+  than 25% below its floor value.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_kernel.py                # full panel
+    PYTHONPATH=src python tools/profile_kernel.py --quick        # CI smoke
+    PYTHONPATH=src python tools/profile_kernel.py --quick \\
+        --compare-reference --check-floor benchmarks/BENCH_kernel_floor.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tests"))  # frozen reference kernel
+
+from repro.sim.driver import SimulationConfig, simulate  # noqa: E402
+from repro.sim.specs import ProgramSpec, SystemSpec  # noqa: E402
+
+#: The canonical cells. "headline" is the acceptance cell: the §1
+#: comparison pair on gcc. The remaining cells cover a loop-dominated FP
+#: benchmark and the random-heavy server benchmark so a regression that
+#: only hits call-heavy or flush-heavy paths cannot hide.
+CELLS: list[dict] = [
+    {
+        "id": "gcc/hybrid-8+8",
+        "benchmark": "gcc",
+        "system": SystemSpec.hybrid("2bc-gskew", 8, "tagged-gshare", 8, future_bits=8),
+        "quick": True,
+        "headline": True,
+    },
+    {
+        "id": "gcc/2bc-gskew-16",
+        "benchmark": "gcc",
+        "system": SystemSpec.single("2bc-gskew", 16),
+        "quick": True,
+        "headline": True,
+    },
+    {
+        "id": "facerec/hybrid-8+8",
+        "benchmark": "facerec",
+        "system": SystemSpec.hybrid("2bc-gskew", 8, "tagged-gshare", 8, future_bits=8),
+        "quick": False,
+        "headline": False,
+    },
+    {
+        "id": "tpcc/hybrid-8+8",
+        "benchmark": "tpcc",
+        "system": SystemSpec.hybrid("2bc-gskew", 8, "tagged-gshare", 8, future_bits=8),
+        "quick": False,
+        "headline": False,
+    },
+]
+
+
+def _time_run(simulate_fn, program, system, config) -> tuple[float, object]:
+    start = time.perf_counter()
+    stats = simulate_fn(program, system, config)
+    return time.perf_counter() - start, stats
+
+
+def measure_cell(
+    cell: dict,
+    n_branches: int,
+    warmup_branches: int,
+    compare_reference: bool,
+) -> dict:
+    """Measure one cell; returns the result row for BENCH_kernel.json."""
+    config = SimulationConfig(
+        n_branches=n_branches,
+        warmup=warmup_branches,
+        collect_predictor_stats=False,
+    )
+    program = ProgramSpec(benchmark=cell["benchmark"]).build()
+
+    # Untimed warm-up: compiles CFG segments, touches every table once.
+    warm_cfg = SimulationConfig(
+        n_branches=max(2_000, n_branches // 10),
+        warmup=200,
+        collect_predictor_stats=False,
+    )
+    simulate(program, cell["system"].build(), warm_cfg)
+
+    elapsed, stats = _time_run(simulate, program, cell["system"].build(), config)
+    row = {
+        "cell": cell["id"],
+        "benchmark": cell["benchmark"],
+        "headline": cell["headline"],
+        "branches": n_branches,
+        "seconds": round(elapsed, 4),
+        "branches_per_sec": round(n_branches / elapsed, 1),
+        "mispredicts": stats.mispredicts,
+    }
+
+    if compare_reference:
+        from reference_kernel import reference_simulate
+
+        system = cell["system"].build()
+        # The frozen kernel predates the stats switch; disable by hand so
+        # both kernels do identical accounting work.
+        system.set_stats_enabled(False)
+        ref_elapsed, ref_stats = _time_run(reference_simulate, program, system, config)
+        if (ref_stats.mispredicts, ref_stats.committed_uops, ref_stats.fetched_uops) != (
+            stats.mispredicts, stats.committed_uops, stats.fetched_uops
+        ):
+            raise AssertionError(
+                f"{cell['id']}: kernel and reference disagree — run the "
+                "differential tests (tests/sim/test_differential_kernel.py)"
+            )
+        row["reference_branches_per_sec"] = round(n_branches / ref_elapsed, 1)
+        row["speedup_vs_reference"] = round(ref_elapsed / elapsed, 3)
+    return row
+
+
+def check_floor(rows: list[dict], floor_path: Path) -> list[str]:
+    """Return failure messages for cells regressing >25% below the floor."""
+    floors = json.loads(floor_path.read_text())
+    tolerance = floors.get("tolerance", 0.75)
+    failures = []
+    for row in rows:
+        floor = floors.get("min_speedup_vs_reference", {}).get(row["cell"])
+        if floor is None:
+            continue
+        measured = row.get("speedup_vs_reference")
+        if measured is None:
+            failures.append(f"{row['cell']}: floor set but --compare-reference not run")
+            continue
+        threshold = floor * tolerance
+        if measured < threshold:
+            failures.append(
+                f"{row['cell']}: speedup {measured:.2f}x fell below "
+                f"{threshold:.2f}x (floor {floor:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="headline cells only, at a CI-sized branch count",
+    )
+    parser.add_argument(
+        "--branches", type=int, default=None,
+        help="branches per timed run (default: 50000, quick: 20000)",
+    )
+    parser.add_argument(
+        "--compare-reference", action="store_true",
+        help="also time the frozen pre-optimization kernel and report speedups",
+    )
+    parser.add_argument(
+        "--check-floor", type=Path, default=None,
+        help="floor JSON; exit 1 on >25%% regression vs min_speedup_vs_reference",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=Path("BENCH_kernel.json"),
+        help="output path for the machine-readable result (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    n_branches = args.branches or (20_000 if args.quick else 50_000)
+    warmup_branches = max(500, n_branches // 10)
+    compare = args.compare_reference or args.check_floor is not None
+
+    cells = [c for c in CELLS if c["quick"]] if args.quick else CELLS
+    rows = []
+    for cell in cells:
+        row = measure_cell(cell, n_branches, warmup_branches, compare)
+        rows.append(row)
+        line = f"{row['cell']:24s} {row['branches_per_sec']:>12,.0f} branches/s"
+        if "speedup_vs_reference" in row:
+            line += (
+                f"   (reference {row['reference_branches_per_sec']:>10,.0f} b/s,"
+                f" {row['speedup_vs_reference']:.2f}x)"
+            )
+        print(line)
+
+    payload = {
+        "schema": "bench-kernel/1",
+        "branches_per_run": n_branches,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cells": rows,
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.json}")
+
+    if args.check_floor is not None:
+        failures = check_floor(rows, args.check_floor)
+        if failures:
+            for failure in failures:
+                print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"floor check passed ({args.check_floor})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
