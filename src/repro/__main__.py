@@ -7,22 +7,28 @@ Usage::
     python -m repro run headline --jobs 8
     python -m repro --jobs 4 --cache-dir .repro-cache run figure6c
     python -m repro bench gcc --system hybrid --branches 100000
+    python -m repro bench gcc --config sys.json
+    python -m repro sweep --systems systems.json --benchmarks gcc,perl --jobs 4
     python -m repro trace record gcc --out traces/gcc.trace
     python -m repro trace replay traces/gcc.trace --jobs 2 --cache-dir .repro-cache
     python -m repro trace info traces/gcc.trace --verify
 
 ``run`` executes one registered experiment (see ``list``) and prints the
 paper-style rows/series. ``bench`` runs a single benchmark under either
-the 16KB 2Bc-gskew baseline or the 8+8 prophet/critic hybrid and prints
-the accuracy metrics — the quickest way to poke at a configuration.
-``trace`` records a workload's committed branch stream to a portable
-file, replays recorded traces through any system (bit-for-bit identical
-to the live run), and inspects/verifies trace files; see ``docs/CLI.md``
-for the full record → sweep → replay walkthrough.
+the 16KB 2Bc-gskew baseline, the 8+8 prophet/critic hybrid, or any
+system described by a JSON config (``--config``) — the quickest way to
+poke at a configuration. ``sweep`` runs an arbitrary grid: every system
+in a JSON config file × every named benchmark, through the parallel
+engine and result cache — the config-file door into the predictor
+registry (see ``docs/CONFIG.md``). ``trace`` records a workload's
+committed branch stream to a portable file, replays recorded traces
+through any system (bit-for-bit identical to the live run), and
+inspects/verifies trace files; see ``docs/CLI.md`` for the full
+record → sweep → replay walkthrough.
 
-Sweep execution knobs for ``run`` and ``trace replay`` (accepted before
-or after the subcommand; ``bench`` simulates a single cell, so they do
-not apply):
+Sweep execution knobs for ``run``, ``sweep`` and ``trace replay``
+(accepted before or after the subcommand; ``bench`` simulates a single
+cell, so they do not apply):
 
 ``--jobs N``
     Fan the sweep cells out over an N-process pool (results are
@@ -40,14 +46,22 @@ from __future__ import annotations
 
 import argparse
 import itertools
+import json
+import os
 import sys
 from pathlib import Path
+from typing import Mapping
 
 from repro.experiments import EXPERIMENTS, run_experiment
-from repro.predictors import make_critic, make_prophet
+from repro.predictors import registered_predictors
 from repro.sim import SimulationConfig, make_engine, oracle_replay, simulate
-from repro.sim.results import render_mapping
-from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec
+from repro.sim.results import format_table, render_mapping
+from repro.sim.specs import (
+    SPEC_FORMAT_VERSION,
+    ProgramSpec,
+    SweepCell,
+    SystemSpec,
+)
 from repro.workloads import benchmark, benchmark_names
 from repro.workloads.suites import SUITES
 from repro.workloads.trace import record_trace
@@ -59,6 +73,34 @@ from repro.workloads.trace_io import (
 )
 
 
+class _ConfigError(Exception):
+    """A user-facing configuration problem (file, JSON or spec schema)."""
+
+
+def _load_json(path: str, what: str):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        raise _ConfigError(f"{what}: cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise _ConfigError(f"{what}: {path} is not valid JSON: {exc}") from exc
+
+
+def _system_from_config_file(path: str) -> SystemSpec:
+    payload = _load_json(path, "system config")
+    try:
+        spec = SystemSpec.from_config(payload)
+        # Schema validation is eager, but geometry *values* (power-of-two
+        # table sizes, history vs. index width, …) are checked by the
+        # predictor constructors — exercise them once now so a bad config
+        # is a clean error here, not a traceback mid-run or in a worker.
+        spec.build()
+    except (TypeError, ValueError, KeyError) as exc:
+        raise _ConfigError(f"system config {path}: {exc}") from exc
+    return spec
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:")
     for name in sorted(EXPERIMENTS):
@@ -66,6 +108,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("\nbenchmarks:")
     for name in benchmark_names():
         print(f"  {name}")
+    print("\npredictor kinds (see docs/CONFIG.md):")
+    for info in registered_predictors():
+        role = "prophet+critic" if info.critic_capable else "prophet-only"
+        print(f"  {info.kind:<21} {role:<15} {info.summary}")
     return 0
 
 
@@ -92,17 +138,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    system = _system_spec_from_args(args).build()
+    try:
+        spec = _system_spec_from_args(args)
+    except _ConfigError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
     config = SimulationConfig(n_branches=args.branches, warmup=args.branches // 5)
-    stats = simulate(benchmark(args.benchmark), system, config)
-    print(render_mapping(f"{args.benchmark} / {args.system}", stats.summary()))
-    if args.system == "hybrid":
+    stats = simulate(benchmark(args.benchmark), spec.build(), config)
+    label = spec.default_label() if args.config else args.system
+    print(render_mapping(f"{args.benchmark} / {label}", stats.summary()))
+    if spec.kind == "hybrid":
         print(render_mapping("critique census", stats.census.as_dict()))
     return 0
 
 
 def _system_spec_from_args(args: argparse.Namespace) -> SystemSpec:
-    """The baseline/hybrid spec the ``bench`` and ``trace replay`` verbs share."""
+    """The system spec the ``bench`` and ``trace replay`` verbs share.
+
+    ``--config FILE`` (a JSON :meth:`SystemSpec.to_config` document, see
+    docs/CONFIG.md) overrides the ``--system``/``--prophet``/``--critic``
+    flag vocabulary and reaches every registered predictor at any
+    geometry.
+    """
+    if getattr(args, "config", None):
+        return _system_from_config_file(args.config)
     if args.system == "baseline":
         return SystemSpec.single("2bc-gskew", 16)
     return SystemSpec.hybrid(
@@ -154,10 +213,16 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_replay(args: argparse.Namespace) -> int:
-    if args.oracle and args.system == "baseline":
+    try:
+        spec = _system_spec_from_args(args)
+    except _ConfigError as exc:
+        print(f"trace replay: {exc}", file=sys.stderr)
+        return 2
+    if args.oracle and spec.kind != "hybrid":
         print(
             "trace replay: --oracle evaluates a prophet/critic hybrid by "
-            "construction; --system baseline is not applicable",
+            "construction; a single-predictor system (--system baseline, or "
+            "a 'single' --config) is not applicable",
             file=sys.stderr,
         )
         return 2
@@ -199,9 +264,9 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
                 with TraceReader(path) as reader:
                     stats = oracle_replay(
                         itertools.islice(reader.records(), n_branches),
-                        prophet=make_prophet(args.prophet, args.prophet_kb),
-                        critic=make_critic(args.critic, args.critic_kb),
-                        future_bits=args.future_bits,
+                        prophet=spec.prophet.build("prophet"),
+                        critic=spec.critic.build("critic"),
+                        future_bits=spec.future_bits,
                         warmup=warmup,
                     )
             except (OSError, TraceFormatError) as exc:
@@ -211,9 +276,9 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
             continue
         cells.append(
             SweepCell(
-                system_label=args.system,
+                system_label=spec.default_label() if args.config else args.system,
                 bench_name=header.name,
-                system=_system_spec_from_args(args),
+                system=spec,
                 program=ProgramSpec(trace=path),
                 config=config,
             )
@@ -227,8 +292,161 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
             print(f"trace replay: INVALID trace — {exc}", file=sys.stderr)
             return 1
         for cell, stats in zip(cells, results):
-            print(render_mapping(f"{cell.bench_name} / {args.system} (replayed)", stats.summary()))
+            print(render_mapping(f"{cell.bench_name} / {cell.system_label} (replayed)", stats.summary()))
         _print_cache_stats(engine)
+    return 0
+
+
+def _load_sweep_systems(path: str) -> dict[str, SystemSpec]:
+    """Parse a ``--systems`` JSON file into labelled system specs.
+
+    Three shapes are accepted: one system config object, a list of
+    configs (labelled by :meth:`SystemSpec.default_label`), or a
+    ``{label: config}`` mapping.
+    """
+    payload = _load_json(path, "sweep systems")
+    if isinstance(payload, Mapping) and "kind" in payload:
+        payload = [payload]
+    try:
+        if isinstance(payload, Mapping):
+            systems = {
+                str(label): SystemSpec.from_config(config)
+                for label, config in payload.items()
+            }
+        elif isinstance(payload, list):
+            systems = {}
+            for config in payload:
+                spec = SystemSpec.from_config(config)
+                label = spec.default_label()
+                if label in systems:
+                    raise _ConfigError(
+                        f"sweep systems: {path}: two systems share the derived "
+                        f"label {label!r}; use a {{label: config}} mapping to "
+                        "name them explicitly"
+                    )
+                systems[label] = spec
+        else:
+            systems = None
+        if systems is not None:
+            for label, spec in systems.items():
+                spec.build()  # surface geometry-value errors now, not in a worker
+            return systems
+    except (TypeError, ValueError, KeyError) as exc:
+        raise _ConfigError(f"sweep systems: {path}: {exc}") from exc
+    raise _ConfigError(
+        f"sweep systems: {path}: expected a system config object, a list of "
+        "configs, or a {label: config} mapping"
+    )
+
+
+def _sweep_benchmarks(arg: str, branches: int) -> list[tuple[str, ProgramSpec]]:
+    """Parse ``--benchmarks``: comma-separated names and/or trace paths.
+
+    Results are filed under the benchmark/trace display name, so names
+    must be unique; trace-backed entries must hold at least ``branches``
+    records (the same guard ``trace replay`` applies).
+    """
+    names = benchmark_names()
+    pairs: list[tuple[str, ProgramSpec]] = []
+    for token in (t.strip() for t in arg.split(",")):
+        if not token:
+            continue
+        if token in names:
+            pairs.append((token, ProgramSpec(benchmark=token)))
+        elif os.path.exists(token):
+            try:
+                header = read_trace_header(token)
+            except (OSError, TraceFormatError) as exc:
+                raise _ConfigError(f"benchmarks: {token}: {exc}") from exc
+            if branches > header.record_count:
+                raise _ConfigError(
+                    f"benchmarks: {token} holds {header.record_count} "
+                    f"branches; cannot sweep {branches} (lower --branches "
+                    "or record a longer trace)"
+                )
+            pairs.append((header.name, ProgramSpec(trace=token)))
+        else:
+            raise _ConfigError(
+                f"benchmarks: unknown benchmark {token!r} (and no such trace "
+                f"file); known benchmarks: {names}"
+            )
+    if not pairs:
+        raise _ConfigError("benchmarks: nothing to run")
+    seen: set[str] = set()
+    for name, _ in pairs:
+        if name in seen:
+            raise _ConfigError(
+                f"benchmarks: {name!r} appears twice (results are filed by "
+                "name, so duplicates would overwrite each other)"
+            )
+        seen.add(name)
+    return pairs
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.branches < 1:
+        print("sweep: --branches must be positive", file=sys.stderr)
+        return 2
+    try:
+        systems = _load_sweep_systems(args.systems)
+        benchmarks = _sweep_benchmarks(args.benchmarks, args.branches)
+    except _ConfigError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    warmup = args.warmup if args.warmup is not None else args.branches // 5
+    if warmup < 0 or warmup >= args.branches:
+        print(
+            f"sweep: --warmup must be in [0, {args.branches}) to leave a "
+            "measurement window",
+            file=sys.stderr,
+        )
+        return 2
+    config = SimulationConfig(n_branches=args.branches, warmup=warmup)
+    cells = [
+        SweepCell(
+            system_label=label,
+            bench_name=bench_name,
+            system=spec,
+            program=program,
+            config=config,
+        )
+        for bench_name, program in benchmarks
+        for label, spec in systems.items()
+    ]
+    engine = _engine_from_args(args)
+    result = engine.run(cells)
+    bench_names = [name for name, _ in benchmarks]
+    headers = ["system (misp/Kuops)"] + bench_names + ["AVG"]
+    rows = []
+    for label in systems:
+        values = [result.get(label, name).misp_per_kuops for name in bench_names]
+        rows.append(
+            [label]
+            + [f"{value:.3f}" for value in values]
+            + [f"{sum(values) / len(values):.3f}"]
+        )
+    print(format_table(headers, rows))
+    if args.out:
+        payload = {
+            "format": SPEC_FORMAT_VERSION,
+            "branches": args.branches,
+            "warmup": warmup,
+            "cells": [
+                {
+                    "system": cell.system_label,
+                    "benchmark": cell.bench_name,
+                    "system_config": cell.system.to_config(),
+                    "content_hash": cell.content_hash(),
+                    "summary": result.get(cell.system_label, cell.bench_name).summary(),
+                }
+                for cell in cells
+            ],
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(cells)} cell result(s) to {args.out}", file=sys.stderr)
+    _print_cache_stats(engine)
     return 0
 
 
@@ -240,6 +458,11 @@ def _add_system_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--critic", default="tagged-gshare")
     parser.add_argument("--critic-kb", type=int, default=8)
     parser.add_argument("--future-bits", type=int, default=8)
+    parser.add_argument(
+        "--config", metavar="FILE",
+        help="JSON system config (docs/CONFIG.md); overrides the flags above "
+             "and reaches every registered predictor kind at any geometry",
+    )
 
 
 def _add_engine_options(parser: argparse.ArgumentParser, top_level: bool) -> None:
@@ -289,6 +512,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_options(bench_parser)
     bench_parser.add_argument("--branches", type=int, default=50_000)
     bench_parser.set_defaults(func=_cmd_bench)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run every system in a JSON config file on every named "
+             "benchmark (parallel + cached via --jobs/--cache-dir)",
+    )
+    sweep_parser.add_argument(
+        "--systems", required=True, metavar="FILE",
+        help="JSON file: one system config, a list of configs, or a "
+             "{label: config} mapping (see docs/CONFIG.md)",
+    )
+    sweep_parser.add_argument(
+        "--benchmarks", required=True, metavar="LIST",
+        help="comma-separated benchmark names and/or recorded trace paths",
+    )
+    sweep_parser.add_argument(
+        "--branches", type=int, default=16_000,
+        help="committed branches per cell (default 16000)",
+    )
+    sweep_parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="warmup branches per cell (default: branches / 5)",
+    )
+    sweep_parser.add_argument(
+        "--out", metavar="FILE",
+        help="also write per-cell summaries (plus configs and content "
+             "hashes) as JSON",
+    )
+    _add_engine_options(sweep_parser, top_level=False)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     trace_parser = sub.add_parser(
         "trace", help="record, replay and inspect on-disk branch traces"

@@ -12,7 +12,7 @@ driver does its own in-order bookkeeping.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -4,9 +4,14 @@ Experiments describe their grids as :class:`~repro.sim.specs.SystemSpec`
 × benchmark-name cells and hand them to :func:`run_grid` /
 :func:`run_timed_grid`, which route through the process-wide sweep
 engine — so ``--jobs`` and ``--cache-dir`` on the CLI parallelise and
-cache every experiment without touching its code. The legacy closure
-factories (:func:`single_system`, :func:`hybrid_system`) remain for
-ad-hoc in-process use.
+cache every experiment without touching its code.
+
+:func:`single_spec` / :func:`hybrid_spec` cover the paper's Table-3
+budget vocabulary; :func:`system_spec` opens the whole predictor
+registry (any kind, any geometry, config-dict spellings included — see
+``docs/CONFIG.md``). The legacy closure factories
+(:func:`single_system`, :func:`hybrid_system`) remain for ad-hoc
+in-process use.
 """
 
 from __future__ import annotations
@@ -20,7 +25,13 @@ from repro.predictors.budget import make_critic, make_prophet
 from repro.sim.driver import SimulationConfig
 from repro.sim.execution import SweepEngine, get_default_engine
 from repro.sim.results import format_table, render_series
-from repro.sim.specs import MODE_TIMING, ProgramSpec, SweepCell, SystemSpec
+from repro.sim.specs import (
+    MODE_TIMING,
+    PredictorSpec,
+    ProgramSpec,
+    SweepCell,
+    SystemSpec,
+)
 from repro.sim.sweep import SweepResult, run_sweep
 
 #: Default measurement window at scale 1.0 — small enough for a laptop
@@ -59,6 +70,32 @@ def hybrid_spec(
     """Spec for a prophet/critic hybrid at Table-3 budgets."""
     return SystemSpec.hybrid(
         prophet_kind, prophet_kb, critic_kind, critic_kb, future_bits, insert_on
+    )
+
+
+def system_spec(
+    prophet,
+    critic=None,
+    future_bits: int = 0,
+    insert_on: str = "final",
+) -> SystemSpec:
+    """Spec for any registered predictor composition.
+
+    ``prophet`` and ``critic`` accept everything
+    :meth:`~repro.sim.specs.PredictorSpec.from_config` does: a
+    :class:`~repro.sim.specs.PredictorSpec`, a bare kind string (schema
+    defaults), a ``(kind, budget_kb)`` pair, or a config mapping with
+    explicit geometry params. With no critic the system is a single
+    prophet; with one it is a prophet/critic hybrid.
+    """
+    if critic is None:
+        return SystemSpec(kind="single", prophet=PredictorSpec.from_config(prophet))
+    return SystemSpec(
+        kind="hybrid",
+        prophet=PredictorSpec.from_config(prophet),
+        critic=PredictorSpec.from_config(critic),
+        future_bits=future_bits,
+        insert_on=insert_on,
     )
 
 

@@ -9,51 +9,107 @@ speculatively-updated BHR) and as critics (driven by a BOR that mixes
 history and future bits) without modification — the property the paper
 relies on when it says "any predictor can play the role of prophet or
 critic" (§6).
+
+Every module registers its predictor in the string-keyed **registry**
+(:mod:`repro.predictors.registry`) under a ``kind`` name, with a typed
+geometry dataclass and a role capability — importing this package
+populates the registry. :func:`~repro.predictors.registry.build_predictor`
+constructs any registered kind at any geometry;
+:mod:`repro.predictors.budget` layers the paper's Table-3 presets on top.
 """
 
 from repro.predictors.base import DirectionPredictor, PredictorStats
-from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.bimodal import BimodalParams, BimodalPredictor
 from repro.predictors.budget import (
+    BUDGETS_KB,
     PREDICTOR_BUDGETS,
     budget_table_rows,
+    budgeted_kinds,
     make_critic,
     make_predictor,
     make_prophet,
+    params_for,
 )
 from repro.predictors.counters import CounterTable, SaturatingCounter
-from repro.predictors.filtered_perceptron import FilteredPerceptronPredictor
-from repro.predictors.gas import GAsPredictor
-from repro.predictors.gshare import GsharePredictor
-from repro.predictors.gskew import TwoBcGskewPredictor
-from repro.predictors.local import LocalHistoryPredictor
-from repro.predictors.perceptron import PerceptronPredictor
-from repro.predictors.static import AlwaysNotTakenPredictor, AlwaysTakenPredictor
-from repro.predictors.tage import TagePredictor
-from repro.predictors.tagged_gshare import TaggedGsharePredictor
-from repro.predictors.tournament import TournamentPredictor
-from repro.predictors.yags import YagsPredictor
+from repro.predictors.filtered_perceptron import (
+    FilteredPerceptronParams,
+    FilteredPerceptronPredictor,
+)
+from repro.predictors.gas import GasParams, GAsPredictor
+from repro.predictors.gshare import GshareParams, GsharePredictor
+from repro.predictors.gskew import GskewParams, TwoBcGskewPredictor
+from repro.predictors.local import LocalHistoryParams, LocalHistoryPredictor
+from repro.predictors.perceptron import PerceptronParams, PerceptronPredictor
+from repro.predictors.registry import (
+    ROLE_CRITIC,
+    ROLE_PROPHET,
+    PredictorInfo,
+    build_predictor,
+    coerce_params,
+    critic_capable_kinds,
+    predictor_info,
+    register_predictor,
+    registered_kinds,
+    registered_predictors,
+    require_critic_capable,
+)
+from repro.predictors.static import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    StaticParams,
+)
+from repro.predictors.tage import TageParams, TagePredictor
+from repro.predictors.tagged_gshare import TaggedGshareParams, TaggedGsharePredictor
+from repro.predictors.tournament import TournamentParams, TournamentPredictor
+from repro.predictors.yags import YagsParams, YagsPredictor
 
 __all__ = [
     "AlwaysNotTakenPredictor",
     "AlwaysTakenPredictor",
+    "BUDGETS_KB",
+    "BimodalParams",
     "BimodalPredictor",
     "CounterTable",
     "DirectionPredictor",
+    "FilteredPerceptronParams",
     "FilteredPerceptronPredictor",
     "GAsPredictor",
+    "GasParams",
+    "GshareParams",
     "GsharePredictor",
+    "GskewParams",
+    "LocalHistoryParams",
     "LocalHistoryPredictor",
     "PREDICTOR_BUDGETS",
+    "PerceptronParams",
     "PerceptronPredictor",
+    "PredictorInfo",
     "PredictorStats",
+    "ROLE_CRITIC",
+    "ROLE_PROPHET",
     "SaturatingCounter",
+    "StaticParams",
+    "TageParams",
     "TagePredictor",
+    "TaggedGshareParams",
     "TaggedGsharePredictor",
+    "TournamentParams",
     "TournamentPredictor",
     "TwoBcGskewPredictor",
+    "YagsParams",
     "YagsPredictor",
     "budget_table_rows",
+    "budgeted_kinds",
+    "build_predictor",
+    "coerce_params",
+    "critic_capable_kinds",
     "make_critic",
     "make_predictor",
     "make_prophet",
+    "params_for",
+    "predictor_info",
+    "register_predictor",
+    "registered_kinds",
+    "registered_predictors",
+    "require_critic_capable",
 ]

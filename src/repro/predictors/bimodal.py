@@ -6,8 +6,11 @@ tournament hybrids.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.predictors.base import DirectionPredictor
 from repro.predictors.counters import CounterTable
+from repro.predictors.registry import register_predictor
 from repro.utils.bitops import mask
 
 
@@ -51,3 +54,22 @@ class BimodalPredictor(DirectionPredictor):
     def reset(self) -> None:
         super().reset()
         self.table.reset()
+
+@dataclass(frozen=True)
+class BimodalParams:
+    """Geometry schema for :class:`BimodalPredictor`."""
+
+    entries: int = 4096
+    counter_bits: int = 2
+
+    def build(self) -> BimodalPredictor:
+        return BimodalPredictor(self.entries, self.counter_bits)
+
+
+register_predictor(
+    "bimodal",
+    BimodalParams,
+    BimodalParams.build,
+    critic_capable=False,  # ignores the history value: it cannot read a BOR
+    summary="PC-indexed table of saturating counters (Smith, 1981)",
+)

@@ -1,4 +1,4 @@
-"""Hardware-budget configurations — the paper's Table 3.
+"""Table-3 hardware-budget presets over the predictor registry.
 
 Table 3 fixes, for every total hardware budget from 2KB to 32KB, the
 geometry of each predictor used as prophet or critic:
@@ -18,151 +18,123 @@ f.perceptron #     73     113     163     282     348
 f.perc hist        13      17      24      28      47
 f.perc filter     128*3   256*3   512*3   1024*3  2048*3
 f.perc filt hist   18      18      18      18      18
-f.perc BOR         18      18      24      28      47
 ===============  ======  ======  ======  ======  ======
 
-:func:`make_predictor` builds any predictor at any Table-3 budget;
+This module is a *preset layer*, not the construction API: the presets
+map ``(kind, budget_kb)`` to the registry's geometry dataclasses (see
+:mod:`repro.predictors.registry`), and :func:`make_predictor` simply
+expands a preset and hands it to
+:func:`~repro.predictors.registry.build_predictor`. Any registered
+predictor can be built at any geometry through the registry (or a
+:class:`repro.sim.specs.PredictorSpec` config); Table 3 is just the
+paper's named sample of that space.
+
 :func:`make_prophet` and :func:`make_critic` are role-flavoured aliases
 that also validate the predictor is usable in that role.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.predictors.base import DirectionPredictor
-from repro.predictors.filtered_perceptron import FilteredPerceptronPredictor
-from repro.predictors.gshare import GsharePredictor
-from repro.predictors.gskew import TwoBcGskewPredictor
-from repro.predictors.perceptron import PerceptronPredictor
-from repro.predictors.tage import TagePredictor
-from repro.predictors.tagged_gshare import TaggedGsharePredictor
+from repro.predictors.filtered_perceptron import FilteredPerceptronParams
+from repro.predictors.gshare import GshareParams
+from repro.predictors.gskew import GskewParams
+from repro.predictors.perceptron import PerceptronParams
+from repro.predictors.registry import (
+    ROLE_CRITIC,
+    build_predictor,
+    predictor_info,
+    require_critic_capable,
+)
+from repro.predictors.tage import TageParams
+from repro.predictors.tagged_gshare import TaggedGshareParams
 
 #: Budgets (in KB) that Table 3 defines.
 BUDGETS_KB = (2, 4, 8, 16, 32)
 
-
-@dataclass(frozen=True)
-class _GshareConfig:
-    entries: int
-    history: int
-
-
-@dataclass(frozen=True)
-class _PerceptronConfig:
-    n_perceptrons: int
-    history: int
-
-
-@dataclass(frozen=True)
-class _GskewConfig:
-    entries_per_table: int
-    history: int
-
-
-@dataclass(frozen=True)
-class _TaggedGshareConfig:
-    sets: int
-    ways: int
-    bor_size: int
-
-
-@dataclass(frozen=True)
-class _FilteredPerceptronConfig:
-    n_perceptrons: int
-    history: int
-    filter_sets: int
-    filter_ways: int
-    filter_history: int
-    bor_size: int
-
-
+#: Table-3 geometries: kind -> budget KB -> registry params instance.
 PREDICTOR_BUDGETS: dict[str, dict[int, object]] = {
     "gshare": {
-        2: _GshareConfig(8 * 1024, 13),
-        4: _GshareConfig(16 * 1024, 14),
-        8: _GshareConfig(32 * 1024, 15),
-        16: _GshareConfig(64 * 1024, 16),
-        32: _GshareConfig(128 * 1024, 17),
+        2: GshareParams(8 * 1024, 13),
+        4: GshareParams(16 * 1024, 14),
+        8: GshareParams(32 * 1024, 15),
+        16: GshareParams(64 * 1024, 16),
+        32: GshareParams(128 * 1024, 17),
     },
     "perceptron": {
-        2: _PerceptronConfig(113, 17),
-        4: _PerceptronConfig(163, 24),
-        8: _PerceptronConfig(282, 28),
-        16: _PerceptronConfig(348, 47),
-        32: _PerceptronConfig(565, 57),
+        2: PerceptronParams(113, 17),
+        4: PerceptronParams(163, 24),
+        8: PerceptronParams(282, 28),
+        16: PerceptronParams(348, 47),
+        32: PerceptronParams(565, 57),
     },
     "2bc-gskew": {
-        2: _GskewConfig(2 * 1024, 11),
-        4: _GskewConfig(4 * 1024, 12),
-        8: _GskewConfig(8 * 1024, 13),
-        16: _GskewConfig(16 * 1024, 14),
-        32: _GskewConfig(32 * 1024, 15),
+        2: GskewParams(2 * 1024, 11),
+        4: GskewParams(4 * 1024, 12),
+        8: GskewParams(8 * 1024, 13),
+        16: GskewParams(16 * 1024, 14),
+        32: GskewParams(32 * 1024, 15),
     },
     "tagged-gshare": {
-        2: _TaggedGshareConfig(256, 6, 18),
-        4: _TaggedGshareConfig(512, 6, 18),
-        8: _TaggedGshareConfig(1024, 6, 18),
-        16: _TaggedGshareConfig(2048, 6, 18),
-        32: _TaggedGshareConfig(4096, 6, 18),
+        2: TaggedGshareParams(256, 6, 18),
+        4: TaggedGshareParams(512, 6, 18),
+        8: TaggedGshareParams(1024, 6, 18),
+        16: TaggedGshareParams(2048, 6, 18),
+        32: TaggedGshareParams(4096, 6, 18),
     },
     "filtered-perceptron": {
-        2: _FilteredPerceptronConfig(73, 13, 128, 3, 18, 18),
-        4: _FilteredPerceptronConfig(113, 17, 256, 3, 18, 18),
-        8: _FilteredPerceptronConfig(163, 24, 512, 3, 18, 24),
-        16: _FilteredPerceptronConfig(282, 28, 1024, 3, 18, 28),
-        32: _FilteredPerceptronConfig(348, 47, 2048, 3, 18, 47),
+        2: FilteredPerceptronParams(73, 13, 128, 3, 18),
+        4: FilteredPerceptronParams(113, 17, 256, 3, 18),
+        8: FilteredPerceptronParams(163, 24, 512, 3, 18),
+        16: FilteredPerceptronParams(282, 28, 1024, 3, 18),
+        32: FilteredPerceptronParams(348, 47, 2048, 3, 18),
     },
 }
 
-#: Predictors usable as critics (they read the BOR; filtered ones also
-#: implement the lookup/train critic interface).
-CRITIC_CAPABLE = ("gshare", "perceptron", "2bc-gskew", "tagged-gshare", "filtered-perceptron")
-
 #: TAGE budgets for the extension ablation (entries chosen to land close
-#: to the byte budget; TAGE is not part of Table 3).
-_TAGE_BUDGETS: dict[int, tuple[int, int]] = {
-    # budget KB -> (base_entries, component_entries)
-    2: (1024, 128),
-    4: (2048, 256),
-    8: (4096, 512),
-    16: (8192, 1024),
-    32: (16384, 2048),
+#: to the byte budget; TAGE is not part of Table 3, so it stays out of
+#: :data:`PREDICTOR_BUDGETS` and its tolerance bands).
+_TAGE_BUDGETS: dict[int, TageParams] = {
+    2: TageParams(base_entries=1024, component_entries=128),
+    4: TageParams(base_entries=2048, component_entries=256),
+    8: TageParams(base_entries=4096, component_entries=512),
+    16: TageParams(base_entries=8192, component_entries=1024),
+    32: TageParams(base_entries=16384, component_entries=2048),
 }
+
+
+def budgeted_kinds() -> list[str]:
+    """Kinds that have budget presets (Table 3 plus the TAGE extension)."""
+    return sorted([*PREDICTOR_BUDGETS, "tage"])
+
+
+def params_for(kind: str, budget_kb: int):
+    """The registry params instance for ``kind`` at the ``budget_kb`` preset.
+
+    Unknown kinds raise a :class:`KeyError` listing the registered kinds;
+    registered kinds without presets raise one listing the kinds that
+    have them; unknown budgets raise one listing the valid budgets.
+    """
+    predictor_info(kind)  # unknown kinds fail here, naming the registry
+    table = _TAGE_BUDGETS if kind == "tage" else PREDICTOR_BUDGETS.get(kind)
+    if table is None:
+        raise KeyError(
+            f"predictor kind {kind!r} has no budget presets (kinds with "
+            f"presets: {budgeted_kinds()}); build it from explicit params "
+            "instead (see repro.predictors.registry / PredictorSpec)"
+        )
+    try:
+        return table[budget_kb]
+    except KeyError:
+        raise KeyError(
+            f"no {kind!r} preset at {budget_kb}KB; valid budgets: "
+            f"{sorted(table)}"
+        ) from None
 
 
 def make_predictor(kind: str, budget_kb: int) -> DirectionPredictor:
-    """Instantiate predictor ``kind`` at the Table-3 ``budget_kb`` geometry.
-
-    ``kind`` ∈ {gshare, perceptron, 2bc-gskew, tagged-gshare,
-    filtered-perceptron, tage}.
-    """
-    if kind == "tage":
-        if budget_kb not in _TAGE_BUDGETS:
-            raise KeyError(f"no TAGE configuration for {budget_kb}KB")
-        base, comp = _TAGE_BUDGETS[budget_kb]
-        return TagePredictor(n_components=6, base_entries=base, component_entries=comp)
-    try:
-        config = PREDICTOR_BUDGETS[kind][budget_kb]
-    except KeyError as exc:
-        raise KeyError(f"no Table-3 configuration for {kind!r} at {budget_kb}KB") from exc
-    if kind == "gshare":
-        return GsharePredictor(config.entries, config.history)
-    if kind == "perceptron":
-        return PerceptronPredictor(config.n_perceptrons, config.history)
-    if kind == "2bc-gskew":
-        return TwoBcGskewPredictor(config.entries_per_table, config.history)
-    if kind == "tagged-gshare":
-        return TaggedGsharePredictor(config.sets, config.ways, config.bor_size)
-    if kind == "filtered-perceptron":
-        return FilteredPerceptronPredictor(
-            config.n_perceptrons,
-            config.history,
-            config.filter_sets,
-            config.filter_ways,
-            config.filter_history,
-        )
-    raise KeyError(f"unknown predictor kind {kind!r}")
+    """Instantiate predictor ``kind`` at the Table-3 ``budget_kb`` geometry."""
+    return build_predictor(kind, params_for(kind, budget_kb))
 
 
 def make_prophet(kind: str, budget_kb: int) -> DirectionPredictor:
@@ -173,12 +145,12 @@ def make_prophet(kind: str, budget_kb: int) -> DirectionPredictor:
 def make_critic(kind: str, budget_kb: int) -> DirectionPredictor:
     """Build a predictor for the critic role.
 
-    Critics must consume a caller-supplied (BOR) history value; all Table-3
-    predictors qualify, but local-history predictors would not.
+    Critics must consume a caller-supplied (BOR) history value; the
+    registry tracks which kinds qualify (local-history and history-blind
+    predictors do not).
     """
-    if kind not in CRITIC_CAPABLE and kind != "tage":
-        raise ValueError(f"{kind!r} cannot serve as a critic (must read a global BOR)")
-    return make_predictor(kind, budget_kb)
+    require_critic_capable(kind)
+    return build_predictor(kind, params_for(kind, budget_kb), role=ROLE_CRITIC)
 
 
 def budget_table_rows() -> list[dict[str, object]]:

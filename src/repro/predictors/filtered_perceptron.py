@@ -12,9 +12,12 @@ is why the two structures take separate history widths here.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.predictors.base import DirectionPredictor
 from repro.predictors.filtering import TagFilter
 from repro.predictors.perceptron import PerceptronPredictor
+from repro.predictors.registry import register_predictor
 from repro.predictors.tagged_gshare import CritiqueLookup
 from repro.utils.hashing import index_hash, tag_hash
 
@@ -119,3 +122,33 @@ class FilteredPerceptronPredictor(DirectionPredictor):
         super().reset()
         self.perceptron.reset()
         self.filter.reset()
+
+@dataclass(frozen=True)
+class FilteredPerceptronParams:
+    """Geometry schema for :class:`FilteredPerceptronPredictor` (Table-3 8KB)."""
+
+    n_perceptrons: int = 163
+    history_length: int = 24
+    filter_sets: int = 512
+    filter_ways: int = 3
+    filter_history_length: int = 18
+    tag_bits: int = 9
+
+    def build(self) -> FilteredPerceptronPredictor:
+        return FilteredPerceptronPredictor(
+            self.n_perceptrons,
+            self.history_length,
+            self.filter_sets,
+            self.filter_ways,
+            self.filter_history_length,
+            self.tag_bits,
+        )
+
+
+register_predictor(
+    "filtered-perceptron",
+    FilteredPerceptronParams,
+    FilteredPerceptronParams.build,
+    critic_capable=True,
+    summary="perceptron behind a tagged filter (the paper's best critic)",
+)

@@ -9,8 +9,11 @@ building block for tests that demonstrate aliasing effects.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.predictors.base import DirectionPredictor
 from repro.predictors.counters import CounterTable
+from repro.predictors.registry import register_predictor
 from repro.utils.bitops import mask
 
 
@@ -58,3 +61,23 @@ class GAsPredictor(DirectionPredictor):
     def reset(self) -> None:
         super().reset()
         self.table.reset()
+
+@dataclass(frozen=True)
+class GasParams:
+    """Geometry schema for :class:`GAsPredictor`."""
+
+    history_length: int = 8
+    set_bits: int = 6
+    counter_bits: int = 2
+
+    def build(self) -> GAsPredictor:
+        return GAsPredictor(self.history_length, self.set_bits, self.counter_bits)
+
+
+register_predictor(
+    "gas",
+    GasParams,
+    GasParams.build,
+    critic_capable=True,  # indexes with the caller-supplied (BOR) history
+    summary="two-level {history, PC-set} concatenation (Yeh & Patt, 1992)",
+)

@@ -8,8 +8,11 @@ relative to GAs at the same size. Table 3 of the paper uses gshare at
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.predictors.base import DirectionPredictor
 from repro.predictors.counters import CounterTable
+from repro.predictors.registry import register_predictor
 from repro.utils.bitops import mask
 
 
@@ -65,3 +68,26 @@ class GsharePredictor(DirectionPredictor):
     def reset(self) -> None:
         super().reset()
         self.table.reset()
+
+@dataclass(frozen=True)
+class GshareParams:
+    """Geometry schema for :class:`GsharePredictor` (defaults: Table-3 8KB).
+
+    ``history_length`` of None uses the full index width, Table 3's rule.
+    """
+
+    entries: int = 32 * 1024
+    history_length: int | None = None
+    counter_bits: int = 2
+
+    def build(self) -> GsharePredictor:
+        return GsharePredictor(self.entries, self.history_length, self.counter_bits)
+
+
+register_predictor(
+    "gshare",
+    GshareParams,
+    GshareParams.build,
+    critic_capable=True,
+    summary="PC XOR global-history indexed counter table (McFarling, 1993)",
+)

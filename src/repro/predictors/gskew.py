@@ -24,8 +24,11 @@ against a 16KB instance of this predictor.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.predictors.base import DirectionPredictor
 from repro.predictors.counters import CounterTable
+from repro.predictors.registry import register_predictor
 from repro.utils.bitops import mask
 from repro.utils.hashing import skew_h, skew_hinv
 
@@ -229,3 +232,25 @@ class TwoBcGskewPredictor(DirectionPredictor):
         super().reset()
         for table in (self.bim, self.g0, self.g1, self.meta):
             table.reset()
+
+@dataclass(frozen=True)
+class GskewParams:
+    """Geometry schema for :class:`TwoBcGskewPredictor` (defaults: Table-3 8KB).
+
+    ``history_length`` of None uses the per-table index width.
+    """
+
+    entries_per_table: int = 8 * 1024
+    history_length: int | None = None
+
+    def build(self) -> TwoBcGskewPredictor:
+        return TwoBcGskewPredictor(self.entries_per_table, self.history_length)
+
+
+register_predictor(
+    "2bc-gskew",
+    GskewParams,
+    GskewParams.build,
+    critic_capable=True,
+    summary="BIM + two skewed global banks + META chooser (Seznec & Michaud)",
+)

@@ -13,10 +13,13 @@ the BOR, which is global by construction.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.predictors.base import DirectionPredictor
 from repro.predictors.counters import CounterTable
+from repro.predictors.registry import register_predictor
 from repro.utils.bitops import mask
 
 
@@ -77,3 +80,33 @@ class LocalHistoryPredictor(DirectionPredictor):
         super().reset()
         self._histories[:] = 0
         self.table.reset()
+
+@dataclass(frozen=True)
+class LocalHistoryParams:
+    """Geometry schema for :class:`LocalHistoryPredictor`.
+
+    ``pattern_entries`` of None sizes the second level to
+    ``2 ** local_history_length``.
+    """
+
+    history_entries: int = 1024
+    local_history_length: int = 10
+    counter_bits: int = 2
+    pattern_entries: int | None = None
+
+    def build(self) -> LocalHistoryPredictor:
+        return LocalHistoryPredictor(
+            self.history_entries,
+            self.local_history_length,
+            self.counter_bits,
+            self.pattern_entries,
+        )
+
+
+register_predictor(
+    "local",
+    LocalHistoryParams,
+    LocalHistoryParams.build,
+    critic_capable=False,  # keeps private per-branch history; never reads a BOR
+    summary="PAg two-level local-history predictor (Alpha 21264 component)",
+)

@@ -15,9 +15,12 @@ paper's Table 3 (budget ≈ perceptrons × (h+1) bytes).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.predictors.base import DirectionPredictor
+from repro.predictors.registry import register_predictor
 
 
 class PerceptronPredictor(DirectionPredictor):
@@ -94,3 +97,22 @@ class PerceptronPredictor(DirectionPredictor):
     def reset(self) -> None:
         super().reset()
         self.weights[:] = 0
+
+@dataclass(frozen=True)
+class PerceptronParams:
+    """Geometry schema for :class:`PerceptronPredictor` (defaults: Table-3 8KB)."""
+
+    n_perceptrons: int = 282
+    history_length: int = 28
+
+    def build(self) -> PerceptronPredictor:
+        return PerceptronPredictor(self.n_perceptrons, self.history_length)
+
+
+register_predictor(
+    "perceptron",
+    PerceptronParams,
+    PerceptronParams.build,
+    critic_capable=True,
+    summary="global-history perceptron (Jimenez & Lin, 2001)",
+)

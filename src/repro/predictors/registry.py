@@ -1,0 +1,180 @@
+"""String-keyed predictor registry: kinds, parameter schemas, roles.
+
+The paper's central claim is architectural — bolt a critic onto *any*
+prophet and mispredictions drop — so the construction API must treat
+predictors as open data, not a closed enum. Every module in
+:mod:`repro.predictors` registers its predictor here under a string
+``kind`` together with:
+
+* a **typed geometry dataclass** (the parameter schema: entries, history
+  lengths, sets/ways, tag widths, …) whose defaults are a sensible
+  mid-size configuration;
+* a **factory** turning a params instance into a fresh
+  :class:`~repro.predictors.base.DirectionPredictor`;
+* a **role capability**: critic-capable predictors consume the
+  caller-supplied global history value (they can read the BOR with its
+  future bits); prophet-only predictors ignore it or keep private local
+  history, so placing one in the critic role is a spec error, caught
+  here rather than as silently-useless hardware.
+
+Everything downstream builds on this table: the Table-3 presets in
+:mod:`repro.predictors.budget` are a thin layer over
+:func:`build_predictor`, and :class:`repro.sim.specs.PredictorSpec`
+round-trips ``(kind, params)`` pairs through JSON configs into sweepable,
+cacheable systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable, Mapping
+
+from repro.predictors.base import DirectionPredictor
+
+#: The two roles a predictor can play inside a prediction system (§3).
+ROLE_PROPHET = "prophet"
+ROLE_CRITIC = "critic"
+ROLES = (ROLE_PROPHET, ROLE_CRITIC)
+
+
+@dataclass(frozen=True)
+class PredictorInfo:
+    """One registry entry: everything known about a predictor kind."""
+
+    kind: str
+    params_type: type
+    factory: Callable[[Any], DirectionPredictor]
+    critic_capable: bool
+    summary: str = ""
+
+    def param_names(self) -> tuple[str, ...]:
+        """The schema's field names, in declaration order."""
+        return tuple(f.name for f in fields(self.params_type))
+
+
+_REGISTRY: dict[str, PredictorInfo] = {}
+
+
+def register_predictor(
+    kind: str,
+    params_type: type,
+    factory: Callable[[Any], DirectionPredictor],
+    *,
+    critic_capable: bool,
+    summary: str = "",
+) -> PredictorInfo:
+    """Register a predictor kind (called at import time by each module).
+
+    ``params_type`` must be a dataclass — its fields *are* the parameter
+    schema, and :func:`coerce_params` validates config dicts against it.
+    Re-registering an existing kind is an error: kinds are global names
+    that spec hashing and result caching rely on.
+    """
+    if not is_dataclass(params_type):
+        raise TypeError(f"params_type for {kind!r} must be a dataclass")
+    if kind in _REGISTRY:
+        raise ValueError(f"predictor kind {kind!r} is already registered")
+    info = PredictorInfo(
+        kind=kind,
+        params_type=params_type,
+        factory=factory,
+        critic_capable=critic_capable,
+        summary=summary,
+    )
+    _REGISTRY[kind] = info
+    return info
+
+
+def registered_kinds() -> list[str]:
+    """All registered kind names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def registered_predictors() -> list[PredictorInfo]:
+    """All registry entries, sorted by kind."""
+    return [_REGISTRY[kind] for kind in registered_kinds()]
+
+
+def critic_capable_kinds() -> list[str]:
+    """Kinds that may serve in the critic role, sorted."""
+    return [kind for kind in registered_kinds() if _REGISTRY[kind].critic_capable]
+
+
+def predictor_info(kind: str) -> PredictorInfo:
+    """The registry entry for ``kind``.
+
+    Raises a :class:`KeyError` naming every registered kind, so a typo'd
+    config points straight at the valid vocabulary.
+    """
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor kind {kind!r}; registered kinds: {registered_kinds()}"
+        ) from None
+
+
+def require_critic_capable(kind: str) -> PredictorInfo:
+    """Validate that ``kind`` may play the critic role."""
+    info = predictor_info(kind)
+    if not info.critic_capable:
+        raise ValueError(
+            f"{kind!r} cannot serve as a critic (critics must read the "
+            f"caller-supplied BOR history); critic-capable kinds: "
+            f"{critic_capable_kinds()}"
+        )
+    return info
+
+
+def coerce_params(kind: str, params: Any = None) -> Any:
+    """Normalise ``params`` into ``kind``'s geometry dataclass.
+
+    Accepts ``None`` (the schema's defaults), an instance of the schema
+    type, or a mapping (e.g. parsed JSON). Mappings are validated
+    field-by-field: unknown keys raise a :class:`ValueError` listing the
+    valid parameter names, and JSON lists are coerced to tuples so
+    configs round-trip losslessly.
+    """
+    info = predictor_info(kind)
+    if params is None:
+        return info.params_type()
+    if isinstance(params, info.params_type):
+        return params
+    if not isinstance(params, Mapping):
+        raise TypeError(
+            f"params for {kind!r} must be a {info.params_type.__name__} or a "
+            f"mapping, got {type(params).__name__}"
+        )
+    names = info.param_names()
+    unknown = sorted(set(params) - set(names))
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {unknown} for predictor kind {kind!r}; "
+            f"valid parameters: {list(names)}"
+        )
+    kwargs = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in params.items()
+    }
+    try:
+        return info.params_type(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"bad parameters for predictor kind {kind!r}: {exc}") from exc
+
+
+def build_predictor(
+    kind: str, params: Any = None, *, role: str = ROLE_PROPHET
+) -> DirectionPredictor:
+    """Instantiate a fresh predictor of ``kind`` for ``role``.
+
+    ``params`` is anything :func:`coerce_params` accepts. The critic role
+    is refused for prophet-only kinds — see the module docstring.
+    """
+    if role not in ROLES:
+        raise ValueError(f"unknown predictor role {role!r}; roles: {list(ROLES)}")
+    info = require_critic_capable(kind) if role == ROLE_CRITIC else predictor_info(kind)
+    coerced = coerce_params(kind, params)
+    try:
+        return info.factory(coerced)
+    except ValueError as exc:
+        raise ValueError(f"bad geometry for predictor kind {kind!r}: {exc}") from exc

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.predictors.base import DirectionPredictor
+from repro.predictors.registry import register_predictor
 
 
 class AlwaysTakenPredictor(DirectionPredictor):
@@ -67,3 +70,30 @@ class BackwardTakenForwardNotTaken(DirectionPredictor):
 
     def storage_bits(self) -> int:
         return 0
+
+@dataclass(frozen=True)
+class StaticParams:
+    """Static predictors have no geometry; the schema is empty."""
+
+    def build_taken(self) -> AlwaysTakenPredictor:
+        return AlwaysTakenPredictor()
+
+    def build_not_taken(self) -> AlwaysNotTakenPredictor:
+        return AlwaysNotTakenPredictor()
+
+
+register_predictor(
+    "always-taken",
+    StaticParams,
+    StaticParams.build_taken,
+    critic_capable=False,  # consults no history at all
+    summary="static taken baseline (zero storage)",
+)
+
+register_predictor(
+    "always-not-taken",
+    StaticParams,
+    StaticParams.build_not_taken,
+    critic_capable=False,
+    summary="static not-taken baseline (zero storage)",
+)

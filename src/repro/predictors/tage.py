@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.predictors.base import DirectionPredictor
+from repro.predictors.registry import register_predictor
 from repro.utils.bitops import fold_bits, mask
 from repro.utils.hashing import mix64
 
@@ -251,3 +252,37 @@ class TagePredictor(DirectionPredictor):
         self._base = [2] * self.base_entries
         for comp in self.components:
             comp.table = [_TageEntry() for _ in range(comp.entries)]
+
+@dataclass(frozen=True)
+class TageParams:
+    """Geometry schema for :class:`TagePredictor` (defaults ≈ 12KB; the
+    8KB Table-3-style preset in :mod:`repro.predictors.budget` uses
+    ``component_entries=512``)."""
+
+    n_components: int = 6
+    base_entries: int = 4096
+    component_entries: int = 1024
+    min_history: int = 5
+    max_history: int = 130
+    tag_bits: int = 9
+    seed: int = 0x7A6E
+
+    def build(self) -> TagePredictor:
+        return TagePredictor(
+            self.n_components,
+            self.base_entries,
+            self.component_entries,
+            self.min_history,
+            self.max_history,
+            self.tag_bits,
+            self.seed,
+        )
+
+
+register_predictor(
+    "tage",
+    TageParams,
+    TageParams.build,
+    critic_capable=True,
+    summary="bimodal base + geometric tagged components (Seznec & Michaud, 2006)",
+)

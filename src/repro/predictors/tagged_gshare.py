@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.predictors.base import DirectionPredictor
 from repro.predictors.counters import CounterTable
 from repro.predictors.filtering import TagFilter
+from repro.predictors.registry import register_predictor
 from repro.utils.hashing import index_hash, tag_hash
 
 
@@ -187,3 +188,26 @@ class TaggedGsharePredictor(DirectionPredictor):
         super().reset()
         self.filter.reset()
         self.counters.reset()
+
+@dataclass(frozen=True)
+class TaggedGshareParams:
+    """Geometry schema for :class:`TaggedGsharePredictor` (defaults: Table-3 8KB)."""
+
+    sets: int = 1024
+    ways: int = 6
+    history_length: int = 18
+    tag_bits: int = 8
+
+    def build(self) -> TaggedGsharePredictor:
+        return TaggedGsharePredictor(
+            self.sets, self.ways, self.history_length, self.tag_bits
+        )
+
+
+register_predictor(
+    "tagged-gshare",
+    TaggedGshareParams,
+    TaggedGshareParams.build,
+    critic_capable=True,
+    summary="set-associative tagged counters keyed by hash(PC, history)",
+)

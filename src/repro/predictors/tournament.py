@@ -10,8 +10,12 @@ future bits add beyond plain hybridisation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any
+
 from repro.predictors.base import DirectionPredictor
 from repro.predictors.counters import CounterTable
+from repro.predictors.registry import build_predictor, coerce_params, register_predictor
 from repro.utils.bitops import mask
 
 
@@ -68,3 +72,71 @@ class TournamentPredictor(DirectionPredictor):
         self.component_a.reset()
         self.component_b.reset()
         self.chooser.reset()
+
+def _component_geometry(descriptor) -> tuple:
+    """Validate a component descriptor and resolve its ``(kind, params)``.
+
+    A descriptor is a bare kind string (default geometry) or a
+    ``{"kind": ..., "params": {...} | "budget_kb": N}`` mapping — the
+    same vocabulary as :class:`repro.sim.specs.PredictorSpec` configs.
+    Unknown kinds, unknown parameter names and missing budget presets
+    all raise here, so specs embedding a tournament stay eagerly
+    validated (never failing first inside a sweep worker).
+    """
+    if isinstance(descriptor, str):
+        kind, params, budget_kb = descriptor, None, None
+    else:
+        try:
+            mapping = dict(descriptor)
+        except TypeError:
+            mapping, kind = {}, None
+        else:
+            kind = mapping.pop("kind", None)
+        params = mapping.pop("params", None)
+        budget_kb = mapping.pop("budget_kb", None)
+        if kind is None or mapping or (params is not None and budget_kb is not None):
+            raise ValueError(
+                "tournament components are bare kind strings or mappings with "
+                "a 'kind' plus either 'params' or 'budget_kb'; got "
+                f"{descriptor!r}"
+            )
+    if budget_kb is not None:
+        from repro.predictors.budget import params_for
+
+        return kind, params_for(kind, budget_kb)
+    return kind, coerce_params(kind, params)
+
+
+@dataclass(frozen=True)
+class TournamentParams:
+    """Composition schema for :class:`TournamentPredictor`.
+
+    Components are nested predictor descriptors (kind string or
+    ``{"kind", "params" | "budget_kb"}`` mapping), resolved through the
+    registry — a tournament of any two registered prophets is a JSON
+    config away. Descriptors are validated on construction.
+    """
+
+    component_a: Any = "bimodal"
+    component_b: Any = "gshare"
+    chooser_entries: int = 4096
+
+    def __post_init__(self) -> None:
+        _component_geometry(self.component_a)
+        _component_geometry(self.component_b)
+
+    def build(self) -> TournamentPredictor:
+        return TournamentPredictor(
+            build_predictor(*_component_geometry(self.component_a)),
+            build_predictor(*_component_geometry(self.component_b)),
+            self.chooser_entries,
+        )
+
+
+register_predictor(
+    "tournament",
+    TournamentParams,
+    TournamentParams.build,
+    critic_capable=False,  # the conventional-hybrid baseline; prophet role only
+    summary="McFarling chooser over two registered component predictors",
+)

@@ -11,8 +11,11 @@ critic).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.predictors.base import DirectionPredictor
 from repro.predictors.counters import CounterTable
+from repro.predictors.registry import register_predictor
 from repro.utils.bitops import mask
 
 
@@ -129,3 +132,26 @@ class YagsPredictor(DirectionPredictor):
         self.choice.reset()
         self.t_cache.reset()
         self.nt_cache.reset()
+
+@dataclass(frozen=True)
+class YagsParams:
+    """Geometry schema for :class:`YagsPredictor`."""
+
+    choice_entries: int = 4096
+    cache_entries: int = 1024
+    history_length: int = 12
+    tag_bits: int = 8
+
+    def build(self) -> YagsPredictor:
+        return YagsPredictor(
+            self.choice_entries, self.cache_entries, self.history_length, self.tag_bits
+        )
+
+
+register_predictor(
+    "yags",
+    YagsParams,
+    YagsParams.build,
+    critic_capable=True,  # exception caches are indexed with the supplied history
+    summary="bimodal choice + tagged exception caches (Eden & Mudge, 1998)",
+)

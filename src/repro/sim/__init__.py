@@ -32,12 +32,20 @@ from repro.sim.execution import (
 )
 from repro.sim.metrics import RunStats
 from repro.sim.results import format_table, render_series
-from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec
+from repro.sim.specs import (
+    SPEC_FORMAT_VERSION,
+    PredictorSpec,
+    ProgramSpec,
+    SweepCell,
+    SystemSpec,
+)
 from repro.sim.sweep import SweepResult, run_sweep
 
 __all__ = [
+    "PredictorSpec",
     "ProcessPoolExecutor",
     "ProgramSpec",
+    "SPEC_FORMAT_VERSION",
     "ResultCache",
     "RunStats",
     "SerialExecutor",

@@ -7,23 +7,41 @@ content-hashable description from which the worker rebuilds the program
 and the prediction system from scratch. This module defines that data
 model:
 
-* :class:`SystemSpec` — a prediction system as (role, predictor kinds,
-  Table-3 budgets, future bits, insert policy) rather than a factory
-  closure;
+* :class:`PredictorSpec` — one predictor as (registry kind + explicit
+  geometry params), or as a Table-3 budget shorthand that expands to the
+  preset geometry in :mod:`repro.predictors.budget`;
+* :class:`SystemSpec` — a prediction system: a single prophet, or a
+  prophet/critic hybrid with future bits and an insert policy;
 * :class:`ProgramSpec` — a workload as either a named benchmark from
-  :data:`repro.workloads.suites.BENCHMARKS` or an explicit
-  :class:`~repro.workloads.generator.WorkloadProfile`, with an optional
-  seed override for decorrelated replicas;
+  :data:`repro.workloads.suites.BENCHMARKS`, an explicit
+  :class:`~repro.workloads.generator.WorkloadProfile`, or a recorded
+  trace file, with an optional seed override for decorrelated replicas;
 * :class:`SweepCell` — one grid cell: (system spec, program spec,
   :class:`~repro.sim.driver.SimulationConfig`) plus display labels and a
   mode ("accuracy" for the functional simulator, "timing" for the
   Table-2 machine model).
 
+Every spec also round-trips through plain dicts — ``to_config()`` /
+``from_config()`` — so whole systems and sweep grids live in JSON files
+(see ``docs/CONFIG.md`` and the CLI's ``sweep`` verb):
+
+>>> spec = SystemSpec.hybrid("2bc-gskew", 8, "tagged-gshare", 8, future_bits=8)
+>>> SystemSpec.from_config(spec.to_config()) == spec
+True
+>>> custom = SystemSpec.from_config({
+...     "kind": "single",
+...     "prophet": {"kind": "yags", "params": {"choice_entries": 8192}},
+... })
+>>> custom.prophet.kind
+'yags'
+
 Determinism contract: building a spec twice yields behaviourally
 identical objects, and every source of randomness in a cell is derived
 from the spec itself (profile seeds, site hashes), never from process
 identity or execution order. :meth:`SweepCell.content_hash` is therefore
-a stable cache key: equal hash ⇒ bit-for-bit equal results.
+a stable cache key: equal hash ⇒ bit-for-bit equal results. Budget
+shorthands hash by their *expanded* geometry, so a Table-3 preset and
+the equivalent explicit params share one cache entry.
 """
 
 from __future__ import annotations
@@ -31,23 +49,33 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass, field, replace
-from typing import Any
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
+from typing import Any, Mapping, Sequence
 
 from repro.core.hybrid import (
     PredictionSystem,
     ProphetCriticSystem,
     SinglePredictorSystem,
 )
-from repro.predictors.budget import make_critic, make_prophet
+from repro.predictors.budget import params_for
+from repro.predictors.registry import (
+    ROLE_CRITIC,
+    ROLE_PROPHET,
+    build_predictor,
+    coerce_params,
+    predictor_info,
+    require_critic_capable,
+)
 from repro.sim.driver import SimulationConfig
 from repro.workloads.generator import WorkloadProfile, generate_program
 from repro.workloads.program import Program
 
 #: Bumped whenever the meaning of a spec or the result schema changes;
 #: part of every content hash, so stale cache entries can never be
-#: mistaken for current ones.
-SPEC_FORMAT_VERSION = 1
+#: mistaken for current ones. Version 2: predictors are described by
+#: (registry kind, expanded geometry params) instead of (kind, budget KB)
+#: pairs — every version-1 cache entry is invalidated.
+SPEC_FORMAT_VERSION = 2
 
 
 def canonical_json(payload: Any) -> str:
@@ -64,19 +92,163 @@ def content_digest(payload: Any) -> str:
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
-@dataclass(frozen=True)
-class SystemSpec:
-    """A prediction system described as data (see Table 3 for budgets).
+def _check_config_keys(config: Mapping, allowed: Sequence[str], what: str) -> None:
+    """Reject unknown keys so config typos fail loudly, naming the schema."""
+    unknown = sorted(set(config) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {unknown} in {what} config; valid keys: {list(allowed)}"
+        )
 
-    ``kind`` is ``"single"`` (prophet alone) or ``"hybrid"``
-    (prophet/critic). Predictors are named by their budget-table kind and
-    KB budget, exactly the vocabulary of
-    :func:`repro.predictors.budget.make_predictor`.
+
+def _check_format(config: Mapping, what: str) -> None:
+    """Validate an optional ``format`` stamp against this module's version."""
+    version = config.get("format", SPEC_FORMAT_VERSION)
+    if version != SPEC_FORMAT_VERSION:
+        raise ValueError(
+            f"{what} config has format {version!r}; this build reads format "
+            f"{SPEC_FORMAT_VERSION} (see SPEC_FORMAT_VERSION in repro.sim.specs)"
+        )
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """One predictor as data: a registry kind plus its geometry.
+
+    Exactly one construction style per spec:
+
+    * **explicit params** — ``params`` is a mapping validated against the
+      kind's registered geometry dataclass (omitted fields keep their
+      schema defaults; ``params=None`` means all defaults);
+    * **budget shorthand** — ``budget_kb`` names a Table-3 preset from
+      :mod:`repro.predictors.budget`, which expands to the same params.
+
+    Specs validate eagerly: unknown kinds, unknown parameter names and
+    missing presets all raise at construction time, not inside a worker
+    process half-way through a sweep.
+
+    >>> PredictorSpec("gshare", budget_kb=8).resolved_params().entries
+    32768
+    >>> PredictorSpec("gshare", params={"entries": 1024}).describe()["params"]["entries"]
+    1024
     """
 
     kind: str
-    prophet: tuple[str, int]
-    critic: tuple[str, int] | None = None
+    params: Any = None
+    budget_kb: int | None = None
+
+    def __post_init__(self) -> None:
+        info = predictor_info(self.kind)  # unknown kinds rejected here
+        if self.params is not None and self.budget_kb is not None:
+            raise ValueError(
+                f"predictor spec for {self.kind!r} sets both explicit params "
+                "and a budget_kb shorthand; pick one"
+            )
+        if self.params is not None:
+            if is_dataclass(self.params) and not isinstance(self.params, type):
+                object.__setattr__(self, "params", asdict(self.params))
+            elif isinstance(self.params, Mapping):
+                object.__setattr__(self, "params", dict(self.params))
+            else:
+                raise TypeError(
+                    f"params for {self.kind!r} must be a mapping or a "
+                    f"{info.params_type.__name__}, got {type(self.params).__name__}"
+                )
+        # Expand/validate now: typos should fail at spec construction.
+        self.resolved_params()
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.budget_kb, canonical_json(self.params)))
+
+    def resolved_params(self) -> Any:
+        """The kind's geometry dataclass this spec denotes."""
+        if self.budget_kb is not None:
+            return params_for(self.kind, self.budget_kb)
+        return coerce_params(self.kind, self.params)
+
+    def build(self, role: str = ROLE_PROPHET):
+        """Instantiate a fresh predictor for ``role`` from this spec."""
+        return build_predictor(self.kind, self.resolved_params(), role=role)
+
+    def label(self) -> str:
+        """A compact display label (kind, plus budget or a params digest)."""
+        if self.budget_kb is not None:
+            return f"{self.kind}@{self.budget_kb}KB"
+        if not self.params:
+            return self.kind
+        return f"{self.kind}[{content_digest(self.describe())[:6]}]"
+
+    def describe(self) -> dict:
+        """Hashed identity: kind plus the *expanded* geometry params.
+
+        Budget shorthands and explicit params that denote the same
+        geometry produce identical descriptions, so they share result
+        cache entries.
+        """
+        return {"kind": self.kind, "params": asdict(self.resolved_params())}
+
+    def to_config(self) -> dict:
+        """JSON-ready dict, minimal form (shorthand stays shorthand)."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        if self.budget_kb is not None:
+            payload["budget_kb"] = self.budget_kb
+        if self.params:
+            payload["params"] = dict(self.params)
+        return payload
+
+    @staticmethod
+    def from_config(config: Any) -> "PredictorSpec":
+        """Parse a predictor config: a kind string, a legacy ``(kind,
+        budget_kb)`` pair, or a ``{"kind", "params" | "budget_kb"}`` mapping.
+
+        >>> PredictorSpec.from_config("tage").kind
+        'tage'
+        >>> PredictorSpec.from_config(("gshare", 8)) == PredictorSpec.from_config(
+        ...     {"kind": "gshare", "budget_kb": 8})
+        True
+        """
+        if isinstance(config, PredictorSpec):
+            return config
+        if isinstance(config, str):
+            return PredictorSpec(kind=config)
+        if isinstance(config, Mapping):
+            _check_config_keys(config, ("kind", "params", "budget_kb"), "predictor")
+            if "kind" not in config:
+                raise ValueError("predictor config needs a 'kind'")
+            return PredictorSpec(
+                kind=config["kind"],
+                params=config.get("params"),
+                budget_kb=config.get("budget_kb"),
+            )
+        if isinstance(config, Sequence) and len(config) == 2:
+            kind, budget_kb = config
+            return PredictorSpec(kind=kind, budget_kb=budget_kb)
+        raise TypeError(f"cannot parse predictor config {config!r}")
+
+
+def _as_predictor_spec(value: Any, what: str) -> PredictorSpec:
+    try:
+        return PredictorSpec.from_config(value)
+    except TypeError:
+        raise TypeError(f"cannot parse {what} spec {value!r}") from None
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A prediction system described as data.
+
+    ``kind`` is ``"single"`` (prophet alone) or ``"hybrid"``
+    (prophet/critic). ``prophet`` and ``critic`` are
+    :class:`PredictorSpec` values; anything
+    :meth:`PredictorSpec.from_config` understands — including the legacy
+    ``(kind, budget_kb)`` tuples — is coerced on construction, so
+    pre-redesign call sites keep working unchanged. Hybrid critics are
+    validated against the registry's role capabilities at construction.
+    """
+
+    kind: str
+    prophet: PredictorSpec
+    critic: PredictorSpec | None = None
     future_bits: int = 0
     insert_on: str = "final"
 
@@ -87,15 +259,24 @@ class SystemSpec:
             raise ValueError("hybrid systems need a critic spec")
         if self.kind == "single" and self.critic is not None:
             raise ValueError("single systems take no critic spec")
-        # Tuples may arrive as lists (e.g. after a JSON round trip).
-        object.__setattr__(self, "prophet", tuple(self.prophet))
+        if self.kind == "single" and (self.future_bits != 0 or self.insert_on != "final"):
+            raise ValueError(
+                "future_bits/insert_on are hybrid settings; a single system "
+                "would silently ignore them"
+            )
+        object.__setattr__(self, "prophet", _as_predictor_spec(self.prophet, "prophet"))
         if self.critic is not None:
-            object.__setattr__(self, "critic", tuple(self.critic))
+            object.__setattr__(
+                self, "critic", _as_predictor_spec(self.critic, "critic")
+            )
+            require_critic_capable(self.critic.kind)
 
     @staticmethod
     def single(prophet_kind: str, budget_kb: int) -> "SystemSpec":
-        """Spec for a prophet-alone baseline."""
-        return SystemSpec(kind="single", prophet=(prophet_kind, budget_kb))
+        """Spec for a prophet-alone baseline at a Table-3 budget."""
+        return SystemSpec(
+            kind="single", prophet=PredictorSpec(prophet_kind, budget_kb=budget_kb)
+        )
 
     @staticmethod
     def hybrid(
@@ -106,11 +287,11 @@ class SystemSpec:
         future_bits: int,
         insert_on: str = "final",
     ) -> "SystemSpec":
-        """Spec for a prophet/critic hybrid."""
+        """Spec for a prophet/critic hybrid at Table-3 budgets."""
         return SystemSpec(
             kind="hybrid",
-            prophet=(prophet_kind, prophet_kb),
-            critic=(critic_kind, critic_kb),
+            prophet=PredictorSpec(prophet_kind, budget_kb=prophet_kb),
+            critic=PredictorSpec(critic_kind, budget_kb=critic_kb),
             future_bits=future_bits,
             insert_on=insert_on,
         )
@@ -118,29 +299,83 @@ class SystemSpec:
     def build(self) -> PredictionSystem:
         """Instantiate a *fresh* prediction system from this spec."""
         if self.kind == "single":
-            return SinglePredictorSystem(make_prophet(*self.prophet))
+            return SinglePredictorSystem(self.prophet.build(ROLE_PROPHET))
         assert self.critic is not None
         return ProphetCriticSystem(
-            make_prophet(*self.prophet),
-            make_critic(*self.critic),
+            self.prophet.build(ROLE_PROPHET),
+            self.critic.build(ROLE_CRITIC),
             future_bits=self.future_bits,
             insert_on=self.insert_on,
         )
 
+    def default_label(self) -> str:
+        """A display label derived from the spec (used by the sweep CLI)."""
+        if self.kind == "single":
+            return self.prophet.label()
+        assert self.critic is not None
+        label = f"{self.prophet.label()}+{self.critic.label()}@f{self.future_bits}"
+        if self.insert_on != "final":
+            label += f",{self.insert_on}"
+        return label
+
     def describe(self) -> dict:
         """JSON-serialisable description (input to the content hash)."""
-        payload: dict[str, Any] = {"kind": self.kind, "prophet": list(self.prophet)}
+        payload: dict[str, Any] = {
+            "kind": self.kind,
+            "prophet": self.prophet.describe(),
+        }
         if self.kind == "hybrid":
             assert self.critic is not None
-            payload["critic"] = list(self.critic)
+            payload["critic"] = self.critic.describe()
             payload["future_bits"] = self.future_bits
             payload["insert_on"] = self.insert_on
         return payload
 
+    def to_config(self) -> dict:
+        """JSON-ready dict; :meth:`from_config` restores an equal spec."""
+        payload: dict[str, Any] = {
+            "format": SPEC_FORMAT_VERSION,
+            "kind": self.kind,
+            "prophet": self.prophet.to_config(),
+        }
+        if self.kind == "hybrid":
+            assert self.critic is not None
+            payload["critic"] = self.critic.to_config()
+            payload["future_bits"] = self.future_bits
+            payload["insert_on"] = self.insert_on
+        return payload
 
-@dataclass
+    @staticmethod
+    def from_config(config: Mapping) -> "SystemSpec":
+        """Restore a spec from :meth:`to_config` output (or hand-written JSON).
+
+        Unknown keys, unknown predictor kinds, bad params and role
+        violations are all rejected with messages naming the valid
+        vocabulary.
+        """
+        if not isinstance(config, Mapping):
+            raise TypeError(f"system config must be a mapping, got {type(config).__name__}")
+        _check_format(config, "system")
+        _check_config_keys(
+            config,
+            ("format", "kind", "prophet", "critic", "future_bits", "insert_on"),
+            "system",
+        )
+        if "kind" not in config or "prophet" not in config:
+            raise ValueError("system config needs 'kind' and 'prophet'")
+        critic = config.get("critic")
+        return SystemSpec(
+            kind=config["kind"],
+            prophet=PredictorSpec.from_config(config["prophet"]),
+            critic=None if critic is None else PredictorSpec.from_config(critic),
+            future_bits=config.get("future_bits", 0),
+            insert_on=config.get("insert_on", "final"),
+        )
+
+
+@dataclass(frozen=True)
 class ProgramSpec:
-    """A workload described as data.
+    """A workload described as data (frozen: specs are cache-key inputs).
 
     Exactly one of three sources must be set:
 
@@ -190,10 +425,10 @@ class ProgramSpec:
             from repro.workloads.suites import TRACES
 
             if self.benchmark in TRACES:
-                self.trace = os.fspath(TRACES[self.benchmark])
-                self.benchmark = None
+                object.__setattr__(self, "trace", os.fspath(TRACES[self.benchmark]))
+                object.__setattr__(self, "benchmark", None)
         if self.trace is not None:
-            self.trace = os.fspath(self.trace)
+            object.__setattr__(self, "trace", os.fspath(self.trace))
             if self.seed is not None:
                 raise ValueError(
                     "recorded traces replay verbatim; a seed override is "
@@ -208,7 +443,7 @@ class ProgramSpec:
             from repro.workloads.trace_io import read_trace_header
 
             header = read_trace_header(self.trace)
-            self._header_cache = header
+            object.__setattr__(self, "_header_cache", header)
         return header
 
     def resolved_profile(self) -> WorkloadProfile:
@@ -275,10 +510,59 @@ class ProgramSpec:
             payload["profile"] = asdict(self.resolved_profile())
         return payload
 
+    def to_config(self) -> dict:
+        """JSON-ready dict; :meth:`from_config` restores an equal spec.
+
+        Unlike :meth:`describe`, this is the *portable* form: benchmarks
+        stay names (not resolved profiles) and traces stay paths.
+        """
+        payload: dict[str, Any] = {}
+        if self.benchmark is not None:
+            payload["benchmark"] = self.benchmark
+        elif self.trace is not None:
+            payload["trace"] = self.trace
+        else:
+            payload["profile"] = asdict(self.profile)
+        if self.seed is not None:
+            payload["seed"] = self.seed
+        return payload
+
+    @staticmethod
+    def from_config(config: Any) -> "ProgramSpec":
+        """Parse a program config: a benchmark name or a one-source mapping.
+
+        >>> ProgramSpec.from_config("gcc") == ProgramSpec(benchmark="gcc")
+        True
+        """
+        if isinstance(config, ProgramSpec):
+            return config
+        if isinstance(config, str):
+            return ProgramSpec(benchmark=config)
+        if not isinstance(config, Mapping):
+            raise TypeError(f"cannot parse program config {config!r}")
+        _check_config_keys(
+            config, ("benchmark", "profile", "trace", "seed"), "program"
+        )
+        profile = config.get("profile")
+        if profile is not None and not isinstance(profile, WorkloadProfile):
+            profile = WorkloadProfile.from_dict(profile)
+        return ProgramSpec(
+            benchmark=config.get("benchmark"),
+            profile=profile,
+            trace=config.get("trace"),
+            seed=config.get("seed"),
+        )
+
 
 #: Cell modes: the functional accuracy simulator vs the Table-2 timing model.
 MODE_ACCURACY = "accuracy"
 MODE_TIMING = "timing"
+
+
+def _simulation_config_from_dict(config: Mapping) -> SimulationConfig:
+    allowed = tuple(f.name for f in fields(SimulationConfig))
+    _check_config_keys(config, allowed, "simulation")
+    return SimulationConfig(**config)
 
 
 @dataclass
@@ -325,3 +609,39 @@ class SweepCell:
         the spec, never on scheduling or process identity.
         """
         return int(self.content_hash()[:16], 16) & (2**63 - 1)
+
+    def to_config(self) -> dict:
+        """JSON-ready dict (labels included; they are display metadata)."""
+        return {
+            "format": SPEC_FORMAT_VERSION,
+            "system_label": self.system_label,
+            "bench_name": self.bench_name,
+            "system": self.system.to_config(),
+            "program": self.program.to_config(),
+            "config": asdict(self.config),
+            "mode": self.mode,
+        }
+
+    @staticmethod
+    def from_config(config: Mapping) -> "SweepCell":
+        """Restore a cell from :meth:`to_config` output."""
+        _check_format(config, "sweep-cell")
+        _check_config_keys(
+            config,
+            ("format", "system_label", "bench_name", "system", "program",
+             "config", "mode"),
+            "sweep-cell",
+        )
+        sim_config = config.get("config")
+        return SweepCell(
+            system_label=config["system_label"],
+            bench_name=config["bench_name"],
+            system=SystemSpec.from_config(config["system"]),
+            program=ProgramSpec.from_config(config["program"]),
+            config=(
+                SimulationConfig()
+                if sim_config is None
+                else _simulation_config_from_dict(sim_config)
+            ),
+            mode=config.get("mode", MODE_ACCURACY),
+        )

@@ -29,9 +29,11 @@ can be decomposed into self-describing
 
 Describe sweeps with :class:`~repro.sim.specs.SystemSpec` /
 :class:`~repro.sim.specs.ProgramSpec` values to get both behaviours.
-Plain factory callables are still accepted for ad-hoc sweeps, but they
-cannot be pickled or content-hashed, so they always run serially
-in-process with no caching.
+Specs reach every predictor in the registry at any geometry and
+round-trip through JSON (``docs/CONFIG.md``); the CLI's ``sweep`` verb
+runs whole config-file grids this way. Plain factory callables are
+still accepted for ad-hoc sweeps, but they cannot be pickled or
+content-hashed, so they always run serially in-process with no caching.
 """
 
 from __future__ import annotations

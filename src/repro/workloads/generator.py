@@ -20,7 +20,7 @@ The profile's knobs are the statistical levers the experiments rely on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.utils.rng import DeterministicRng
 from repro.workloads.behaviors import (
@@ -116,6 +116,32 @@ class WorkloadProfile:
         if total <= 0:
             raise ValueError("behaviour mix must have positive total weight")
         return {k: v / total for k, v in self.behavior_mix.items() if v > 0}
+
+    @classmethod
+    def from_dict(cls, payload) -> "WorkloadProfile":
+        """Rebuild a profile from its ``asdict`` form (e.g. a JSON config).
+
+        JSON turns the tuple-valued fields (ranges, trip counts, pattern
+        lengths) into lists; this constructor coerces them back so a
+        round-tripped profile is *equal* to the original. Unknown keys
+        are rejected, naming the valid field set.
+
+        >>> from dataclasses import asdict
+        >>> profile = WorkloadProfile(name="x", loop_trips=(2, 9))
+        >>> WorkloadProfile.from_dict(asdict(profile)) == profile
+        True
+        """
+        names = [f.name for f in fields(cls)]
+        unknown = sorted(set(payload) - set(names))
+        if unknown:
+            raise ValueError(
+                f"unknown key(s) {unknown} in workload profile; valid keys: {names}"
+            )
+        kwargs = {
+            key: tuple(value) if isinstance(value, list) else value
+            for key, value in payload.items()
+        }
+        return cls(**kwargs)
 
 
 class ProgramGenerator:

@@ -61,7 +61,7 @@ class TestBranchTargetBuffer:
 
     def test_lru_within_set(self):
         btb = BranchTargetBuffer(8, 2)  # 4 sets, 2 ways
-        set_stride = 4 * 4  # pcs mapping to the same set differ by sets<<2
+        # PCs mapping to the same set differ by sets << 2.
         pcs = [0x1000 + i * (4 << 2) for i in range(3)]
         for pc in pcs:
             btb.allocate(pc)

@@ -25,7 +25,7 @@ constant bits and cannot help; with 4 it fixes branch A.
 
 from repro.core import ProphetCriticSystem, SinglePredictorSystem
 from repro.core.critiques import CritiqueKind
-from repro.predictors import BimodalPredictor, GsharePredictor, TaggedGsharePredictor
+from repro.predictors import BimodalPredictor, TaggedGsharePredictor
 from repro.sim import SimulationConfig, simulate
 from repro.workloads.behaviors import (
     BiasedRandomBehavior,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import ProphetCriticSystem, SinglePredictorSystem
 from repro.pipeline import CacheModel, MemoryModel, TABLE2_MACHINE, TimedMachine
-from repro.pipeline.uarch import CacheConfig, MachineConfig
+from repro.pipeline.uarch import CacheConfig
 from repro.predictors import BimodalPredictor, GsharePredictor, TaggedGsharePredictor
 from repro.workloads.behaviors import PatternBehavior
 from repro.workloads.generator import WorkloadProfile, generate_program

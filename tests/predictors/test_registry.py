@@ -1,0 +1,166 @@
+"""Tests for the string-keyed predictor registry and its budget preset layer."""
+
+import pytest
+
+from repro.predictors import (
+    GshareParams,
+    GsharePredictor,
+    TournamentPredictor,
+    build_predictor,
+    coerce_params,
+    critic_capable_kinds,
+    make_critic,
+    make_predictor,
+    params_for,
+    predictor_info,
+    register_predictor,
+    registered_kinds,
+    registered_predictors,
+)
+
+ALL_KINDS = [
+    "2bc-gskew",
+    "always-not-taken",
+    "always-taken",
+    "bimodal",
+    "filtered-perceptron",
+    "gas",
+    "gshare",
+    "local",
+    "perceptron",
+    "tage",
+    "tagged-gshare",
+    "tournament",
+    "yags",
+]
+
+CRITIC_KINDS = [
+    "2bc-gskew",
+    "filtered-perceptron",
+    "gas",
+    "gshare",
+    "perceptron",
+    "tage",
+    "tagged-gshare",
+    "yags",
+]
+
+
+class TestRegistry:
+    def test_whole_zoo_is_registered(self):
+        assert registered_kinds() == ALL_KINDS
+
+    def test_critic_capability_requires_reading_the_bor(self):
+        # Critic-capable predictors index with the caller-supplied history
+        # (the BOR); history-blind and local-history designs stay prophets.
+        assert critic_capable_kinds() == CRITIC_KINDS
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_every_kind_builds_from_default_params(self, kind):
+        predictor = build_predictor(kind)
+        assert predictor.storage_bits() >= 0
+        # Fresh state every call: no sharing between instances.
+        assert build_predictor(kind) is not predictor
+
+    def test_unknown_kind_lists_registered_kinds(self):
+        with pytest.raises(KeyError, match="registered kinds.*2bc-gskew"):
+            predictor_info("oracle")
+
+    def test_unknown_param_lists_valid_names(self):
+        with pytest.raises(ValueError, match="valid parameters.*entries"):
+            coerce_params("gshare", {"entires": 1024})
+
+    def test_bad_param_value_names_the_kind(self):
+        with pytest.raises(ValueError, match="gshare"):
+            build_predictor("gshare", {"entries": 1000})  # not a power of two
+
+    def test_params_accepts_schema_instance(self):
+        predictor = build_predictor("gshare", GshareParams(entries=1024))
+        assert isinstance(predictor, GsharePredictor)
+        assert predictor.entries == 1024
+
+    def test_prophet_only_kind_refused_as_critic(self):
+        with pytest.raises(ValueError, match="critic-capable kinds"):
+            build_predictor("local", role="critic")
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError, match="unknown predictor role"):
+            build_predictor("gshare", role="referee")
+
+    def test_duplicate_registration_rejected(self):
+        info = predictor_info("gshare")
+        with pytest.raises(ValueError, match="already registered"):
+            register_predictor(
+                "gshare", info.params_type, info.factory, critic_capable=True
+            )
+
+    def test_registered_predictors_carry_schemas(self):
+        for info in registered_predictors():
+            assert info.kind in ALL_KINDS
+            assert isinstance(info.param_names(), tuple)
+
+
+class TestTournamentComposition:
+    def test_nested_components_resolve_through_registry(self):
+        predictor = build_predictor(
+            "tournament",
+            {
+                "component_a": {"kind": "local", "params": {"history_entries": 256}},
+                "component_b": {"kind": "gshare", "budget_kb": 2},
+                "chooser_entries": 1024,
+            },
+        )
+        assert isinstance(predictor, TournamentPredictor)
+        assert predictor.component_a.history_entries == 256
+        assert predictor.component_b.entries == 8 * 1024
+
+    def test_bare_kind_strings_use_default_geometry(self):
+        predictor = build_predictor(
+            "tournament", {"component_a": "bimodal", "component_b": "perceptron"}
+        )
+        assert predictor.component_b.n_perceptrons == 282
+
+    @pytest.mark.parametrize(
+        "descriptor",
+        [
+            {"params": {"entries": 64}},  # no kind
+            {"kind": "gshare", "params": {}, "budget_kb": 2},  # both geometries
+            {"kind": "gshare", "entries": 64},  # params outside 'params'
+            42,
+        ],
+    )
+    def test_malformed_component_descriptors_rejected(self, descriptor):
+        with pytest.raises(ValueError, match="tournament components"):
+            build_predictor(
+                "tournament", {"component_a": descriptor, "component_b": "bimodal"}
+            )
+
+
+class TestBudgetPresets:
+    def test_presets_expand_to_registry_params(self):
+        assert params_for("gshare", 8) == GshareParams(32 * 1024, 15)
+
+    def test_make_predictor_matches_direct_construction(self):
+        preset = make_predictor("gshare", 8)
+        direct = GsharePredictor(32 * 1024, 15)
+        assert preset.entries == direct.entries
+        assert preset.history_length == direct.history_length
+        assert preset.storage_bits() == direct.storage_bits()
+
+    def test_unknown_kind_error_lists_registered_kinds(self):
+        with pytest.raises(KeyError, match="registered kinds"):
+            make_predictor("oracle", 8)
+
+    def test_unknown_budget_error_lists_valid_budgets(self):
+        with pytest.raises(KeyError, match=r"valid budgets: \[2, 4, 8, 16, 32\]"):
+            make_predictor("gshare", 7)
+
+    def test_unbudgeted_kind_error_points_at_explicit_params(self):
+        with pytest.raises(KeyError, match="explicit params"):
+            make_predictor("yags", 8)
+
+    def test_prophet_only_critic_rejected_before_budget_lookup(self):
+        # The role error (with the capability list) must win over the
+        # missing-preset error: it is the real problem.
+        with pytest.raises(ValueError, match="critic-capable kinds"):
+            make_critic("local", 8)

@@ -1,5 +1,7 @@
 """Tests for the `python -m repro` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -30,6 +32,12 @@ class TestCli:
         out = capsys.readouterr().out
         assert "critique census" in out
 
+    def test_list_includes_predictor_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "predictor kinds" in out
+        assert "yags" in out and "prophet-only" in out and "prophet+critic" in out
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "figure99"])
@@ -37,6 +45,152 @@ class TestCli:
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "doom"])
+
+
+class TestConfigCli:
+    """`bench --config` and the config-file driven `sweep` verb."""
+
+    def write_config(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_bench_with_system_config(self, tmp_path, capsys):
+        config = self.write_config(tmp_path, "sys.json", {
+            "kind": "hybrid",
+            "prophet": {"kind": "yags", "params": {"choice_entries": 2048}},
+            "critic": {"kind": "tagged-gshare", "budget_kb": 2},
+            "future_bits": 4,
+        })
+        assert main(["bench", "swim", "--config", config, "--branches", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "yags" in out and "critique census" in out
+
+    def test_bench_config_equals_flag_vocabulary(self, tmp_path, capsys):
+        """A config spelling the default hybrid reproduces its numbers."""
+        config = self.write_config(tmp_path, "sys.json", {
+            "kind": "hybrid",
+            "prophet": {"kind": "2bc-gskew", "budget_kb": 8},
+            "critic": {"kind": "tagged-gshare", "budget_kb": 8},
+            "future_bits": 8,
+        })
+        assert main(["bench", "swim", "--branches", "3000"]) == 0
+        via_flags = capsys.readouterr().out
+        assert main(["bench", "swim", "--config", config, "--branches", "3000"]) == 0
+        via_config = capsys.readouterr().out
+        # Header lines differ (label vs. "hybrid"); metrics must not.
+        assert via_flags.splitlines()[1:] == via_config.splitlines()[1:]
+
+    def test_bench_rejects_missing_config(self, tmp_path, capsys):
+        assert main(["bench", "swim", "--config", str(tmp_path / "no.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bench_rejects_bad_spec(self, tmp_path, capsys):
+        config = self.write_config(
+            tmp_path, "sys.json", {"kind": "single", "prophet": "doom"}
+        )
+        assert main(["bench", "swim", "--config", config]) == 2
+        assert "registered kinds" in capsys.readouterr().err
+
+    def test_sweep_grid_with_labels_and_cache(self, tmp_path, capsys):
+        systems = self.write_config(tmp_path, "systems.json", {
+            "baseline": {"kind": "single", "prophet": ["2bc-gskew", 2]},
+            "tage": {"kind": "single", "prophet": {"kind": "tage", "params":
+                     {"base_entries": 1024, "component_entries": 128}}},
+        })
+        cache_dir = str(tmp_path / "cache")
+        out_file = tmp_path / "results.json"
+        args = ["sweep", "--systems", systems, "--benchmarks", "swim,ammp",
+                "--branches", "2000", "--cache-dir", cache_dir,
+                "--out", str(out_file)]
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "baseline" in captured.out and "tage" in captured.out
+        assert "AVG" in captured.out
+        assert "4 miss" in captured.err
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert len(payload["cells"]) == 4
+        assert all("content_hash" in cell for cell in payload["cells"])
+        # Second run: every cell served from the cache.
+        assert main(args) == 0
+        assert "4 hit" in capsys.readouterr().err
+
+    def test_sweep_list_form_derives_labels(self, tmp_path, capsys):
+        systems = self.write_config(tmp_path, "systems.json", [
+            {"kind": "single", "prophet": ["gshare", 2]},
+            {"kind": "hybrid", "prophet": ["gshare", 2],
+             "critic": ["tagged-gshare", 2], "future_bits": 4},
+        ])
+        assert main(["sweep", "--systems", systems, "--benchmarks", "swim",
+                     "--branches", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "gshare@2KB" in out
+        assert "gshare@2KB+tagged-gshare@2KB@f4" in out
+
+    def test_sweep_accepts_trace_paths_as_benchmarks(self, tmp_path, capsys):
+        trace = tmp_path / "swim.trace"
+        assert main(["trace", "record", "swim", "--out", str(trace),
+                     "--branches", "2000"]) == 0
+        systems = self.write_config(
+            tmp_path, "systems.json", {"kind": "single", "prophet": ["gshare", 2]}
+        )
+        capsys.readouterr()
+        assert main(["sweep", "--systems", systems, "--benchmarks", str(trace),
+                     "--branches", "2000"]) == 0
+        assert "swim" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_benchmark(self, tmp_path, capsys):
+        systems = self.write_config(
+            tmp_path, "systems.json", {"kind": "single", "prophet": ["gshare", 2]}
+        )
+        assert main(["sweep", "--systems", systems, "--benchmarks", "doom"]) == 2
+        assert "known benchmarks" in capsys.readouterr().err
+
+    def test_sweep_rejects_invalid_json(self, tmp_path, capsys):
+        bad = tmp_path / "systems.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["sweep", "--systems", str(bad), "--benchmarks", "swim"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_sweep_rejects_prophet_only_critic(self, tmp_path, capsys):
+        systems = self.write_config(tmp_path, "systems.json", {
+            "bad": {"kind": "hybrid", "prophet": ["gshare", 2],
+                    "critic": {"kind": "local"}, "future_bits": 4},
+        })
+        assert main(["sweep", "--systems", systems, "--benchmarks", "swim"]) == 2
+        assert "critic-capable" in capsys.readouterr().err
+
+    def test_bad_geometry_value_is_a_clean_error_not_a_traceback(self, tmp_path, capsys):
+        """Geometry *values* are validated by predictor constructors at
+        build time; the CLI must surface them as exit-2 config errors."""
+        config = self.write_config(tmp_path, "sys.json", {
+            "kind": "single",
+            "prophet": {"kind": "gshare", "params": {"entries": 1000}},
+        })
+        assert main(["bench", "swim", "--config", config]) == 2
+        assert "power of two" in capsys.readouterr().err
+        assert main(["sweep", "--systems", config, "--benchmarks", "swim"]) == 2
+        assert "power of two" in capsys.readouterr().err
+
+    def test_sweep_rejects_overlong_window_for_trace(self, tmp_path, capsys):
+        trace = tmp_path / "swim.trace"
+        assert main(["trace", "record", "swim", "--out", str(trace),
+                     "--branches", "1000"]) == 0
+        systems = self.write_config(
+            tmp_path, "systems.json", {"kind": "single", "prophet": ["gshare", 2]}
+        )
+        capsys.readouterr()
+        assert main(["sweep", "--systems", systems, "--benchmarks", str(trace),
+                     "--branches", "2000"]) == 2
+        assert "cannot sweep" in capsys.readouterr().err
+
+    def test_sweep_rejects_duplicate_bench_names(self, tmp_path, capsys):
+        systems = self.write_config(
+            tmp_path, "systems.json", {"kind": "single", "prophet": ["gshare", 2]}
+        )
+        assert main(["sweep", "--systems", systems, "--benchmarks", "swim,swim",
+                     "--branches", "2000"]) == 2
+        assert "appears twice" in capsys.readouterr().err
 
 
 class TestTraceCli:
@@ -80,7 +234,7 @@ class TestTraceCli:
         bench_out = capsys.readouterr().out
 
         def metric(text, key):
-            (line,) = [l for l in text.splitlines() if l.strip().startswith(key)]
+            (line,) = [x for x in text.splitlines() if x.strip().startswith(key)]
             return line.split(":")[1].strip()
 
         # The recorded-then-replayed run reproduces the live run's numbers.

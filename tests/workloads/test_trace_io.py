@@ -1,6 +1,5 @@
 """Tests for the on-disk trace format: round trips, truncation, corruption."""
 
-import gzip
 import json
 import random
 
