@@ -1,0 +1,139 @@
+"""A large config-file sweep with workers, live progress — and a kill.
+
+The sweep-scale engine streams each finished cell into the result cache
+*as it completes* (pool workers write their own results), so an
+interrupted sweep is not lost work: re-running the same command with the
+same ``--cache-dir`` resumes from everything already computed. This
+example demonstrates the whole loop end to end, through the real CLI:
+
+1. writes a 12-system JSON config file (the ``docs/CONFIG.md`` schema);
+2. launches ``python -m repro sweep --systems ... --jobs 2 --progress
+   --cache-dir ...`` as a subprocess and **kills it** (SIGKILL — an
+   honest crash, no cleanup) once a few ``[done/total]`` progress lines
+   have streamed out;
+3. re-runs the identical sweep to completion and shows, from the
+   engine's own cache telemetry, that the killed run's finished cells
+   came back as cache hits — only the remainder was simulated.
+
+Run me:
+
+    python examples/sweep_resume.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim import PredictorSpec, SystemSpec  # noqa: E402
+
+BENCHMARKS = "gcc,msvc7"
+BRANCHES = 2_000
+#: Kill the first run once this many cells have finished.
+KILL_AFTER_CELLS = 5
+
+
+def build_systems() -> list[SystemSpec]:
+    """Twelve systems: a spread of singles, geometries and hybrids."""
+    return [
+        SystemSpec.single("gshare", 8),
+        SystemSpec.single("gshare", 4),
+        SystemSpec.single("2bc-gskew", 8),
+        SystemSpec.single("2bc-gskew", 16),
+        SystemSpec.single("perceptron", 4),
+        SystemSpec.single("tage", 8),
+        SystemSpec(kind="single", prophet=PredictorSpec("bimodal")),
+        SystemSpec(kind="single", prophet=PredictorSpec("yags")),
+        SystemSpec(kind="single", prophet=PredictorSpec("local")),
+        SystemSpec.hybrid("2bc-gskew", 8, "tagged-gshare", 8, future_bits=8),
+        SystemSpec.hybrid("gshare", 8, "tagged-gshare", 8, future_bits=4),
+        SystemSpec.hybrid("2bc-gskew", 8, "gshare", 2, future_bits=1),
+    ]
+
+
+def sweep_command(systems_file: Path, cache_dir: Path) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "sweep",
+        "--systems", str(systems_file),
+        "--benchmarks", BENCHMARKS,
+        "--branches", str(BRANCHES),
+        "--jobs", "2",
+        "--cache-dir", str(cache_dir),
+        "--progress",
+    ]
+
+
+def _env_with_repo_src() -> dict[str, str]:
+    env = dict(os.environ)
+    repo_src = str(Path(__file__).resolve().parent.parent / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = repo_src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def run_and_kill_after(command: list[str], cells: int) -> int:
+    """Start the sweep, SIGKILL it after ``cells`` progress lines."""
+    env = _env_with_repo_src()
+    process = subprocess.Popen(
+        command, env=env, stderr=subprocess.PIPE, stdout=subprocess.DEVNULL, text=True
+    )
+    seen = 0
+    for line in process.stderr:
+        if line.startswith("["):
+            seen += 1
+            print(f"  first run: {line.strip()}")
+        if seen >= cells:
+            process.send_signal(signal.SIGKILL)
+            break
+    process.wait()
+    print(f"  killed the sweep after {seen} finished cells (SIGKILL)")
+    return seen
+
+
+def run_to_completion(command: list[str]) -> str:
+    completed = subprocess.run(
+        command, env=_env_with_repo_src(), capture_output=True, text=True, check=True
+    )
+    print(completed.stdout)
+    return completed.stderr
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="sweep-resume-") as workdir:
+        workdir = Path(workdir)
+        systems_file = workdir / "systems.json"
+        cache_dir = workdir / "cache"
+        systems_file.write_text(
+            json.dumps([spec.to_config() for spec in build_systems()], indent=2)
+        )
+        total = len(build_systems()) * len(BENCHMARKS.split(","))
+        command = sweep_command(systems_file, cache_dir)
+
+        print(f"sweep: {total} cells, 2 workers, cache under {cache_dir}")
+        print("\n-- run 1: killed mid-sweep ------------------------------")
+        run_and_kill_after(command, KILL_AFTER_CELLS)
+
+        print("\n-- run 2: same command, same cache ----------------------")
+        stderr = run_to_completion(command)
+        cache_line = next(
+            (line for line in stderr.splitlines() if line.startswith("cache:")), ""
+        )
+        print(f"  {cache_line}")
+        hits = int(cache_line.split()[1]) if cache_line else 0
+        if hits < KILL_AFTER_CELLS:
+            print("  unexpected: fewer hits than cells finished before the kill")
+            return 1
+        print(
+            f"  resumed: {hits} of {total} cells came from the killed run's "
+            f"cache; only {total - hits} were re-simulated"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,18 @@ cell, so they do not apply):
 ``--no-cache``
     Ignore ``--cache-dir`` (useful when the dir comes from a wrapper
     script but a fresh run is wanted).
+``--progress``
+    Print one line per finished sweep cell to stderr (``[done/total]
+    system × benchmark``) — cells stream in as they complete, so this is
+    live feedback even for long pooled sweeps.
+
+With ``--jobs N`` the worker pool is persistent: it spawns once and is
+reused by every grid the invocation runs, and each worker memoizes
+program builds, so a (many systems × few benchmarks) sweep compiles each
+benchmark once per worker instead of once per cell. Combined with
+``--cache-dir``, results are written to the cache as each cell finishes;
+a killed sweep re-run with the same cache resumes from everything
+already computed (see ``examples/sweep_resume.py``).
 """
 
 from __future__ import annotations
@@ -55,6 +67,7 @@ from typing import Mapping
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.predictors import registered_predictors
 from repro.sim import SimulationConfig, make_engine, oracle_replay, simulate
+from repro.sim.execution import CellExecutionError, WorkerPoolError
 from repro.sim.results import format_table, render_mapping
 from repro.sim.specs import (
     SPEC_FORMAT_VERSION,
@@ -115,9 +128,18 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_progress(done: int, total: int, cell) -> None:
+    print(
+        f"[{done}/{total}] {cell.system_label} × {cell.bench_name}",
+        file=sys.stderr,
+        flush=True,
+    )
+
+
 def _engine_from_args(args: argparse.Namespace):
     cache_dir = None if args.no_cache else args.cache_dir
-    return make_engine(jobs=args.jobs, cache_dir=cache_dir)
+    progress = _print_progress if getattr(args, "progress", False) else None
+    return make_engine(jobs=args.jobs, cache_dir=cache_dir, progress=progress)
 
 
 def _print_cache_stats(engine) -> None:
@@ -131,7 +153,11 @@ def _print_cache_stats(engine) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     engine = _engine_from_args(args)
-    result = run_experiment(args.experiment, scale=args.scale, engine=engine)
+    try:
+        result = run_experiment(args.experiment, scale=args.scale, engine=engine)
+    except (CellExecutionError, WorkerPoolError) as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 1
     print(result.render())
     _print_cache_stats(engine)
     return 0
@@ -287,8 +313,18 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         engine = _engine_from_args(args)
         try:
             results = engine.run_cells(cells)
+        except CellExecutionError as exc:
+            # A valid header over a truncated/corrupt body surfaces from
+            # inside a worker as a cell failure wrapping the trace error.
+            if exc.caused_by("TraceFormatError", "OSError"):
+                print(f"trace replay: INVALID trace — {exc.cause}", file=sys.stderr)
+                return 1
+            print(f"trace replay: {exc}", file=sys.stderr)
+            return 1
+        except WorkerPoolError as exc:
+            print(f"trace replay: {exc}", file=sys.stderr)
+            return 1
         except (OSError, TraceFormatError) as exc:
-            # A valid header over a truncated/corrupt body surfaces here.
             print(f"trace replay: INVALID trace — {exc}", file=sys.stderr)
             return 1
         for cell, stats in zip(cells, results):
@@ -414,7 +450,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for label, spec in systems.items()
     ]
     engine = _engine_from_args(args)
-    result = engine.run(cells)
+    try:
+        result = engine.run(cells)
+    except (CellExecutionError, WorkerPoolError) as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 1
     bench_names = [name for name, _ in benchmarks]
     headers = ["system (misp/Kuops)"] + bench_names + ["AVG"]
     rows = []
@@ -485,6 +525,11 @@ def _add_engine_options(parser: argparse.ArgumentParser, top_level: bool) -> Non
         "--no-cache", action="store_true",
         default=False if top_level else argparse.SUPPRESS,
         help="disable the result cache even if --cache-dir is given",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        default=False if top_level else argparse.SUPPRESS,
+        help="print one stderr line per finished sweep cell (streamed)",
     )
 
 

@@ -104,14 +104,22 @@ def run_grid(
     benchmarks: Sequence[str],
     config: SimulationConfig,
     engine: SweepEngine | None = None,
+    progress: Callable | None = None,
 ) -> SweepResult:
     """Run a (system × benchmark) accuracy grid through the sweep engine.
 
-    Cells fan out across the engine's executor (``--jobs``) and hit its
-    result cache (``--cache-dir``) when one is attached; the defaults
-    reproduce the original serial in-process loop exactly.
+    Cells fan out across the engine's executor (``--jobs``; the worker
+    pool persists across grids, so consecutive experiments share warm
+    workers and memoized program builds) and hit its result cache
+    (``--cache-dir``) when one is attached; the defaults reproduce the
+    original serial in-process loop exactly. ``progress`` (or the
+    engine's own ``progress`` attribute, which the CLI's ``--progress``
+    installs) is called per finished cell as cells stream in.
     """
-    return run_sweep(systems, {name: name for name in benchmarks}, config, engine)
+    return run_sweep(
+        systems, {name: name for name in benchmarks}, config, engine,
+        progress=progress,
+    )
 
 
 def run_timed_grid(
@@ -120,11 +128,12 @@ def run_timed_grid(
     n_branches: int,
     warmup: int,
     engine: SweepEngine | None = None,
+    progress: Callable | None = None,
 ) -> dict[tuple[str, str], PipelineResult]:
     """Run a (system × benchmark) Table-2 timing grid through the engine.
 
     Returns results keyed by (system label, benchmark name). Same
-    parallelism and caching behaviour as :func:`run_grid`.
+    parallelism, caching and progress behaviour as :func:`run_grid`.
     """
     engine = engine if engine is not None else get_default_engine()
     config = SimulationConfig(n_branches=n_branches, warmup=warmup)
@@ -140,7 +149,7 @@ def run_timed_grid(
         for name in benchmarks
         for label, spec in systems.items()
     ]
-    results = engine.run_cells(cells)
+    results = engine.run_cells(cells, progress=progress)
     return {
         (cell.system_label, cell.bench_name): result
         for cell, result in zip(cells, results)

@@ -120,6 +120,18 @@ def decode_result(document: dict) -> "RunStats | PipelineResult":
     raise ValueError(f"unknown cached result type {document['type']!r}")
 
 
+def clone_result(result: "RunStats | PipelineResult") -> "RunStats | PipelineResult":
+    """An independent copy of a cell result, via the cache's own codec.
+
+    The duplicate-cell path needs a copy it can stamp with different
+    display labels. Round-tripping the lossless dict codec is both much
+    cheaper than ``copy.deepcopy`` (which walks every nested object) and
+    guaranteed to agree with what a cache hit for the same cell would
+    return — one reconstruction path, not two.
+    """
+    return decode_result(encode_result(result))
+
+
 class ResultCache:
     """Content-addressed store of cell results under a root directory."""
 

@@ -1,4 +1,4 @@
-"""Parallel sweep execution engine.
+"""Sweep-scale parallel execution engine.
 
 Every experiment in §7 is a grid of (prophet × critic × size × future
 bits × benchmark) cells. Cells are perfectly independent — each gets a
@@ -6,57 +6,259 @@ fresh program and fresh predictor state — so the grid is embarrassingly
 parallel. This module turns a list of :class:`~repro.sim.specs.SweepCell`
 descriptions into results through three cooperating pieces:
 
-* :func:`run_cell` — the worker function: rebuilds program and system
-  from the cell's specs and runs the appropriate simulator. Module-level
-  and closure-free, so it pickles cleanly into worker processes.
-* **Executors** — :class:`SerialExecutor` runs cells in-process (the
-  reference semantics); :class:`ProcessPoolExecutor` fans them out over a
-  ``concurrent.futures`` process pool. Both implement ``map_cells`` and
-  are interchangeable: cells are deterministic in their specs, so the
-  executor choice can never change a result, only the wall clock.
+* :func:`run_cell` — the from-scratch work unit: rebuilds program and
+  system from the cell's specs and runs the appropriate simulator. It is
+  the *reference semantics* every faster path must match bit for bit.
+* **Executors** — :class:`SerialExecutor` runs cells in the calling
+  process; :class:`ProcessPoolExecutor` fans them out over a
+  **persistent** ``concurrent.futures`` process pool that survives
+  across ``map_cells`` calls, so interpreter spawn and imports are paid
+  once per worker rather than once per grid. Both memoise program
+  builds (:class:`ProgramBuildCache`): a worker compiles each distinct
+  workload once and replays it for every system swept over it, resetting
+  behaviour state between runs (compiled CFG transition tables survive —
+  the expensive part). Both stream results as cells finish instead of
+  returning one ordered batch.
 * :class:`SweepEngine` — executor + optional
   :class:`~repro.sim.cache.ResultCache`. Before running, each cell's
-  content hash is probed in the cache; only missing cells are executed,
-  and their results are written back. Duplicate cells inside one sweep
-  (same hash under different labels) are simulated once.
+  content hash is probed in the cache; only missing cells are executed.
+  Fresh results are written back **incrementally as each cell finishes**
+  (pool workers write their own results), so a killed sweep resumes from
+  everything already computed. Duplicate cells inside one sweep (same
+  hash under different labels) are simulated once and cloned through the
+  cache's lossless codec. An optional progress callback fires per
+  completed cell (the CLI's ``--progress``).
 
-The equivalence of the three paths — serial, process pool, cold cache
-then warm cache — is not an aspiration but a tested invariant
-(``tests/sim/test_execution.py`` asserts field-by-field equality of the
-resulting :class:`~repro.sim.sweep.SweepResult`\\ s).
+The equivalence of every path — serial, persistent pool, memoized
+builds, cold cache then warm cache — is not an aspiration but a tested
+invariant (``tests/sim/test_execution.py`` asserts field-by-field
+equality of the resulting results against :func:`run_cell`, on mixed
+accuracy/timing grids with trace-backed and duplicate cells).
+
+A cell that raises does not surface as a bare pickled traceback from a
+nameless worker: executors wrap the failure in
+:class:`CellExecutionError`, which names the cell's labels and carries
+its full spec (and the worker traceback), and the engine cancels
+outstanding work.
 
 Experiments pick up the process-wide default engine (see
 :func:`get_default_engine`), which the CLI configures from ``--jobs``,
-``--cache-dir`` and ``--no-cache``.
+``--cache-dir``, ``--no-cache`` and ``--progress``.
 """
 
 from __future__ import annotations
 
 import contextlib
-import copy
+import json
+import math
 import os
+import traceback
+from collections import OrderedDict
 from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence, Union
 
-from repro.sim.cache import ResultCache
+from repro.sim.cache import ResultCache, clone_result
 from repro.sim.driver import simulate
 from repro.sim.metrics import RunStats
-from repro.sim.specs import MODE_TIMING, SweepCell
+from repro.sim.specs import MODE_TIMING, ProgramSpec, SweepCell
 from repro.sim.sweep import SweepResult
 
 if TYPE_CHECKING:  # pipeline imports sim.driver; keep the runtime DAG acyclic
     from repro.pipeline.machine import PipelineResult
+    from repro.workloads.program import Program
 
     CellResult = Union[RunStats, "PipelineResult"]
+    #: Streaming hook: called with (index, result) as each cell finishes.
+    OnResult = Callable[[int, "CellResult"], None]
+    #: Progress hook: called with (done, total, cell) per finished cell.
+    ProgressFn = Callable[[int, int, SweepCell], None]
+
+#: Default per-process cap on memoized program builds (override with the
+#: ``REPRO_BUILD_CACHE`` environment variable; ``0`` disables
+#: memoization entirely, e.g. when bisecting a suspected stale-build
+#: issue). Programs are a few MB each; eight covers a Table-1 suite
+#: half without unbounded growth.
+DEFAULT_BUILD_CACHE_CAPACITY = 8
+
+
+class CellExecutionError(RuntimeError):
+    """A sweep cell failed: names the cell, carries its spec and traceback.
+
+    Raised by every executor path in place of the cell's bare exception
+    (which, from a pool worker, would otherwise surface as an unlabelled
+    pickled traceback). The original cause is preserved via exception
+    chaining in-process and as formatted text from workers.
+    """
+
+    def __init__(
+        self,
+        system_label: str,
+        bench_name: str,
+        spec_config: dict,
+        cause: str,
+        worker_traceback: str | None = None,
+        cause_types: tuple[str, ...] = (),
+    ) -> None:
+        self.system_label = system_label
+        self.bench_name = bench_name
+        self.spec_config = spec_config
+        self.cause = cause
+        self.worker_traceback = worker_traceback
+        #: Class names in the original exception's MRO (most derived
+        #: first) — lets callers match on base classes (e.g. "OSError"
+        #: catches FileNotFoundError) even across the pickle boundary,
+        #: where the original exception object is not available.
+        self.cause_types = tuple(cause_types)
+        message = (
+            f"sweep cell {system_label!r} × {bench_name!r} failed: {cause}\n"
+            f"  cell spec: {json.dumps(spec_config, sort_keys=True)}"
+        )
+        if worker_traceback:
+            message += f"\n  worker traceback:\n{worker_traceback}"
+        super().__init__(message)
+
+    def caused_by(self, *type_names: str) -> bool:
+        """Whether the original exception is (a subclass of) any name."""
+        return any(name in self.cause_types for name in type_names)
+
+    def __reduce__(self):  # pickles across the pool boundary, losslessly
+        return (
+            CellExecutionError,
+            (
+                self.system_label,
+                self.bench_name,
+                self.spec_config,
+                self.cause,
+                self.worker_traceback,
+                self.cause_types,
+            ),
+        )
+
+
+def _wrap_cell_error(
+    cell: SweepCell, exc: Exception, *, in_worker: bool = False
+) -> CellExecutionError:
+    # In-process failures chain the original exception (``raise ... from``),
+    # which already carries the real traceback; only failures crossing the
+    # pool's pickle boundary need it captured as text.
+    return CellExecutionError(
+        system_label=cell.system_label,
+        bench_name=cell.bench_name,
+        spec_config=cell.to_config(),
+        cause=f"{type(exc).__name__}: {exc}",
+        worker_traceback=traceback.format_exc() if in_worker else None,
+        cause_types=tuple(base.__name__ for base in type(exc).__mro__),
+    )
+
+
+class WorkerPoolError(RuntimeError):
+    """The worker pool itself died (a worker was killed or crashed).
+
+    Unlike :class:`CellExecutionError` there is no single cell to blame —
+    the interpreter hosting it vanished (OOM kill, segfault, machine
+    signal). Raised in place of the raw
+    :class:`~concurrent.futures.process.BrokenProcessPool` so sweeps fail
+    with context; the engine respawns a healthy pool on its next use, and
+    results already computed remain in the cache.
+    """
+
+
+class ProgramBuildCache:
+    """Per-process LRU of built programs, keyed by build identity.
+
+    ``program_for(spec)`` returns a ready-to-run
+    :class:`~repro.workloads.program.Program` for the spec, building it
+    only when no behaviourally identical program (equal
+    :meth:`~repro.sim.specs.ProgramSpec.build_key`) is cached. Reused
+    programs are ``reset()`` — behaviour state and replay cursors rewind,
+    while the lazily compiled CFG transition tables (the expensive part
+    of a build) survive. :func:`simulate` and the timing machine reset
+    again on entry, so a cached program is indistinguishable from a fresh
+    build; the differential tests pin that down.
+
+    Capacity-evicted programs are reset too, which closes any open trace
+    reader they hold.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is None:
+            raw = os.environ.get("REPRO_BUILD_CACHE")
+            if raw is None or raw == "":
+                capacity = DEFAULT_BUILD_CACHE_CAPACITY
+            else:
+                try:
+                    capacity = int(raw)
+                except ValueError:
+                    # Loud, not silent: a malformed override must never
+                    # masquerade as the default (the knob exists for
+                    # stale-build bisection, where that would mislead).
+                    raise ValueError(
+                        f"REPRO_BUILD_CACHE must be an integer >= 0, got {raw!r}"
+                    ) from None
+        if capacity < 0:
+            raise ValueError("build cache capacity must be >= 0 (0 disables memoization)")
+        self.capacity = capacity
+        self._programs: OrderedDict[str, Program] = OrderedDict()
+        #: Telemetry (reported by tools/profile_sweep.py).
+        self.builds = 0
+        self.reuses = 0
+
+    def program_for(self, spec: ProgramSpec) -> "Program":
+        key = spec.build_key()
+        program = self._programs.get(key)
+        if program is None:
+            program = spec.build()
+            self.builds += 1
+            self._programs[key] = program
+            while len(self._programs) > self.capacity:
+                _, evicted = self._programs.popitem(last=False)
+                evicted.reset()
+        else:
+            self.reuses += 1
+            self._programs.move_to_end(key)
+            program.reset()
+        return program
+
+    def clear(self) -> None:
+        for program in self._programs.values():
+            program.reset()
+        self._programs.clear()
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+
+def _compute_cell(cell: SweepCell, builds: ProgramBuildCache) -> CellResult:
+    """Run one cell against a (possibly memoized) program build."""
+    program = builds.program_for(cell.program)
+    system = cell.system.build()
+    if cell.mode == MODE_TIMING:
+        from repro.pipeline.machine import TimedMachine
+
+        result: CellResult = TimedMachine(program, system).run(
+            cell.config.n_branches, warmup=cell.config.warmup
+        )
+    else:
+        result = simulate(program, system, cell.config)
+    # Release per-run resources now, not at reuse/eviction time: for
+    # trace-backed programs this closes the replay reader, so a finished
+    # sweep holds no open handles on the trace files it read.
+    program.reset()
+    result.system = cell.system_label
+    result.benchmark = cell.bench_name
+    return result
 
 
 def run_cell(cell: SweepCell) -> CellResult:
-    """Execute one sweep cell from scratch (the process-pool work unit).
+    """Execute one sweep cell entirely from scratch (reference semantics).
 
     Rebuilds the program and prediction system from their specs so the
-    result depends only on the cell's content — never on which process or
-    in which order it runs — then stamps the cell's display labels.
+    result depends only on the cell's content — never on which process,
+    in which order, or against which cached build it runs — then stamps
+    the cell's display labels. The memoized executor paths are proven
+    field-by-field identical to this function.
     """
     program = cell.program.build()
     system = cell.system.build()
@@ -80,37 +282,209 @@ def _stamp(result: CellResult, cell: SweepCell) -> CellResult:
     return result
 
 
+# --- worker side -----------------------------------------------------------
+#
+# One build cache per worker process, created lazily on the first chunk.
+# With cells grouped by program before submission, a worker compiles each
+# distinct workload at most once per sweep — a 12-system × 8-benchmark
+# grid costs ~8 builds per worker instead of 96 total.
+
+_worker_builds: ProgramBuildCache | None = None
+
+
+def _worker_build_cache() -> ProgramBuildCache:
+    global _worker_builds
+    if _worker_builds is None:
+        _worker_builds = ProgramBuildCache()
+    return _worker_builds
+
+
+def _run_chunk(
+    cells: Sequence[SweepCell],
+    cache: ResultCache | None,
+    keys: Sequence[str] | None,
+) -> list[CellResult]:
+    """Pool work unit: run a same-program chunk, writing results back.
+
+    Each finished cell is written to the shared result cache *before* the
+    chunk returns (atomic, last-writer-wins), so a sweep killed mid-chunk
+    loses at most the one cell in flight per worker.
+    """
+    builds = _worker_build_cache()
+    results: list[CellResult] = []
+    for position, cell in enumerate(cells):
+        try:
+            result = _compute_cell(cell, builds)
+            if cache is not None:
+                # Inside the wrap: a full disk / read-only cache dir must
+                # surface with the cell's name too, not as a bare OSError.
+                cache.put(keys[position] if keys else cell.content_hash(), result)
+        except Exception as exc:
+            raise _wrap_cell_error(cell, exc, in_worker=True) from exc
+        results.append(result)
+    return results
+
+
 class SerialExecutor:
-    """Runs cells one after another in the calling process."""
+    """Runs cells one after another in the calling process.
+
+    Builds are memoized exactly as in pool workers (an engine-owned
+    :class:`ProgramBuildCache`), results stream through ``on_result`` in
+    cell order, and fresh results are written to ``cache`` as they
+    finish.
+    """
 
     jobs = 1
 
-    def map_cells(self, cells: Sequence[SweepCell]) -> list[CellResult]:
-        return [run_cell(cell) for cell in cells]
+    def __init__(self) -> None:
+        self.builds = ProgramBuildCache()
+
+    def map_cells(
+        self,
+        cells: Sequence[SweepCell],
+        on_result: OnResult | None = None,
+        cache: ResultCache | None = None,
+        keys: Sequence[str] | None = None,
+    ) -> list[CellResult]:
+        results: list[CellResult] = []
+        for index, cell in enumerate(cells):
+            try:
+                result = _compute_cell(cell, self.builds)
+                if cache is not None:
+                    cache.put(keys[index] if keys else cell.content_hash(), result)
+            except CellExecutionError:
+                raise
+            except Exception as exc:
+                raise _wrap_cell_error(cell, exc) from exc
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
+    def shutdown(self) -> None:
+        """Release memoized builds (symmetry with the pool executor)."""
+        self.builds.clear()
 
 
 class ProcessPoolExecutor:
-    """Fans cells out over a ``concurrent.futures`` process pool.
+    """Fans cells out over a **persistent** process pool.
 
-    Results come back in submission order, so a sweep's outcome is
-    independent of worker scheduling. Worker processes import the cell
-    specs and rebuild everything locally; nothing stateful crosses the
-    pickle boundary.
+    The underlying ``concurrent.futures`` pool is created lazily on first
+    use and survives across ``map_cells`` calls (and therefore across the
+    grids of a whole experiment run), so worker spawn and module imports
+    are paid once per ``jobs`` — not once per grid. Call
+    :meth:`shutdown` (or use the owning engine as a context manager) to
+    release the workers; a broken pool is discarded and respawned on the
+    next call.
+
+    Scheduling is dynamic: cells are grouped by program build identity,
+    split into small same-program chunks, and consumed by whichever
+    worker frees up first (``as_completed``), so a long timing cell no
+    longer straggles behind a static chunk assignment. Grouping keeps
+    each worker's :class:`ProgramBuildCache` hot: in the worst case every
+    worker builds every distinct workload once; in the common case far
+    fewer.
+
+    Nothing stateful crosses the pickle boundary except the cells, the
+    (path-only) result-cache handle and the finished results; results are
+    reassembled in submission order, so a sweep's outcome is independent
+    of worker scheduling.
     """
+
+    #: Upper bound on cells per submitted chunk. Small enough that
+    #: streaming write-back and progress stay responsive; large enough
+    #: to amortise per-task pickling on big grids.
+    MAX_CHUNK = 8
 
     def __init__(self, jobs: int | None = None) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs or os.cpu_count() or 1
+        self._pool: futures.ProcessPoolExecutor | None = None
+        self._serial: SerialExecutor | None = None
 
-    def map_cells(self, cells: Sequence[SweepCell]) -> list[CellResult]:
-        if len(cells) <= 1 or self.jobs == 1:
-            # Not worth a pool; keep the semantics identical regardless.
-            return SerialExecutor().map_cells(cells)
-        workers = min(self.jobs, len(cells))
-        chunksize = max(1, len(cells) // (workers * 4))
-        with futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_cell, cells, chunksize=chunksize))
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self) -> futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = futures.ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the persistent workers (idempotent; pool respawns on use)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._serial is not None:
+            self._serial.shutdown()
+            self._serial = None
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _chunks(self, cells: Sequence[SweepCell]) -> list[list[int]]:
+        """Indices grouped by program build key, split into small chunks."""
+        groups: OrderedDict[str, list[int]] = OrderedDict()
+        for index, cell in enumerate(cells):
+            groups.setdefault(cell.program.build_key(), []).append(index)
+        chunks: list[list[int]] = []
+        for indices in groups.values():
+            per_chunk = min(self.MAX_CHUNK, max(1, math.ceil(len(indices) / self.jobs)))
+            for start in range(0, len(indices), per_chunk):
+                chunks.append(indices[start : start + per_chunk])
+        return chunks
+
+    def map_cells(
+        self,
+        cells: Sequence[SweepCell],
+        on_result: OnResult | None = None,
+        cache: ResultCache | None = None,
+        keys: Sequence[str] | None = None,
+    ) -> list[CellResult]:
+        if not cells:
+            return []
+        if self.jobs == 1 or len(cells) == 1:
+            # A 1-job "pool" (or a 1-cell grid) is just ceremony; keep
+            # semantics identical (memoized, streaming) without worker
+            # spawn and pickle round trips.
+            if self._serial is None:
+                self._serial = SerialExecutor()
+            return self._serial.map_cells(cells, on_result=on_result, cache=cache, keys=keys)
+        pool = self._ensure_pool()
+        results: list[CellResult | None] = [None] * len(cells)
+        submitted: dict[futures.Future, list[int]] = {}
+        try:
+            for chunk in self._chunks(cells):
+                chunk_keys = [keys[i] for i in chunk] if keys is not None else None
+                future = pool.submit(
+                    _run_chunk, [cells[i] for i in chunk], cache, chunk_keys
+                )
+                submitted[future] = chunk
+            for future in futures.as_completed(submitted):
+                for index, result in zip(submitted[future], future.result()):
+                    results[index] = result
+                    if on_result is not None:
+                        on_result(index, result)
+        except BrokenProcessPool as exc:
+            # A dead worker poisons the whole pool; shut the remains
+            # down (joins the management thread) and respawn on next use.
+            for future in submitted:
+                future.cancel()
+            pool.shutdown(wait=False)
+            self._pool = None
+            raise WorkerPoolError(
+                f"a sweep worker process died unexpectedly ({exc}) — likely "
+                "killed by the OS (out of memory?) or crashed; the pool will "
+                "respawn on the next run, and results already computed remain "
+                "in the cache"
+            ) from exc
+        except BaseException:
+            # Fail fast: a cell error (or interrupt) cancels every chunk
+            # that has not started; already-running chunks finish in the
+            # background and their results stay in the cache.
+            for future in submitted:
+                future.cancel()
+            raise
+        return results  # type: ignore[return-value]
 
 
 @dataclass
@@ -118,21 +492,43 @@ class SweepEngine:
     """Executor + cache: the one place sweep cells get turned into results.
 
     ``run_cells`` is the primitive — results in cell order, cache
-    consulted per cell, duplicates coalesced. ``run`` additionally files
-    accuracy results into a :class:`SweepResult` keyed by the cells'
-    (system label, benchmark name).
+    consulted per cell, duplicates coalesced, fresh results streamed to
+    the cache as they finish. ``run`` additionally files accuracy results
+    into a :class:`SweepResult` keyed by the cells' (system label,
+    benchmark name).
+
+    ``progress`` (or the per-call override) is called as
+    ``progress(done, total, cell)`` for every finished cell — cache hits,
+    fresh runs and duplicates alike. The engine is a context manager;
+    leaving the ``with`` block shuts down a persistent worker pool.
     """
 
     executor: SerialExecutor | ProcessPoolExecutor = field(default_factory=SerialExecutor)
     cache: ResultCache | None = None
+    progress: ProgressFn | None = None
 
-    def run_cells(self, cells: Sequence[SweepCell]) -> list[CellResult]:
+    def run_cells(
+        self,
+        cells: Sequence[SweepCell],
+        progress: ProgressFn | None = None,
+    ) -> list[CellResult]:
+        progress = progress if progress is not None else self.progress
+        total = len(cells)
+        done = 0
         results: dict[int, CellResult] = {}
-        pending: list[tuple[int, str, SweepCell]] = []
+        pending: list[int] = []
+        keys: list[str] = []
         first_index: dict[str, int] = {}
         duplicates: list[tuple[int, str]] = []
         for index, cell in enumerate(cells):
-            key = cell.content_hash()
+            try:
+                key = cell.content_hash()
+            except Exception as exc:
+                # A spec that cannot even be described (unknown benchmark,
+                # unreadable trace) fails here in the parent; name the
+                # cell instead of leaking a bare KeyError/OSError.
+                raise _wrap_cell_error(cell, exc) from exc
+            keys.append(key)
             if key in first_index:
                 duplicates.append((index, key))
                 continue
@@ -140,23 +536,46 @@ class SweepEngine:
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is not None:
                 results[index] = _stamp(cached, cell)
+                done += 1
+                if progress is not None:
+                    progress(done, total, cell)
             else:
-                pending.append((index, key, cell))
+                pending.append(index)
         if pending:
-            fresh = self.executor.map_cells([cell for _, _, cell in pending])
-            for (index, key, _cell), result in zip(pending, fresh):
-                if self.cache is not None:
-                    self.cache.put(key, result)
+
+            def on_result(position: int, result: CellResult) -> None:
+                nonlocal done
+                done += 1
+                if progress is not None:
+                    progress(done, total, cells[pending[position]])
+
+            fresh = self.executor.map_cells(
+                [cells[i] for i in pending],
+                on_result=on_result,
+                cache=self.cache,
+                keys=[keys[i] for i in pending],
+            )
+            for index, result in zip(pending, fresh):
                 results[index] = result
         for index, key in duplicates:
+            # Duplicates reuse their twin through the cache's lossless
+            # codec — the same cheap reconstruction a cache hit performs,
+            # far cheaper than deepcopying a stats object.
             twin = results[first_index[key]]
-            results[index] = _stamp(copy.deepcopy(twin), cells[index])
-        return [results[index] for index in range(len(cells))]
+            results[index] = _stamp(clone_result(twin), cells[index])
+            done += 1
+            if progress is not None:
+                progress(done, total, cells[index])
+        return [results[index] for index in range(total)]
 
-    def run(self, cells: Sequence[SweepCell]) -> SweepResult:
+    def run(
+        self,
+        cells: Sequence[SweepCell],
+        progress: ProgressFn | None = None,
+    ) -> SweepResult:
         """Run accuracy cells and index the stats by (label, benchmark)."""
         sweep = SweepResult()
-        for cell, result in zip(cells, self.run_cells(cells)):
+        for cell, result in zip(cells, self.run_cells(cells, progress=progress)):
             if not isinstance(result, RunStats):
                 raise TypeError(
                     "SweepEngine.run expects accuracy cells; use run_cells "
@@ -165,19 +584,33 @@ class SweepEngine:
             sweep.add(cell.system_label, cell.bench_name, result)
         return sweep
 
+    def close(self) -> None:
+        """Shut down persistent workers / release memoized builds."""
+        shutdown = getattr(self.executor, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
 
 def make_engine(
     jobs: int = 1,
     cache_dir: str | os.PathLike | None = None,
+    progress: ProgressFn | None = None,
 ) -> SweepEngine:
     """Build an engine from CLI-shaped knobs.
 
     ``jobs`` ≤ 1 selects the in-process serial executor; larger values a
-    process pool of that size. ``cache_dir`` of None disables caching.
+    persistent process pool of that size. ``cache_dir`` of None disables
+    caching. ``progress`` installs a per-cell completion callback.
     """
     executor = SerialExecutor() if jobs <= 1 else ProcessPoolExecutor(jobs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    return SweepEngine(executor=executor, cache=cache)
+    return SweepEngine(executor=executor, cache=cache, progress=progress)
 
 
 # --- process-wide default engine ------------------------------------------
@@ -185,6 +618,9 @@ def make_engine(
 # Experiment modules route their grids through whatever engine is current,
 # so `python -m repro run figure5 --jobs 8 --cache-dir .cache` accelerates
 # every experiment without threading parameters through each signature.
+# Because the engine (and with it the worker pool and the per-process
+# build caches) persists between calls, consecutive experiments in one
+# process share warm workers and warm builds.
 
 _default_engine: SweepEngine | None = None
 

@@ -473,6 +473,35 @@ class ProgramSpec:
         """Spec for a recorded trace file."""
         return ProgramSpec(trace=os.fspath(path))
 
+    def build_key(self) -> str:
+        """Stable identity of the *built* program (the build-memo key).
+
+        Two specs with equal ``build_key()`` build behaviourally
+        identical :class:`~repro.workloads.program.Program` objects, so
+        the execution engine's per-process build caches
+        (:class:`~repro.sim.execution.ProgramBuildCache`) reuse one built
+        instance — reset between runs — instead of rebuilding per sweep
+        cell. Trace-backed specs key by the trace's content digest;
+        generated specs by the resolved profile (seed override applied),
+        so a benchmark name and the explicit profile it denotes share one
+        build.
+
+        >>> ProgramSpec(benchmark="gcc").build_key() == ProgramSpec(
+        ...     benchmark="gcc").build_key()
+        True
+        >>> ProgramSpec(benchmark="gcc").build_key() != ProgramSpec(
+        ...     benchmark="gcc", seed=7).build_key()
+        True
+        """
+        cached = getattr(self, "_build_key_cache", None)
+        if cached is None:
+            if self.trace is not None:
+                cached = f"trace:{self._trace_header().digest}"
+            else:
+                cached = f"profile:{content_digest(asdict(self.resolved_profile()))}"
+            object.__setattr__(self, "_build_key_cache", cached)
+        return cached
+
     def build(self) -> Program:
         """Build a fresh program (deterministic in the spec alone)."""
         if self.trace is not None:

@@ -39,6 +39,7 @@ content-hashed, so they always run serially in-process with no caching.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 from typing import Callable
 
 from repro.core.hybrid import PredictionSystem
@@ -112,6 +113,7 @@ def run_sweep(
     benchmarks: dict[str, ProgramSpec | str | ProgramFactory],
     config: SimulationConfig | None = None,
     engine=None,
+    progress=None,
 ) -> SweepResult:
     """Run every system on every benchmark, fresh state per cell.
 
@@ -119,8 +121,9 @@ def run_sweep(
     :class:`ProgramSpec` or benchmark name, the grid routes through the
     sweep engine (``engine``, or the process-wide default — see
     :func:`repro.sim.execution.get_default_engine`) and gains parallel
-    execution and result caching. Grids containing bare factory
-    callables fall back to the in-process serial loop.
+    execution, result caching and streaming per-cell ``progress``
+    callbacks. Grids containing bare factory callables fall back to the
+    in-process serial loop (``progress`` still fires per cell).
     """
     config = config or SimulationConfig()
     spec_based = all(isinstance(s, SystemSpec) for s in systems.values()) and all(
@@ -141,9 +144,11 @@ def run_sweep(
             for system_label, system in systems.items()
         ]
         engine = engine if engine is not None else get_default_engine()
-        return engine.run(cells)
+        return engine.run(cells, progress=progress)
 
     result = SweepResult()
+    done = 0
+    total = len(benchmarks) * len(systems)
     for bench_name, program_factory in benchmarks.items():
         for system_label, system_factory in systems.items():
             program = (
@@ -159,4 +164,11 @@ def run_sweep(
             stats = simulate(program, system, config)
             stats.system = system_label
             result.add(system_label, bench_name, stats)
+            done += 1
+            if progress is not None:
+                # Factory cells have no spec; progress consumers are
+                # promised (at least) the two display labels.
+                progress(done, total, SimpleNamespace(
+                    system_label=system_label, bench_name=bench_name,
+                ))
     return result

@@ -255,6 +255,11 @@ class Program:
         if self.entry not in self._by_id:
             raise ValueError("entry block missing")
         self._compiled: dict[int, CompiledCFG] = {}
+        # Behaviours must be attached before Program construction (the
+        # generator and from_structure both do); capturing them once makes
+        # reset() O(#conditionals), which matters now that the execution
+        # engine resets memoized programs between every sweep cell.
+        self._stateful = tuple(b.behavior for b in self.blocks if b.behavior is not None)
 
     def block(self, block_id: int) -> BasicBlock:
         """Look up a block by id."""
@@ -289,10 +294,15 @@ class Program:
         return ExecutionContext(seed=self.seed, watched_blocks=set(self.watched_blocks))
 
     def reset(self) -> None:
-        """Reset all stateful behaviours (between simulation runs)."""
-        for block in self.blocks:
-            if block.behavior is not None:
-                block.behavior.reset()
+        """Reset all stateful behaviours (between simulation runs).
+
+        Behaviour state and trace replay cursors rewind; the lazily
+        compiled CFG transition tables (:meth:`compiled`) survive, so a
+        reused program re-runs without recompilation — the contract the
+        execution engine's build memoization relies on.
+        """
+        for behavior in self._stateful:
+            behavior.reset()
 
     # -- inventory helpers (used by tests and reports) ------------------------
 

@@ -482,10 +482,32 @@ def _parse_header_line(handle: IO[bytes], path: Path) -> TraceHeader:
         ) from exc
 
 
-def read_trace_header(path: str | os.PathLike) -> TraceHeader:
-    """Read just the header — O(1), no decompression."""
-    with open(path, "rb") as handle:
-        return _parse_header_line(handle, Path(path))
+#: Parsed headers keyed by path, guarded by a (size, mtime_ns, inode)
+#: stat signature. Sweep workers consult a trace cell's header for its
+#: content digest on every cell; the memo turns that into one stat call
+#: instead of an open + parse. A rewritten file changes its signature
+#: and is re-read, so the cache can never serve a stale header.
+_HEADER_CACHE: dict[str, tuple[tuple[int, int, int], TraceHeader]] = {}
+
+
+def read_trace_header(path: str | os.PathLike, use_cache: bool = True) -> TraceHeader:
+    """Read just the header — O(1), no decompression (memoized by stat)."""
+    name = os.fspath(path)
+    signature = None
+    if use_cache:
+        try:
+            stat = os.stat(name)
+            signature = (stat.st_size, stat.st_mtime_ns, stat.st_ino)
+        except OSError:
+            signature = None  # let open() below raise the real error
+        cached = _HEADER_CACHE.get(name)
+        if cached is not None and signature is not None and cached[0] == signature:
+            return cached[1]
+    with open(name, "rb") as handle:
+        header = _parse_header_line(handle, Path(name))
+    if signature is not None:
+        _HEADER_CACHE[name] = (signature, header)
+    return header
 
 
 def verify_trace(path: str | os.PathLike) -> TraceHeader:

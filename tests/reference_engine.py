@@ -1,0 +1,118 @@
+"""Frozen pre-overhaul sweep execution layer (the PR-4-era engine).
+
+This is a faithful copy of ``repro.sim.execution`` as it stood *before*
+the sweep-scale overhaul: every cell rebuilds its program and system
+from scratch, the process pool is spun up and torn down inside every
+``map_cells`` call, results come back as one ordered batch (cache writes
+only after the whole batch returns), and duplicate cells are stamped via
+``copy.deepcopy``.
+
+It exists for the same reason ``tests/reference_kernel.py`` does: the
+sweep-throughput benchmark (``tools/profile_sweep.py``) times the
+current engine against this frozen one on identical grids, and CI gates
+on the speedup *ratio* — which is stable across machines, unlike
+absolute cells/sec. It deliberately reuses the current simulator kernel
+and spec layer: what is frozen here is the **execution layer**
+(scheduling, pooling, build management), so the ratio isolates exactly
+the overhaul under test.
+
+Do not "fix" or optimise this module; it is a measurement baseline.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.sim.cache import ResultCache
+from repro.sim.driver import simulate
+from repro.sim.specs import MODE_TIMING, SweepCell
+
+
+def reference_run_cell(cell: SweepCell):
+    """The pre-overhaul work unit: rebuild everything, every cell."""
+    program = cell.program.build()
+    system = cell.system.build()
+    if cell.mode == MODE_TIMING:
+        from repro.pipeline.machine import TimedMachine
+
+        result = TimedMachine(program, system).run(
+            cell.config.n_branches, warmup=cell.config.warmup
+        )
+    else:
+        result = simulate(program, system, cell.config)
+    result.system = cell.system_label
+    result.benchmark = cell.bench_name
+    return result
+
+
+def _stamp(result, cell: SweepCell):
+    result.system = cell.system_label
+    result.benchmark = cell.bench_name
+    return result
+
+
+class ReferenceSerialExecutor:
+    """Pre-overhaul serial path: one fresh build per cell, ordered batch."""
+
+    jobs = 1
+
+    def map_cells(self, cells: Sequence[SweepCell]) -> list:
+        return [reference_run_cell(cell) for cell in cells]
+
+
+class ReferenceProcessPoolExecutor:
+    """Pre-overhaul pool: spawned and torn down inside every call."""
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def map_cells(self, cells: Sequence[SweepCell]) -> list:
+        if len(cells) <= 1 or self.jobs == 1:
+            return ReferenceSerialExecutor().map_cells(cells)
+        workers = min(self.jobs, len(cells))
+        chunksize = max(1, len(cells) // (workers * 4))
+        with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(reference_run_cell, cells, chunksize=chunksize))
+
+
+@dataclass
+class ReferenceSweepEngine:
+    """Pre-overhaul engine: batch results, end-of-batch cache write-back."""
+
+    executor: ReferenceSerialExecutor | ReferenceProcessPoolExecutor = field(
+        default_factory=ReferenceSerialExecutor
+    )
+    cache: ResultCache | None = None
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> list:
+        results: dict[int, object] = {}
+        pending: list[tuple[int, str, SweepCell]] = []
+        first_index: dict[str, int] = {}
+        duplicates: list[tuple[int, str]] = []
+        for index, cell in enumerate(cells):
+            key = cell.content_hash()
+            if key in first_index:
+                duplicates.append((index, key))
+                continue
+            first_index[key] = index
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[index] = _stamp(cached, cell)
+            else:
+                pending.append((index, key, cell))
+        if pending:
+            fresh = self.executor.map_cells([cell for _, _, cell in pending])
+            for (index, key, _cell), result in zip(pending, fresh):
+                if self.cache is not None:
+                    self.cache.put(key, result)
+                results[index] = result
+        for index, key in duplicates:
+            twin = results[first_index[key]]
+            results[index] = _stamp(copy.deepcopy(twin), cells[index])
+        return [results[index] for index in range(len(cells))]

@@ -1,12 +1,15 @@
-"""Differential tests for the parallel sweep execution engine.
+"""Differential tests for the sweep-scale parallel execution engine.
 
-The engine's contract is that the executor and the cache are invisible:
-serial in-process execution, process-pool execution, and a cold-then-warm
-cache round trip must produce field-by-field identical
-``SweepResult``s. These tests enforce that contract on a small
-(3 systems × 3 benchmarks) grid, and pin down the supporting pieces —
-spec content hashing, cache robustness, duplicate-cell coalescing and
-the picklability of cells.
+The engine's contract is that the executor, the build memoization and
+the cache are invisible: serial in-process execution, persistent
+process-pool execution, and a cold-then-warm cache round trip must all
+produce results field-by-field identical to the from-scratch reference
+work unit (:func:`run_cell`). These tests enforce that contract on a
+small (3 systems × 3 benchmarks) grid and on a mixed
+accuracy/timing/trace/duplicate grid, and pin down the supporting
+pieces — spec content hashing, cache robustness, program-build
+memoization, streaming write-back, error surfacing and duplicate-cell
+coalescing.
 """
 
 import dataclasses
@@ -30,6 +33,11 @@ from repro.sim import (
     run_sweep,
 )
 from repro.sim.cache import stats_from_dict, stats_to_dict
+from repro.sim.execution import (
+    CellExecutionError,
+    ProgramBuildCache,
+    WorkerPoolError,
+)
 from repro.sim.specs import MODE_TIMING
 
 #: 3 systems × 3 benchmarks — the differential grid from the issue.
@@ -122,6 +130,392 @@ class TestDifferential:
         )
         via_engine = SweepEngine().run(make_cells())
         assert_sweeps_identical(via_run_sweep, via_engine)
+
+
+def make_mixed_cells(trace_path):
+    """Accuracy + timing + trace-backed + duplicate cells in one grid."""
+    cells = make_cells()
+    cells.append(
+        SweepCell(
+            "timed", "swim", SystemSpec.single("gshare", 2),
+            ProgramSpec(benchmark="swim"), CONFIG, mode=MODE_TIMING,
+        )
+    )
+    cells.append(
+        SweepCell(
+            "replayed", "swim-trace",
+            SystemSpec.hybrid("gshare", 2, "tagged-gshare", 2, 4),
+            ProgramSpec(trace=trace_path),
+            SimulationConfig(n_branches=1200, warmup=240),
+        )
+    )
+    twin = SweepCell(
+        "twin-label", "swim", SYSTEMS["gshare-alone"],
+        ProgramSpec(benchmark="swim"), CONFIG,
+    )
+    cells.append(twin)  # duplicate of the first cell, different label
+    return cells
+
+
+def assert_results_identical(got, want) -> None:
+    """Field-by-field equality across mixed accuracy/timing results."""
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert type(a) is type(b)
+        if isinstance(a, RunStats):
+            assert_stats_identical(a, b)
+        else:
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+@pytest.fixture(scope="module")
+def swim_trace(tmp_path_factory):
+    from repro.workloads import benchmark
+    from repro.workloads.trace import record_trace
+
+    path = tmp_path_factory.mktemp("traces") / "swim.trace"
+    record_trace(benchmark("swim"), 1500, path, source={})
+    return str(path)
+
+
+class TestMixedDifferential:
+    """Every engine path == run_cell on a mixed grid (the PR-5 invariant)."""
+
+    def test_all_paths_identical_on_mixed_grid(self, swim_trace, tmp_path):
+        reference = [run_cell(cell) for cell in make_mixed_cells(swim_trace)]
+
+        serial = SweepEngine().run_cells(make_mixed_cells(swim_trace))
+        assert_results_identical(serial, reference)
+
+        with make_engine(jobs=2) as pooled_engine:
+            pooled = pooled_engine.run_cells(make_mixed_cells(swim_trace))
+            assert_results_identical(pooled, reference)
+            # The pool (and its worker build caches) persists; a repeat
+            # run reuses memoized builds and must stay identical.
+            again = pooled_engine.run_cells(make_mixed_cells(swim_trace))
+            assert_results_identical(again, reference)
+
+        with make_engine(jobs=2, cache_dir=tmp_path / "cache") as cold_engine:
+            cold = cold_engine.run_cells(make_mixed_cells(swim_trace))
+            assert_results_identical(cold, reference)
+
+        with make_engine(jobs=2, cache_dir=tmp_path / "cache") as warm_engine:
+            warm = warm_engine.run_cells(make_mixed_cells(swim_trace))
+            assert_results_identical(warm, reference)
+            assert warm_engine.cache.misses == 0
+
+    def test_serial_executor_memoizes_builds_without_changing_results(self):
+        executor = SerialExecutor()
+        cells = make_cells()
+        first = executor.map_cells(cells)
+        # Every benchmark was built once and then reused per system.
+        assert executor.builds.builds == len(BENCHMARKS)
+        assert executor.builds.reuses == len(cells) - len(BENCHMARKS)
+        second = executor.map_cells(make_cells())
+        assert executor.builds.builds == len(BENCHMARKS)  # still warm
+        assert_results_identical(first, [run_cell(c) for c in make_cells()])
+        assert_results_identical(second, first)
+
+
+class TestPersistentPool:
+    def test_pool_survives_across_map_cells_calls(self):
+        executor = ProcessPoolExecutor(jobs=2)
+        try:
+            cells = make_cells()[:3]
+            executor.map_cells(cells)
+            pool = executor._pool
+            assert pool is not None
+            executor.map_cells(make_cells()[:3])
+            assert executor._pool is pool  # same workers, not a respawn
+        finally:
+            executor.shutdown()
+        assert executor._pool is None
+
+    def test_single_job_pool_runs_in_process(self):
+        executor = ProcessPoolExecutor(jobs=1)
+        results = executor.map_cells(make_cells()[:2])
+        assert executor._pool is None  # never spawned
+        assert_results_identical(results, [run_cell(c) for c in make_cells()[:2]])
+
+    def test_streaming_on_result_delivers_every_cell_once(self):
+        seen = {}
+        executor = ProcessPoolExecutor(jobs=2)
+        try:
+            cells = make_cells()
+            results = executor.map_cells(
+                cells, on_result=lambda i, r: seen.setdefault(i, r)
+            )
+        finally:
+            executor.shutdown()
+        assert sorted(seen) == list(range(len(cells)))
+        for index, result in seen.items():
+            assert result is results[index]
+
+
+class TestProgramBuildCache:
+    def test_reuses_equal_build_keys(self):
+        cache = ProgramBuildCache(capacity=4)
+        a = cache.program_for(ProgramSpec(benchmark="swim"))
+        b = cache.program_for(ProgramSpec(benchmark="swim"))
+        assert a is b
+        assert (cache.builds, cache.reuses) == (1, 1)
+
+    def test_distinct_seeds_build_distinct_programs(self):
+        cache = ProgramBuildCache(capacity=4)
+        a = cache.program_for(ProgramSpec(benchmark="swim"))
+        b = cache.program_for(ProgramSpec(benchmark="swim", seed=7))
+        assert a is not b
+        assert cache.builds == 2
+
+    def test_capacity_zero_disables_memoization(self):
+        cache = ProgramBuildCache(capacity=0)
+        a = cache.program_for(ProgramSpec(benchmark="swim"))
+        b = cache.program_for(ProgramSpec(benchmark="swim"))
+        assert a is not b
+        assert cache.builds == 2 and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramBuildCache(capacity=-1)
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ProgramBuildCache(capacity=2)
+        first = cache.program_for(ProgramSpec(benchmark="swim"))
+        cache.program_for(ProgramSpec(benchmark="facerec"))
+        cache.program_for(ProgramSpec(benchmark="ammp"))  # evicts swim
+        assert len(cache) == 2
+        again = cache.program_for(ProgramSpec(benchmark="swim"))
+        assert again is not first
+        assert cache.builds == 4
+
+    def test_reused_program_resets_to_fresh_behaviour(self):
+        """Simulating twice off one cached build == two fresh builds."""
+        from repro.sim import simulate
+
+        cache = ProgramBuildCache(capacity=2)
+        spec = ProgramSpec(benchmark="swim")
+        system_spec = SYSTEMS["filtered-hybrid"]
+        first = simulate(cache.program_for(spec), system_spec.build(), CONFIG)
+        second = simulate(cache.program_for(spec), system_spec.build(), CONFIG)
+        fresh = simulate(spec.build(), system_spec.build(), CONFIG)
+        for field in ("mispredicts", "committed_uops", "fetched_uops", "taken_branches"):
+            assert getattr(first, field) == getattr(second, field) == getattr(fresh, field)
+
+
+class TestErrorSurfacing:
+    BROKEN = SweepCell(
+        "broken-label", "doom", SystemSpec.single("gshare", 2),
+        ProgramSpec(benchmark="doom"), CONFIG,
+    )
+
+    def test_unknown_benchmark_names_the_cell(self):
+        with pytest.raises(CellExecutionError) as excinfo:
+            SweepEngine().run_cells([self.BROKEN] + make_cells())
+        message = str(excinfo.value)
+        assert "broken-label" in message and "doom" in message
+        assert "KeyError" in message  # the original cause, not swallowed
+        assert excinfo.value.spec_config["program"] == {"benchmark": "doom"}
+
+    def test_worker_failure_names_the_cell_and_cancels(self, swim_trace, tmp_path):
+        # A trace with a valid header but truncated body hashes fine in
+        # the parent and fails inside the worker mid-build.
+        import shutil
+
+        broken_trace = tmp_path / "truncated.trace"
+        shutil.copyfile(swim_trace, broken_trace)
+        payload = broken_trace.read_bytes()
+        broken_trace.write_bytes(payload[: len(payload) - len(payload) // 3])
+        cells = make_cells()
+        cells.insert(
+            0,
+            SweepCell(
+                "truncated-label", "swim-trace", SystemSpec.single("gshare", 2),
+                ProgramSpec(trace=str(broken_trace)),
+                SimulationConfig(n_branches=1200, warmup=240),
+            ),
+        )
+        with make_engine(jobs=2) as engine:
+            with pytest.raises(CellExecutionError) as excinfo:
+                engine.run_cells(cells)
+            message = str(excinfo.value)
+            assert "truncated-label" in message and "swim-trace" in message
+            assert excinfo.value.worker_traceback is not None
+            # The pool survives a failed sweep and keeps producing
+            # correct results.
+            results = engine.run_cells(make_cells())
+            assert_results_identical(results, [run_cell(c) for c in make_cells()])
+
+    def test_error_pickles_losslessly(self):
+        import pickle
+
+        error = CellExecutionError(
+            "label", "bench", {"k": 1}, "ValueError: boom", "tb",
+            cause_types=("ValueError", "Exception", "BaseException", "object"),
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert str(clone) == str(error)
+        assert clone.spec_config == {"k": 1}
+        assert clone.cause_types == error.cause_types
+
+    def test_caused_by_matches_base_classes_across_pickle(self):
+        """An OSError subclass in a worker still matches 'OSError'."""
+        import pickle
+
+        from repro.sim.execution import _wrap_cell_error
+
+        cell = make_cells()[0]
+        try:
+            raise FileNotFoundError("gone.trace")
+        except FileNotFoundError as exc:
+            error = _wrap_cell_error(cell, exc)
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.caused_by("OSError")
+        assert clone.caused_by("TraceFormatError", "OSError")
+        assert not clone.caused_by("TraceFormatError")
+
+    def test_cache_write_failure_names_the_cell(self, tmp_path):
+        """A full/read-only cache dir fails the sweep with the cell named."""
+        cache = ResultCache(tmp_path / "cache")
+
+        class ExplodingCache:
+            root = cache.root
+
+            def get(self, key):
+                return None
+
+            def put(self, key, result):
+                raise OSError(28, "No space left on device")
+
+        engine = SweepEngine(cache=ExplodingCache())
+        with pytest.raises(CellExecutionError) as excinfo:
+            engine.run_cells(make_cells()[:2])
+        assert excinfo.value.caused_by("OSError")
+        assert "gshare-alone" in str(excinfo.value)
+
+
+class _WorkerKillerSpec(ProgramSpec):
+    """A spec that hashes normally but kills the worker that builds it."""
+
+    def build(self):
+        import os
+
+        os._exit(1)  # simulates an OOM kill / segfault, not an exception
+
+
+class TestWorkerDeath:
+    def test_dead_worker_surfaces_as_pool_error_and_pool_respawns(self):
+        killer = SweepCell(
+            "killer", "swim", SystemSpec.single("gshare", 2),
+            _WorkerKillerSpec(benchmark="swim"), CONFIG,
+        )
+        executor = ProcessPoolExecutor(jobs=2)
+        try:
+            with pytest.raises(WorkerPoolError):
+                executor.map_cells([killer] + make_cells()[:2])
+            assert executor._pool is None  # broken pool was discarded
+            # The next grid respawns a healthy pool and runs normally.
+            results = executor.map_cells(make_cells()[:3])
+            assert_results_identical(results, [run_cell(c) for c in make_cells()[:3]])
+        finally:
+            executor.shutdown()
+
+
+class TestBuildCacheEnvKnob:
+    def test_malformed_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUILD_CACHE", "off")
+        with pytest.raises(ValueError, match="REPRO_BUILD_CACHE"):
+            ProgramBuildCache()
+
+    def test_env_zero_disables_memoization(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUILD_CACHE", "0")
+        assert ProgramBuildCache().capacity == 0
+
+
+class TestTraceHandleRelease:
+    def test_finished_trace_cell_holds_no_open_reader(self, swim_trace):
+        """A completed sweep leaves no open handle on its trace files."""
+        executor = SerialExecutor()
+        cell = SweepCell(
+            "replayed", "swim-trace", SystemSpec.single("gshare", 2),
+            ProgramSpec(trace=swim_trace),
+            SimulationConfig(n_branches=1200, warmup=240),
+        )
+        executor.map_cells([cell])
+        [program] = executor.builds._programs.values()
+        cursors = {
+            block.behavior.cursor
+            for block in program.blocks
+            if block.behavior is not None
+        }
+        assert cursors and all(c._reader is None for c in cursors)
+
+
+class TestStreamingWriteBack:
+    class _FailAfter(SerialExecutor):
+        """Reference-style executor that dies after N computed cells."""
+
+        def __init__(self, fail_after: int) -> None:
+            super().__init__()
+            self.fail_after = fail_after
+            self.computed = 0
+
+        def map_cells(self, cells, on_result=None, cache=None, keys=None):
+            results = []
+            for index, cell in enumerate(cells):
+                if self.computed >= self.fail_after:
+                    raise RuntimeError("killed mid-sweep")
+                result = run_cell(cell)
+                self.computed += 1
+                if cache is not None:
+                    cache.put(keys[index] if keys else cell.content_hash(), result)
+                if on_result is not None:
+                    on_result(index, result)
+                results.append(result)
+            return results
+
+    def test_killed_sweep_resumes_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = SweepEngine(executor=self._FailAfter(fail_after=4), cache=cache)
+        with pytest.raises(RuntimeError):
+            engine.run_cells(make_cells())
+        # The four finished cells hit the disk before the "kill".
+        assert len(cache) == 4
+        resumed = SweepEngine(executor=SerialExecutor(), cache=cache)
+        results = resumed.run_cells(make_cells())
+        assert resumed.cache.hits == 4
+        assert_results_identical(results, [run_cell(c) for c in make_cells()])
+
+    def test_pool_workers_write_back_incrementally(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with SweepEngine(executor=ProcessPoolExecutor(jobs=2), cache=cache) as engine:
+            engine.run_cells(make_cells())
+        # Workers put their own results; the parent never re-wrote them.
+        assert len(cache) == len({c.content_hash() for c in make_cells()})
+        warm = SweepEngine(cache=ResultCache(tmp_path / "cache"))
+        warm.run_cells(make_cells())
+        assert warm.cache.misses == 0
+
+
+class TestProgress:
+    def test_progress_counts_cached_fresh_and_duplicate_cells(self, tmp_path):
+        events = []
+
+        def progress(done, total, cell):
+            events.append((done, total, cell.system_label))
+
+        cells = make_cells()
+        twin = SweepCell(
+            "twin", "swim", SYSTEMS["gshare-alone"],
+            ProgramSpec(benchmark="swim"), CONFIG,
+        )
+        cells.append(twin)
+        cache = ResultCache(tmp_path / "cache")
+        SweepEngine(cache=cache).run_cells(cells[:3])  # pre-fill 3 cells
+        engine = SweepEngine(cache=ResultCache(tmp_path / "cache"), progress=progress)
+        engine.run_cells(cells)
+        assert [done for done, _, _ in events] == list(range(1, len(cells) + 1))
+        assert all(total == len(cells) for _, total, _ in events)
+        assert events[-1][2] == "twin"  # duplicates complete last
 
 
 class TestContentHash:
@@ -261,9 +655,9 @@ class TestCache:
         calls = []
 
         class CountingExecutor(SerialExecutor):
-            def map_cells(self, cells):
+            def map_cells(self, cells, **kwargs):
                 calls.extend(cells)
-                return super().map_cells(cells)
+                return super().map_cells(cells, **kwargs)
 
         engine = SweepEngine(executor=CountingExecutor())
         first, twin = engine.run_cells([cell_a, cell_b])

@@ -1,0 +1,336 @@
+#!/usr/bin/env python3
+"""Sweep-throughput profiler: cells/sec through the execution engine.
+
+Where ``tools/profile_kernel.py`` tracks the speed of one ``simulate()``
+call, this tool tracks the speed of the **sweep execution layer** — the
+persistent worker pool, per-worker memoized program builds, dynamic
+scheduling and streaming cache write-back that every §7-style grid runs
+through. It emits a machine-readable ``BENCH_sweep.json`` and can gate
+CI against a checked-in floor.
+
+Canonical grids (12 systems × 4 build-heavy benchmarks, 1 000-branch
+cells). Short cells are deliberate: they are the regime where the
+execution layer — not the simulation kernel — is the bottleneck, which
+makes this grid the most sensitive instrument for layer regressions.
+The kernel's own speed on long cells is tracked separately by
+``profile_kernel.py``; ``--branches`` rescales the cells when the
+interaction matters.
+
+* ``cold-start/12x4`` — a fresh engine's first grid: includes worker
+  spawn and every program build. No result cache.
+* ``steady/12x4`` — the same grid re-run on the now-warm engine (pool
+  up, per-worker build caches hot). The result cache stays **off**, so
+  every cell is fully re-simulated: this is the steady-state throughput
+  of a long sweep, and the headline floor cell. The same
+  warm-up-then-measure protocol as the kernel bench.
+* ``warm-cache/12x4`` — the grid served entirely from a pre-filled
+  :class:`~repro.sim.cache.ResultCache` (the resume-after-kill path).
+* ``dup-heavy/4x12`` — 4 distinct cells under 12 labels each: the
+  duplicate-coalescing path (cache-codec clone vs the old deepcopy).
+
+``--compare-reference`` runs the frozen pre-overhaul engine
+(``tests/reference_engine.py``) on identical grids with the same
+protocol and reports the speedup ratio; ratios are far more stable
+across machines than absolute cells/sec, so the CI floor
+(``--check-floor``, ``benchmarks/BENCH_sweep_floor.json``) is expressed
+in ratios and fails on a >25% regression.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_sweep.py                  # measure
+    PYTHONPATH=src python tools/profile_sweep.py \\
+        --compare-reference --check-floor benchmarks/BENCH_sweep_floor.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "tests"))  # frozen reference engine
+
+from repro.sim.cache import ResultCache, clone_result  # noqa: E402
+from repro.sim.driver import SimulationConfig  # noqa: E402
+from repro.sim.execution import (  # noqa: E402
+    ProcessPoolExecutor,
+    SweepEngine,
+    run_cell,
+)
+from repro.sim.specs import (  # noqa: E402
+    PredictorSpec,
+    ProgramSpec,
+    SweepCell,
+    SystemSpec,
+)
+
+#: Build-heavy benchmark panel: large CFGs across integer, web-server
+#: and Windows-application behaviour mixes, so the build-vs-simulate
+#: ratio matches the paper's heavyweight traces rather than the small
+#: FP loops.
+BENCHMARKS = ("gcc", "webmark", "msvc7", "specjbb")
+
+#: Twelve systems spanning the registry: Table-3 singles at two budgets,
+#: default-geometry kinds, and three prophet/critic hybrids.
+SYSTEMS: tuple[SystemSpec, ...] = (
+    SystemSpec.single("gshare", 8),
+    SystemSpec.single("gshare", 4),
+    SystemSpec.single("2bc-gskew", 8),
+    SystemSpec.single("2bc-gskew", 16),
+    SystemSpec.single("perceptron", 4),
+    SystemSpec.single("tage", 8),
+    SystemSpec(kind="single", prophet=PredictorSpec("bimodal")),
+    SystemSpec(kind="single", prophet=PredictorSpec("yags")),
+    SystemSpec(kind="single", prophet=PredictorSpec("local")),
+    SystemSpec.hybrid("2bc-gskew", 8, "tagged-gshare", 8, future_bits=8),
+    SystemSpec.hybrid("gshare", 8, "tagged-gshare", 8, future_bits=4),
+    SystemSpec.hybrid("2bc-gskew", 8, "gshare", 2, future_bits=1),
+)
+
+
+def grid_cells(branches: int) -> list[SweepCell]:
+    """The canonical 12-system × 4-benchmark accuracy grid."""
+    config = SimulationConfig(n_branches=branches, warmup=branches // 5)
+    return [
+        SweepCell(f"sys{i}", bench, system, ProgramSpec(benchmark=bench), config)
+        for bench in BENCHMARKS
+        for i, system in enumerate(SYSTEMS)
+    ]
+
+
+def duplicate_cells(branches: int) -> list[SweepCell]:
+    """4 distinct cells × 12 labels each (the duplicate-coalescing path)."""
+    config = SimulationConfig(n_branches=branches, warmup=branches // 5)
+    return [
+        SweepCell(f"label{i}", bench, SYSTEMS[0], ProgramSpec(benchmark=bench), config)
+        for bench in BENCHMARKS
+        for i in range(len(SYSTEMS))
+    ]
+
+
+def _timed_run(engine, cells, repeats: int = 1) -> tuple[float, list]:
+    """Best-of-``repeats`` wall clock (sub-100ms paths are jitter-bound)."""
+    best = None
+    results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = engine.run_cells(cells)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, results
+
+
+def _reference_engine(jobs: int, cache: ResultCache | None = None):
+    from reference_engine import (
+        ReferenceProcessPoolExecutor,
+        ReferenceSerialExecutor,
+        ReferenceSweepEngine,
+    )
+
+    executor = (
+        ReferenceSerialExecutor() if jobs <= 1 else ReferenceProcessPoolExecutor(jobs)
+    )
+    return ReferenceSweepEngine(executor=executor, cache=cache)
+
+
+def _verify_identical(a: list, b: list, what: str) -> None:
+    from repro.sim.cache import encode_result
+
+    for x, y in zip(a, b):
+        if encode_result(x) != encode_result(y):
+            raise AssertionError(
+                f"{what}: engine and reference disagree on a cell result — "
+                "run the differential tests (tests/sim/test_execution.py)"
+            )
+
+
+def measure_grids(jobs: int, branches: int, compare_reference: bool) -> list[dict]:
+    """Measure every canonical grid; returns BENCH_sweep.json rows."""
+    rows: list[dict] = []
+
+    def row(grid_id: str, cells, elapsed: float, ref_elapsed: float | None) -> dict:
+        entry = {
+            "grid": grid_id,
+            "cells": len(cells),
+            "seconds": round(elapsed, 4),
+            "cells_per_sec": round(len(cells) / elapsed, 2),
+        }
+        if ref_elapsed is not None:
+            entry["reference_cells_per_sec"] = round(len(cells) / ref_elapsed, 2)
+            entry["speedup_vs_reference"] = round(ref_elapsed / elapsed, 3)
+        return entry
+
+    engine = SweepEngine(executor=ProcessPoolExecutor(jobs))
+    try:
+        # cold start: first-ever grid on a fresh engine (spawn + builds).
+        cold_elapsed, cold_results = _timed_run(engine, grid_cells(branches))
+        ref_cold = ref_steady = None
+        if compare_reference:
+            reference = _reference_engine(jobs)
+            ref_cold, ref_results = _timed_run(reference, grid_cells(branches))
+            _verify_identical(cold_results, ref_results, "cold-start")
+        rows.append(row("cold-start/12x4", grid_cells(branches), cold_elapsed, ref_cold))
+
+        # steady state: the same grid on the now-warm engine; the result
+        # cache is off, so all cells are fully re-simulated.
+        steady_elapsed, steady_results = _timed_run(engine, grid_cells(branches))
+        if compare_reference:
+            ref_steady, ref_results = _timed_run(reference, grid_cells(branches))
+            _verify_identical(steady_results, ref_results, "steady")
+        rows.append(row("steady/12x4", grid_cells(branches), steady_elapsed, ref_steady))
+
+        # warm result cache: every cell served from disk.
+        with tempfile.TemporaryDirectory(prefix="bench-sweep-") as cache_dir:
+            cached_engine = SweepEngine(
+                executor=engine.executor, cache=ResultCache(cache_dir)
+            )
+            cached_engine.run_cells(grid_cells(branches))  # untimed fill
+            warm_elapsed, warm_results = _timed_run(
+                cached_engine, grid_cells(branches), repeats=3
+            )
+            ref_warm = None
+            if compare_reference:
+                with tempfile.TemporaryDirectory(prefix="bench-sweep-ref-") as ref_dir:
+                    ref_cached = _reference_engine(jobs, cache=ResultCache(ref_dir))
+                    ref_cached.run_cells(grid_cells(branches))
+                    ref_warm, ref_results = _timed_run(
+                        ref_cached, grid_cells(branches), repeats=3
+                    )
+                _verify_identical(warm_results, ref_results, "warm-cache")
+            rows.append(
+                row("warm-cache/12x4", grid_cells(branches), warm_elapsed, ref_warm)
+            )
+
+        # duplicate-heavy: 4 unique cells, 44 clones (serial executor —
+        # the point is the stamping path, not the pool).
+        dup_engine = SweepEngine()
+        dup_elapsed, dup_results = _timed_run(
+            dup_engine, duplicate_cells(branches), repeats=3
+        )
+        ref_dup = None
+        if compare_reference:
+            ref_dup, ref_results = _timed_run(
+                _reference_engine(1), duplicate_cells(branches), repeats=3
+            )
+            _verify_identical(dup_results, ref_results, "dup-heavy")
+        rows.append(row("dup-heavy/4x12", duplicate_cells(branches), dup_elapsed, ref_dup))
+    finally:
+        engine.close()
+    return rows
+
+
+def measure_duplicate_stamp(branches: int, iterations: int = 2_000) -> dict:
+    """Micro-benchmark the duplicate-stamping path: codec clone vs deepcopy."""
+    stats = run_cell(grid_cells(branches)[0])
+    start = time.perf_counter()
+    for _ in range(iterations):
+        clone_result(stats)
+    clone_us = (time.perf_counter() - start) / iterations * 1e6
+    start = time.perf_counter()
+    for _ in range(iterations):
+        copy.deepcopy(stats)
+    deepcopy_us = (time.perf_counter() - start) / iterations * 1e6
+    return {
+        "clone_us": round(clone_us, 2),
+        "deepcopy_us": round(deepcopy_us, 2),
+        "speedup_vs_deepcopy": round(deepcopy_us / clone_us, 2),
+    }
+
+
+def check_floor(rows: list[dict], floor_path: Path) -> list[str]:
+    """Return failure messages for grids regressing >25% below the floor."""
+    floors = json.loads(floor_path.read_text())
+    tolerance = floors.get("tolerance", 0.75)
+    failures = []
+    for entry in rows:
+        floor = floors.get("min_speedup_vs_reference", {}).get(entry["grid"])
+        if floor is None:
+            continue
+        measured = entry.get("speedup_vs_reference")
+        if measured is None:
+            failures.append(
+                f"{entry['grid']}: floor set but --compare-reference not run"
+            )
+            continue
+        threshold = floor * tolerance
+        if measured < threshold:
+            failures.append(
+                f"{entry['grid']}: speedup {measured:.2f}x fell below "
+                f"{threshold:.2f}x (floor {floor:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker processes for the pooled grids (default 4, the floor's "
+             "canonical setting)",
+    )
+    parser.add_argument(
+        "--branches", type=int, default=1_000,
+        help="branches per cell (default 1000: short cells expose the "
+             "execution layer, long cells the kernel)",
+    )
+    parser.add_argument(
+        "--compare-reference", action="store_true",
+        help="also run the frozen pre-overhaul engine and report speedups",
+    )
+    parser.add_argument(
+        "--check-floor", type=Path, default=None,
+        help="floor JSON; exit 1 on >25%% regression vs min_speedup_vs_reference",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=Path("BENCH_sweep.json"),
+        help="output path for the machine-readable result (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    compare = args.compare_reference or args.check_floor is not None
+
+    rows = measure_grids(args.jobs, args.branches, compare)
+    for entry in rows:
+        line = f"{entry['grid']:20s} {entry['cells_per_sec']:>8.2f} cells/s"
+        if "speedup_vs_reference" in entry:
+            line += (
+                f"   (reference {entry['reference_cells_per_sec']:>8.2f} cells/s,"
+                f" {entry['speedup_vs_reference']:.2f}x)"
+            )
+        print(line)
+    stamp = measure_duplicate_stamp(args.branches)
+    print(
+        f"duplicate stamp: clone {stamp['clone_us']:.1f}µs vs deepcopy "
+        f"{stamp['deepcopy_us']:.1f}µs ({stamp['speedup_vs_deepcopy']:.1f}x)"
+    )
+
+    payload = {
+        "schema": "bench-sweep/1",
+        "jobs": args.jobs,
+        "branches_per_cell": args.branches,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "grids": rows,
+        "duplicate_stamp": stamp,
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.json}")
+
+    if args.check_floor is not None:
+        failures = check_floor(rows, args.check_floor)
+        if failures:
+            for failure in failures:
+                print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"floor check passed ({args.check_floor})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
