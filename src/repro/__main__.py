@@ -483,7 +483,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ],
         }
         with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
+            # allow_nan=False: fail loudly if any non-finite float sneaks
+            # into a summary instead of silently emitting invalid JSON.
+            json.dump(payload, fh, indent=2, sort_keys=True, allow_nan=False)
             fh.write("\n")
         print(f"wrote {len(cells)} cell result(s) to {args.out}", file=sys.stderr)
     _print_cache_stats(engine)

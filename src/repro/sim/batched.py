@@ -1,0 +1,1333 @@
+"""Batched structure-of-arrays simulation kernel.
+
+An alternative backend for :func:`repro.sim.driver.simulate`, selected
+via ``SimulationConfig.backend = "batched"``. Same machines, same event
+order, same numbers — the differential tests pin it bit-for-bit against
+the scalar loop and the frozen reference kernel — but organised around
+flat parallel arrays instead of pooled handle objects:
+
+* the committed branch stream is prediction-independent, so the
+  architectural executor resolves it **once, up front**, into
+  structure-of-arrays trace columns; per-branch quantities that depend
+  only on the branch pc — BTB set/tag pairs, each predictor's pc-side
+  index constants — are then precomputed in one vectorized numpy pass;
+* the in-flight window lives in **structure-of-arrays rings** (one plain
+  list per field) instead of a ring of ``InflightBranch`` objects;
+* predictor/BTB/RAS/walker operations are **fused into the kernel**: per
+  branch the loop does raw list indexing and integer arithmetic instead
+  of a stack of method calls;
+* while the front end sits on the committed path, a fetch is pure column
+  reads plus one table probe — the CFG walk and RAS maintenance only
+  run for wrong-path fetches between a divergence and its flush.
+
+Memory note: the trace columns make a batched run O(n_branches) in
+memory (a handful of machine words per branch) where the scalar loop is
+O(window). That is the deliberate trade for throughput.
+
+``simulate_batched`` specializes the system shapes the sweeps actually
+run — :class:`SinglePredictorSystem` and :class:`ProphetCriticSystem`
+over the table predictors (2bc-gskew, gshare, gas, bimodal) with the
+tagged-gshare critic — and returns None for anything else (including
+when numpy is unavailable), telling the driver to fall back to the
+scalar loop.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is part of the toolchain
+    np = None
+
+from repro.core.critiques import CritiqueKind
+from repro.core.hybrid import ProphetCriticSystem, SinglePredictorSystem
+from repro.engine.btb import BranchTargetBuffer
+from repro.engine.executor import ArchitecturalExecutor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gas import GAsPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.gskew import TwoBcGskewPredictor
+from repro.predictors.tagged_gshare import TaggedGsharePredictor
+from repro.sim.driver import SimulationDesyncError
+from repro.sim.metrics import RunStats
+
+#: Must match SpeculativeWalker/ArchitecturalExecutor defaults: the
+#: compiled-CFG pair limit and the drop-oldest RAS bound.
+_RAS_CAPACITY = 64
+
+_GSKEW, _GSHARE, _GAS, _BIMODAL = 1, 2, 3, 4
+
+#: Exact-type dispatch: subclasses may override behaviour the fused
+#: kernels inline, so they fall back to the scalar loop.
+_PROPHET_KINDS = {
+    TwoBcGskewPredictor: _GSKEW,
+    GsharePredictor: _GSHARE,
+    GAsPredictor: _GAS,
+    BimodalPredictor: _BIMODAL,
+}
+
+
+# -- structure-of-arrays predictor helpers ----------------------------------
+#
+# Each batch helper evaluates one predictor over parallel (pc, history)
+# arrays, reading the predictor's live counter lists. Index math runs in
+# numpy; counter gathers go through listcomp/fromiter on the raw Python
+# lists (converting a whole table to an array per call would cost more
+# than the batch saves). Constant hash tables are cached on the
+# predictor as numpy arrays on first use.
+
+
+def _np_table(predictor, attr: str, values) -> "np.ndarray":
+    """Cache a constant lookup table on the predictor as int64 ndarray."""
+    cached = getattr(predictor, attr, None)
+    if cached is None:
+        cached = np.asarray(values, dtype=np.int64)
+        setattr(predictor, attr, cached)
+    return cached
+
+
+def batch_predict_gskew(predictor, pcs, histories):
+    """Vectorized ``TwoBcGskewPredictor.predict_packed``.
+
+    Returns ``(preds, packed)``: a bool ndarray of predictions and the
+    list of packed bank-index states (Python ints — the packed word can
+    exceed 63 bits at large geometries).
+    """
+    n = predictor._index_bits
+    imask = predictor._index_mask
+    h_np = _np_table(predictor, "_h_np", predictor._h_table)
+    hinv_np = _np_table(predictor, "_hinv_np", predictor._hinv_table)
+    v1 = (pcs >> 2) & imask
+    v2 = ((histories & predictor._history_mask) ^ (pcs >> predictor._pc_high_shift)) & imask
+    hv1 = h_np[v1]
+    hinv_v2 = hinv_np[v2]
+    g0_idx = hv1 ^ hinv_v2 ^ v2
+    g1_idx = hv1 ^ hinv_v2 ^ v1
+    meta_idx = hinv_np[v1] ^ h_np[v2] ^ v2
+    v1_l = v1.tolist()
+    g0_l = g0_idx.tolist()
+    g1_l = g1_idx.tolist()
+    meta_l = meta_idx.tolist()
+    count = len(v1_l)
+    bim_raw = predictor._bim_raw
+    g0_raw = predictor._g0_raw
+    g1_raw = predictor._g1_raw
+    meta_raw = predictor._meta_raw
+    bim_t = np.fromiter((bim_raw[i] for i in v1_l), dtype=np.int64, count=count) > 1
+    g0_t = np.fromiter((g0_raw[i] for i in g0_l), dtype=np.int64, count=count) > 1
+    g1_t = np.fromiter((g1_raw[i] for i in g1_l), dtype=np.int64, count=count) > 1
+    meta_t = np.fromiter((meta_raw[i] for i in meta_l), dtype=np.int64, count=count) > 1
+    majority = (bim_t.astype(np.int64) + g0_t + g1_t) >= 2
+    preds = np.where(meta_t, majority, bim_t)
+    n2 = 2 * n
+    n3 = 3 * n
+    packed = [
+        v1_l[i] | (g0_l[i] << n) | (g1_l[i] << n2) | (meta_l[i] << n3)
+        for i in range(count)
+    ]
+    return preds, packed
+
+
+def batch_predict_gshare(predictor, pcs, histories):
+    """Vectorized ``GsharePredictor.predict_packed`` → (preds, indices)."""
+    idx = ((pcs >> 2) ^ (histories & predictor._history_mask)) & predictor._index_mask
+    idx_l = idx.tolist()
+    raw = predictor._raw
+    mid = predictor._midpoint
+    preds = np.fromiter((raw[i] for i in idx_l), dtype=np.int64, count=len(idx_l)) > mid
+    return preds, idx_l
+
+
+def batch_predict_gas(predictor, pcs, histories):
+    """Vectorized ``GAsPredictor.predict_packed`` → (preds, indices)."""
+    hmask = (1 << predictor.history_length) - 1
+    smask = (1 << predictor.set_bits) - 1
+    idx = ((histories & hmask) << predictor.set_bits) | ((pcs >> 2) & smask)
+    idx_l = idx.tolist()
+    raw = predictor.table.raw
+    mid = predictor.table.midpoint
+    preds = np.fromiter((raw[i] for i in idx_l), dtype=np.int64, count=len(idx_l)) > mid
+    return preds, idx_l
+
+
+def batch_predict_bimodal(predictor, pcs, histories):
+    """Vectorized ``BimodalPredictor.predict_packed`` → (preds, indices)."""
+    idx = (pcs >> 2) & ((1 << predictor._index_bits) - 1)
+    idx_l = idx.tolist()
+    raw = predictor.table.raw
+    mid = predictor.table.midpoint
+    preds = np.fromiter((raw[i] for i in idx_l), dtype=np.int64, count=len(idx_l)) > mid
+    return preds, idx_l
+
+
+_BATCH_PREDICT = {
+    _GSKEW: batch_predict_gskew,
+    _GSHARE: batch_predict_gshare,
+    _GAS: batch_predict_gas,
+    _BIMODAL: batch_predict_bimodal,
+}
+
+
+def batch_hash_tagged_gshare(critic, pcs, histories):
+    """Vectorized ``TaggedGsharePredictor._hash_pair``.
+
+    Returns ``(set_indices, tags)`` as Python int lists. The rotated tag
+    fold reads the *raw* history (before masking), exactly like the
+    scalar hash.
+    """
+    values = histories & critic._history_mask
+    fi = pcs >> 2
+    for shift in critic._set_fold_shifts:
+        fi = fi ^ (values >> shift)
+    ftag = np.zeros_like(pcs)
+    for shift in critic._tag_fold_shifts:
+        ftag = ftag ^ (values >> shift)
+    ft2 = np.zeros_like(pcs)
+    if critic._tag_fold_shifts:
+        rotated = ((histories >> 1) | ((histories & 1) << critic._rotate_shift)) & critic._history_mask
+        for shift in critic._tag_fold_shifts:
+            ft2 = ft2 ^ (rotated >> shift)
+    tags = (
+        (pcs >> 5) ^ (pcs >> (5 + critic.tag_bits)) ^ ftag ^ (ft2 << 1)
+    ) & critic._tag_mask
+    sets = fi & critic._set_mask
+    return sets.tolist(), tags.tolist()
+
+
+# -- flat CFG segments ------------------------------------------------------
+#
+# The kernels walk a per-block table of flat tuples instead of
+# CompiledSegment objects + BasicBlock attribute chains. Slot layout:
+#
+#   0 uops   1 ras_ops|None   2 pc|None (None = no terminating branch)
+#   3 taken_target   4 fallthrough   5 next_block
+#   6 btb set index  7 btb tag
+#   8..11 prophet per-pc constants (kind-specific)
+#   12 critic fold seed (pc >> 2)   13 critic tag pc-part
+
+
+def _make_pc_consts(predictor, kind: int, critic):
+    """Per-branch-pc constant extractor for the flat segment table."""
+    tb5 = 5 + critic.tag_bits if critic is not None else 5
+    if kind == _GSKEW:
+        imask = predictor._index_mask
+        shift = predictor._pc_high_shift
+        h = predictor._h_table
+        hinv = predictor._hinv_table
+
+        def pc_consts(pc):
+            v1 = (pc >> 2) & imask
+            return v1, pc >> shift, h[v1], hinv[v1], pc >> 2, (pc >> 5) ^ (pc >> tb5)
+    elif kind == _GSHARE:
+
+        def pc_consts(pc):
+            return pc >> 2, 0, 0, 0, pc >> 2, (pc >> 5) ^ (pc >> tb5)
+    elif kind == _GAS:
+        smask = (1 << predictor.set_bits) - 1
+
+        def pc_consts(pc):
+            return (pc >> 2) & smask, 0, 0, 0, pc >> 2, (pc >> 5) ^ (pc >> tb5)
+    else:
+        imask = (1 << predictor._index_bits) - 1
+
+        def pc_consts(pc):
+            return (pc >> 2) & imask, 0, 0, 0, pc >> 2, (pc >> 5) ^ (pc >> tb5)
+
+    return pc_consts
+
+
+def _make_flattener(compiled, use_btb: bool, set_mask: int, set_bits: int, pc_consts):
+    """Return ``(flat, flatten)``: the lazy per-block flat-tuple table.
+
+    Straight-line ``next_block`` chains are collapsed into the entry of
+    their starting block — uop counts summed, RAS op lists concatenated
+    in walk order — so the walker reaches the next conditional branch
+    (or dynamic return) in a single table hit. ``next_block`` (slot 5)
+    is therefore always None in collapsed entries.
+    """
+    segments = compiled._segments
+    flat: dict = {}
+
+    def flatten(bid):
+        uops = 0
+        ops: list = []
+        cur = bid
+        while True:
+            seg = segments.get(cur)
+            if seg is None:
+                seg = compiled.segment(cur)
+            uops += seg.uops
+            if seg.ras_ops:
+                ops.extend(seg.ras_ops)
+            branch = seg.branch
+            if branch is not None:
+                pc = branch.pc
+                word = pc >> 2
+                c0, c1, c2, c3, k0, k1 = pc_consts(pc)
+                entry = (
+                    uops, tuple(ops) or None, pc,
+                    branch.taken_target, branch.fallthrough, None,
+                    word & set_mask if use_btb else 0,
+                    word >> set_bits if use_btb else 0,
+                    c0, c1, c2, c3, k0, k1,
+                )
+                break
+            nxt = seg.next_block
+            if nxt is None:
+                # Chain ends at a dynamic return: the next block comes
+                # off the walker's RAS.
+                entry = (
+                    uops, tuple(ops) or None, None, 0, 0, None,
+                    0, 0, 0, 0, 0, 0, 0, 0,
+                )
+                break
+            cur = nxt
+        flat[bid] = entry
+        return entry
+
+    return flat, flatten
+
+
+# -- dispatch ---------------------------------------------------------------
+
+
+def simulate_batched(program, system, config):
+    """Run the batched kernel, or return None for unsupported shapes."""
+    if type(system) is SinglePredictorSystem:
+        kind = _PROPHET_KINDS.get(type(system.predictor))
+        if kind is None:
+            return None
+        return _simulate_single(program, system, config, kind)
+    if type(system) is ProphetCriticSystem:
+        kind = _PROPHET_KINDS.get(type(system.prophet))
+        if kind is None or type(system.critic) is not TaggedGsharePredictor:
+            return None
+        return _simulate_hybrid(program, system, config, kind)
+    return None
+
+
+# -- single-predictor kernel ------------------------------------------------
+#
+# With future_bits == 0 every critique is trivially eligible the moment
+# its branch is fetched, produces final == prophet (never a redirect)
+# and has no side effects, so the scalar driver's three-arm loop
+# provably collapses to: fetch one branch while the window holds at most
+# `depth` entries, otherwise resolve one. Fetch bursts are single-fetch
+# (the just-fetched branch immediately satisfies its own target_seq),
+# resolve bursts are single-resolve, the census can only ever contain
+# CORRECT_NONE / INCORRECT_NONE, and seq bookkeeping drops out.
+#
+# The kernel then exploits one more structural fact: the architectural
+# executor never observes the front end, so the committed branch stream
+# is a pure function of the program. It is resolved once, up front, into
+# structure-of-arrays trace columns, and everything derivable from the
+# trace pcs alone — BTB set/tag pairs, each predictor's pc-side index
+# constants — is precomputed in one vectorized numpy pass. While the
+# front end is on the committed path ("aligned", which is everywhere
+# except between a divergent fetch and the flush that follows it) a
+# fetch needs no CFG walk and no RAS maintenance at all: it reads trace
+# columns, probes the BTB, and predicts from the precomputed constants.
+# Only wrong-path fetches (at most depth+1 per flush) walk the flat CFG
+# table, and every flush re-aligns the front end with the trace.
+
+
+def _architectural_trace(program, n: int):
+    """Columns of the first ``n`` committed branches, memoized.
+
+    The architectural stream never observes the front end, so the trace
+    is a pure function of the (deterministic) program — independent of
+    predictor, BTB, and window configuration — and prefix-stable in
+    ``n``. The longest trace built so far is cached on the program
+    object and shorter requests are served as slices, so sweeping many
+    systems over one program pays for the executor walk once. Memory is
+    O(n) per program; ``Program.reset()`` leaves the cache intact (the
+    replay is deterministic from reset state by construction).
+
+    Returns ``(t_pc, t_tk, t_uops, t_tt, t_ft, t_snap)``: per-branch pc,
+    outcome, uop count, taken target, fallthrough, and post-resolve RAS
+    snapshot.
+    """
+    cached = getattr(program, "_trace_cache", None)
+    if cached is not None and cached[0] >= n:
+        if cached[0] == n:
+            return cached[1]
+        return tuple(col[:n] for col in cached[1])
+    program.reset()
+    executor = ArchitecturalExecutor(program)
+    t_pc = [0] * n
+    t_tk = [False] * n
+    t_uops = [0] * n
+    t_tt = [0] * n
+    t_ft = [0] * n
+    t_snap = [()] * n
+    resolve_next = executor.resolve_next
+    ras_snapshot = executor._ras.snapshot
+    for i in range(n):
+        pc, taken, uops = resolve_next()
+        br = executor._last_branch
+        t_pc[i] = pc
+        t_tk[i] = taken
+        t_uops[i] = uops
+        t_tt[i] = br.taken_target
+        t_ft[i] = br.fallthrough
+        t_snap[i] = ras_snapshot()
+    cols = (t_pc, t_tk, t_uops, t_tt, t_ft, t_snap)
+    program._trace_cache = (n, cols)
+    return cols
+
+
+def _simulate_single(program, system, config, kind: int):
+    if np is None:
+        return None
+    program.reset()
+    compiled = program.compiled(pair_limit=_RAS_CAPACITY)
+    entry = program.entry
+    n_branches = config.n_branches
+
+    # Architectural trace: SoA columns of the committed stream, built by
+    # exactly n_branches resolve_next() calls (memoized across runs).
+    t_pc, t_tk, t_uops, t_tt, t_ft, t_snap = _architectural_trace(
+        program, n_branches
+    )
+
+    use_btb = config.use_btb
+    if use_btb:
+        btb = BranchTargetBuffer(config.btb_entries, config.btb_ways)
+        b_sets = btb._sets
+        b_set_mask = btb._set_mask
+        b_set_bits = btb._set_bits
+        b_ways = btb.ways
+    else:
+        b_sets = b_set_mask = b_set_bits = b_ways = None
+
+    predictor = system.predictor
+    update_packed = system._update_packed
+    pc_consts = _make_pc_consts(predictor, kind, None)
+    flat, flatten = _make_flattener(
+        compiled, use_btb, b_set_mask or 0, b_set_bits or 0, pc_consts
+    )
+
+    # ---- vectorized precompute over the trace pcs ----------------------
+    if n_branches:
+        pcs = np.fromiter(t_pc, dtype=np.int64, count=n_branches)
+    else:
+        pcs = np.zeros(0, dtype=np.int64)
+    if use_btb:
+        words = pcs >> 2
+        a_si = (words & b_set_mask).tolist()
+        a_tag = (words >> b_set_bits).tolist()
+    else:
+        a_si = a_tag = [0] * n_branches
+
+    # Per-kind hoisted constants + per-branch pc-side index columns.
+    if kind == _GSKEW:
+        gk_n = predictor._index_bits
+        gk_n2 = 2 * gk_n
+        gk_n3 = 3 * gk_n
+        gk_imask = predictor._index_mask
+        gk_hmask = predictor._history_mask
+        gk_h = predictor._h_table
+        gk_hinv = predictor._hinv_table
+        gk_bim = predictor._bim_raw
+        gk_g0 = predictor._g0_raw
+        gk_g1 = predictor._g1_raw
+        gk_meta = predictor._meta_raw
+        v1_np = (pcs >> 2) & gk_imask
+        a_v1 = v1_np.tolist()
+        a_pch = (pcs >> predictor._pc_high_shift).tolist()
+        a_h1 = _np_table(predictor, "_h_np", gk_h)[v1_np].tolist()
+        a_hi1 = _np_table(predictor, "_hinv_np", gk_hinv)[v1_np].tolist()
+        f_rows = list(zip(t_uops, t_tk, a_si, a_tag, a_v1, a_pch, a_h1, a_hi1))
+    elif kind == _GSHARE:
+        gs_hmask = predictor._history_mask
+        gs_imask = predictor._index_mask
+        gs_raw = predictor._raw
+        gs_mid = predictor._midpoint
+        a_c = (pcs >> 2).tolist()
+        f_rows = list(zip(t_uops, t_tk, a_si, a_tag, a_c))
+    elif kind == _GAS:
+        ga_hmask = (1 << predictor.history_length) - 1
+        ga_sb = predictor.set_bits
+        ga_raw = predictor.table.raw
+        ga_mid = predictor.table.midpoint
+        a_c = ((pcs >> 2) & ((1 << ga_sb) - 1)).tolist()
+        f_rows = list(zip(t_uops, t_tk, a_si, a_tag, a_c))
+    else:
+        bm_raw = predictor.table.raw
+        bm_mid = predictor.table.midpoint
+        a_c = ((pcs >> 2) & ((1 << predictor._index_bits) - 1)).tolist()
+        f_rows = list(zip(t_uops, t_tk, a_si, a_tag, a_c))
+    # Fused per-branch rows: one tuple unpack per event in the hot loops
+    # instead of half a dozen list indexings.
+    res_rows = list(zip(t_pc, t_tk, t_uops, a_si, a_tag))
+
+    stats = RunStats(benchmark=program.name, system=type(system).__name__)
+    depth = config.effective_depth(0)
+    warmup = config.warmup
+    collect_per_site = config.collect_per_site
+
+    # Structure-of-arrays in-flight ring (pending never exceeds depth+1).
+    # Only aligned-fetched entries are stored: the ring row at `head` is
+    # trace row `resolved` by construction, so no pc column is kept.
+    cap = depth + 8
+    r_pred = [False] * cap
+    r_bhr = [0] * cap
+    r_state = [0] * cap
+    r_static = [False] * cap
+    head = 0
+    tail = 0
+    resolved = 0
+    warmup_fetched = 0
+    fetched_uops = 0
+
+    bhr = system.bhr
+    bhr_val = bhr._value
+    bhr_mask = bhr._mask
+
+    # Flat walker state, materialised only while off the committed path:
+    # current block and RAS list. (Wrong-path ring entries are only ever
+    # flushed, never resolved, so no snapshots need to be kept for them.)
+    w_block = entry
+    ras: list = []
+    #: True while the front end walks the committed path; `tail` is then
+    #: the absolute trace index of the next fetch and the ring holds
+    #: trace branches head..tail-1.
+    aligned = True
+
+    # Measurement counters (flushed into stats at the end).
+    st_branches = st_uops = st_taken = st_static = st_misp = st_pmisp = 0
+    c_cn = c_in = 0
+    site: dict = {}
+
+    if not config.collect_predictor_stats:
+        system.set_stats_enabled(False)
+    gk_stats_on = kind == _GSKEW and predictor.stats_enabled
+    gk_record = predictor.stats.record
+    flat_get = flat.get
+    try:
+        while resolved < n_branches:
+            if tail - head <= depth:
+                # ---- fetch arm -------------------------------------------
+                # The window is open; fill it completely (the scalar loop
+                # also fetches back-to-back until pending == depth+1, so
+                # bursting keeps the exact event order).
+                if aligned:
+                    # Aligned burst: the walker provably sits on the
+                    # committed path, so the trace columns *are* the walk
+                    # — no CFG traversal, no RAS bookkeeping.
+                    fill = head + depth + 1
+                    if fill > n_branches:
+                        fill = n_branches
+                    m = tail
+                    s = m % cap
+                    if kind == _GSKEW:
+                        while m < fill:
+                            uops, taken, si, tag, v1, pch, h1, hi1 = f_rows[m]
+                            fetched_uops += uops
+                            if use_btb:
+                                row = b_sets[si]
+                                if tag in row:
+                                    if row[-1] != tag:
+                                        row.remove(tag)
+                                        row.append(tag)
+                                    dyn = True
+                                else:
+                                    dyn = False
+                            else:
+                                dyn = True
+                            r_bhr[s] = bhr_val
+                            if dyn:
+                                v2 = ((bhr_val & gk_hmask) ^ pch) & gk_imask
+                                hinv_v2 = gk_hinv[v2]
+                                g0 = h1 ^ hinv_v2 ^ v2
+                                g1 = h1 ^ hinv_v2 ^ v1
+                                meta = hi1 ^ gk_h[v2] ^ v2
+                                bim = gk_bim[v1] > 1
+                                if gk_meta[meta] > 1:
+                                    pred = (bim + (gk_g0[g0] > 1) + (gk_g1[g1] > 1)) >= 2
+                                else:
+                                    pred = bim
+                                r_static[s] = False
+                                r_pred[s] = pred
+                                r_state[s] = (
+                                    v1 | (g0 << gk_n) | (g1 << gk_n2) | (meta << gk_n3)
+                                )
+                                bhr_val = ((bhr_val << 1) | pred) & bhr_mask
+                                if pred != taken:
+                                    # Divergent fetch: materialise the
+                                    # walker at the wrongly chosen target.
+                                    aligned = False
+                                    w_block = t_tt[m] if pred else t_ft[m]
+                                    ras[:] = t_snap[m]
+                                    m += 1
+                                    break
+                            else:
+                                r_static[s] = True
+                                r_pred[s] = False
+                                if taken:
+                                    # Static (BTB-miss) branch taken: the
+                                    # walker falls through, off the path.
+                                    aligned = False
+                                    w_block = t_ft[m]
+                                    ras[:] = t_snap[m]
+                                    m += 1
+                                    break
+                            m += 1
+                            s += 1
+                            if s == cap:
+                                s = 0
+                    else:
+                        while m < fill:
+                            uops, taken, si, tag, c = f_rows[m]
+                            fetched_uops += uops
+                            if use_btb:
+                                row = b_sets[si]
+                                if tag in row:
+                                    if row[-1] != tag:
+                                        row.remove(tag)
+                                        row.append(tag)
+                                    dyn = True
+                                else:
+                                    dyn = False
+                            else:
+                                dyn = True
+                            r_bhr[s] = bhr_val
+                            if dyn:
+                                if kind == _GSHARE:
+                                    state = (c ^ (bhr_val & gs_hmask)) & gs_imask
+                                    pred = gs_raw[state] > gs_mid
+                                elif kind == _GAS:
+                                    state = ((bhr_val & ga_hmask) << ga_sb) | c
+                                    pred = ga_raw[state] > ga_mid
+                                else:
+                                    state = c
+                                    pred = bm_raw[state] > bm_mid
+                                r_static[s] = False
+                                r_pred[s] = pred
+                                r_state[s] = state
+                                bhr_val = ((bhr_val << 1) | pred) & bhr_mask
+                                if pred != taken:
+                                    aligned = False
+                                    w_block = t_tt[m] if pred else t_ft[m]
+                                    ras[:] = t_snap[m]
+                                    m += 1
+                                    break
+                            else:
+                                r_static[s] = True
+                                r_pred[s] = False
+                                if taken:
+                                    aligned = False
+                                    w_block = t_ft[m]
+                                    ras[:] = t_snap[m]
+                                    m += 1
+                                    break
+                            m += 1
+                            s += 1
+                            if s == cap:
+                                s = 0
+                    tail = m
+                    if aligned and m >= n_branches and tail - head <= depth:
+                        # Trace exhausted while aligned: speculative
+                        # fetches beyond branch n continue on the live
+                        # walker.
+                        aligned = False
+                        last = m - 1
+                        if r_static[last % cap]:
+                            w_block = t_ft[last]
+                        else:
+                            w_block = t_tt[last] if t_tk[last] else t_ft[last]
+                        ras[:] = t_snap[last]
+                if not aligned:
+                    # Wrong-path (or post-trace) fill: walk the flat CFG.
+                    # These entries are discarded by the coming flush and
+                    # never resolved, so nothing is stored in the ring —
+                    # only their observable side effects happen: fetched
+                    # uops, BTB LRU refreshes, and the speculative BHR
+                    # bits that steer further wrong-path predictions.
+                    limit = head + depth + 1
+                    while tail < limit:
+                        bid = w_block
+                        uops = 0
+                        while True:
+                            fs = flat_get(bid)
+                            if fs is None:
+                                fs = flatten(bid)
+                            uops += fs[0]
+                            ops = fs[1]
+                            if ops is not None:
+                                for op in ops:
+                                    if op >= 0:
+                                        if len(ras) >= _RAS_CAPACITY:
+                                            del ras[0]
+                                        ras.append(op)
+                                    else:
+                                        ras.pop()
+                            if fs[2] is not None:
+                                break
+                            if ras:
+                                bid = ras.pop()
+                            else:
+                                bid = entry
+                        fetched_uops += uops
+                        tail += 1
+                        _, _, _, tkb, ftb, _, si, tag, c0, c1, c2, c3, _k0, _k1 = fs
+                        if use_btb:
+                            row = b_sets[si]
+                            if tag in row:
+                                if row[-1] != tag:
+                                    row.remove(tag)
+                                    row.append(tag)
+                                dyn = True
+                            else:
+                                dyn = False
+                        else:
+                            dyn = True
+                        if dyn:
+                            if kind == _GSKEW:
+                                v2 = ((bhr_val & gk_hmask) ^ c1) & gk_imask
+                                bim = gk_bim[c0] > 1
+                                if gk_meta[c3 ^ gk_h[v2] ^ v2] > 1:
+                                    hinv_v2 = gk_hinv[v2]
+                                    g0 = c2 ^ hinv_v2 ^ v2
+                                    g1 = c2 ^ hinv_v2 ^ c0
+                                    pred = (
+                                        bim + (gk_g0[g0] > 1) + (gk_g1[g1] > 1)
+                                    ) >= 2
+                                else:
+                                    pred = bim
+                            elif kind == _GSHARE:
+                                pred = gs_raw[(c0 ^ (bhr_val & gs_hmask)) & gs_imask] > gs_mid
+                            elif kind == _GAS:
+                                pred = ga_raw[((bhr_val & ga_hmask) << ga_sb) | c0] > ga_mid
+                            else:
+                                pred = bm_raw[c0] > bm_mid
+                            bhr_val = ((bhr_val << 1) | pred) & bhr_mask
+                        else:
+                            pred = False
+                        w_block = tkb if pred else ftb
+
+            # ---- resolve arm --------------------------------------------
+            # Only aligned-fetched entries ever reach the head (the
+            # divergent entry flushes everything fetched after it), so the
+            # ring row at `head` is trace row `resolved` by construction.
+            s = head % cap
+            i = resolved
+            pc, taken, uops, si, tag = res_rows[i]
+            statc = r_static[s]
+            if i >= warmup:
+                st_branches += 1
+                st_uops += uops
+                if taken:
+                    st_taken += 1
+                if statc:
+                    st_static += 1
+                    if taken:
+                        st_misp += 1
+                        st_pmisp += 1
+                else:
+                    p = r_pred[s]
+                    if p == taken:
+                        c_cn += 1
+                    else:
+                        c_in += 1
+                        st_misp += 1
+                        st_pmisp += 1
+                    if collect_per_site:
+                        row = site.get(pc)
+                        if row is None:
+                            site[pc] = row = [0, 0, 0, 0, 0]
+                        row[0] += 1
+                        if p != taken:
+                            row[1] += 1
+                            row[2] += 1
+            if statc:
+                if use_btb:
+                    row = b_sets[si]
+                    if tag in row:
+                        row.remove(tag)
+                    elif len(row) >= b_ways:
+                        row.pop(0)
+                    row.append(tag)
+                mispredicted = taken
+
+            else:
+                p = r_pred[s]
+                if kind == _GSKEW:
+                    # Inlined TwoBcGskewPredictor.update_packed.
+                    if gk_stats_on:
+                        gk_record(p == taken)
+                    packed = r_state[s]
+                    bi = packed & gk_imask
+                    g0i = (packed >> gk_n) & gk_imask
+                    g1i = (packed >> gk_n2) & gk_imask
+                    mi = packed >> gk_n3
+                    bv = gk_bim[bi]
+                    g0v = gk_g0[g0i]
+                    g1v = gk_g1[g1i]
+                    bim = bv > 1
+                    g0 = g0v > 1
+                    g1 = g1v > 1
+                    mm = gk_meta[mi] > 1
+                    majority = (bim + g0 + g1) >= 2
+                    overall = majority if mm else bim
+                    if taken:
+                        if overall:
+                            if mm:
+                                if bim and bv < 3:
+                                    gk_bim[bi] = bv + 1
+                                if g0 and g0v < 3:
+                                    gk_g0[g0i] = g0v + 1
+                                if g1 and g1v < 3:
+                                    gk_g1[g1i] = g1v + 1
+                            elif bv < 3:
+                                gk_bim[bi] = bv + 1
+                        else:
+                            if bv < 3:
+                                gk_bim[bi] = bv + 1
+                            if g0v < 3:
+                                gk_g0[g0i] = g0v + 1
+                            if g1v < 3:
+                                gk_g1[g1i] = g1v + 1
+                    else:
+                        if not overall:
+                            if mm:
+                                if not bim and bv > 0:
+                                    gk_bim[bi] = bv - 1
+                                if not g0 and g0v > 0:
+                                    gk_g0[g0i] = g0v - 1
+                                if not g1 and g1v > 0:
+                                    gk_g1[g1i] = g1v - 1
+                            elif bv > 0:
+                                gk_bim[bi] = bv - 1
+                        else:
+                            if bv > 0:
+                                gk_bim[bi] = bv - 1
+                            if g0v > 0:
+                                gk_g0[g0i] = g0v - 1
+                            if g1v > 0:
+                                gk_g1[g1i] = g1v - 1
+                    if bim != majority:
+                        mv = gk_meta[mi]
+                        if majority == taken:
+                            if mv < 3:
+                                gk_meta[mi] = mv + 1
+                        elif mv > 0:
+                            gk_meta[mi] = mv - 1
+                else:
+                    update_packed(pc, r_bhr[s], taken, p, r_state[s])
+                mispredicted = p != taken
+            head += 1
+            resolved = i + 1
+            if resolved == warmup:
+                warmup_fetched = fetched_uops
+            if mispredicted:
+                bhr_val = ((r_bhr[s] << 1) | (1 if taken else 0)) & bhr_mask
+                # Flush re-aligns the front end with the trace; the
+                # walker state is rebuilt from trace columns at the next
+                # divergence, so nothing else to restore.
+                aligned = True
+                tail = head
+    finally:
+        if not config.collect_predictor_stats:
+            system.set_stats_enabled(True)
+        bhr._value = bhr_val
+
+    stats.branches = st_branches
+    stats.committed_uops = st_uops
+    stats.taken_branches = st_taken
+    stats.static_branches = st_static
+    stats.mispredicts = st_misp
+    stats.prophet_mispredicts = st_pmisp
+    counts = stats.census.counts
+    counts[CritiqueKind.CORRECT_NONE] = c_cn
+    counts[CritiqueKind.INCORRECT_NONE] = c_in
+    if site:
+        stats.per_site = site
+    stats.fetched_uops = max(0, fetched_uops - warmup_fetched)
+    return stats
+
+
+# -- prophet/critic hybrid kernel -------------------------------------------
+#
+# The hybrid keeps the scalar driver's full three-arm event loop
+# (critique / fetch burst / resolve burst) verbatim — future bits make
+# the arm interleaving data-dependent — but fuses every operation the
+# arms perform: walker traversal, BTB, prophet predict, the critic's
+# fold hash + tag filter + counter train, and both history registers as
+# plain local ints. The in-flight window is the same structure-of-arrays
+# ring as the single kernel, widened with the critique-time fields.
+
+
+def _simulate_hybrid(program, system, config, kind: int):
+    if np is None:
+        return None
+    program.reset()
+    compiled = program.compiled(pair_limit=_RAS_CAPACITY)
+    entry = program.entry
+    n_resolved = config.n_branches
+
+    # Architectural trace, resolved up front (the executor never observes
+    # the front end): exactly n_branches resolve_next() calls, memoized.
+    t_pc, t_tk, t_uops, _, _, _ = _architectural_trace(program, n_resolved)
+
+    use_btb = config.use_btb
+    if use_btb:
+        btb = BranchTargetBuffer(config.btb_entries, config.btb_ways)
+        b_sets = btb._sets
+        b_set_mask = btb._set_mask
+        b_set_bits = btb._set_bits
+        b_ways = btb.ways
+    else:
+        b_sets = b_set_mask = b_set_bits = b_ways = None
+
+    prophet = system.prophet
+    critic = system.critic
+    prophet_update = prophet.update_packed
+    pc_consts = _make_pc_consts(prophet, kind, critic)
+    flat, flatten = _make_flattener(
+        compiled, use_btb, b_set_mask or 0, b_set_bits or 0, pc_consts
+    )
+
+    if kind == _GSKEW:
+        gk_n = prophet._index_bits
+        gk_n2 = 2 * gk_n
+        gk_n3 = 3 * gk_n
+        gk_imask = prophet._index_mask
+        gk_hmask = prophet._history_mask
+        gk_h = prophet._h_table
+        gk_hinv = prophet._hinv_table
+        gk_bim = prophet._bim_raw
+        gk_g0 = prophet._g0_raw
+        gk_g1 = prophet._g1_raw
+        gk_meta = prophet._meta_raw
+    elif kind == _GSHARE:
+        gs_hmask = prophet._history_mask
+        gs_imask = prophet._index_mask
+        gs_raw = prophet._raw
+        gs_mid = prophet._midpoint
+    elif kind == _GAS:
+        ga_hmask = (1 << prophet.history_length) - 1
+        ga_sb = prophet.set_bits
+        ga_raw = prophet.table.raw
+        ga_mid = prophet.table.midpoint
+    else:
+        bm_raw = prophet.table.raw
+        bm_mid = prophet.table.midpoint
+
+    # Critic constants (tagged gshare: fold hash + tag filter + counters).
+    c_ways = critic.ways
+    c_set_mask = critic._set_mask
+    c_tag_mask = critic._tag_mask
+    c_hmask = critic._history_mask
+    c_rot = critic._rotate_shift
+    c_set_shifts = critic._set_fold_shifts
+    c_tag_shifts = critic._tag_fold_shifts
+    c_counters = critic._counters_raw
+    filt = critic.filter
+    f_tags = filt._tags
+    f_lru = filt._lru
+    filter_insert = filt.insert
+
+    stats = RunStats(benchmark=program.name, system=type(system).__name__)
+    required_bits = max(system.future_bits, 0)
+    use_live_bor = system.future_bits >= 1
+    insert_final = system._insert_on_final
+    depth = config.effective_depth(required_bits)
+    hard_cap = depth + 8
+    n_branches = config.n_branches
+    warmup = config.warmup
+    collect_per_site = config.collect_per_site
+
+    # Structure-of-arrays in-flight ring.
+    cap = hard_cap
+    r_pc = [0] * cap
+    r_pred = [False] * cap
+    r_bhrb = [0] * cap
+    r_borb = [0] * cap
+    r_seq = [0] * cap
+    r_static = [False] * cap
+    r_state = [0] * cap
+    r_final = [False] * cap
+    r_chit = [False] * cap
+    r_cpred = [None] * cap
+    r_cix = [0] * cap
+    r_ctag = [0] * cap
+    r_borc = [0] * cap
+    r_snap = [()] * cap
+    r_tkb = [0] * cap
+    r_ftb = [0] * cap
+    r_k0 = [0] * cap
+    r_k1 = [0] * cap
+    head = 0
+    tail = 0
+    critiqued = 0
+    next_seq = 0
+    resolved = 0
+    warmup_fetched = 0
+    fetched_uops = 0
+
+    bhr = system.bhr
+    bor = system.bor
+    bhr_val = bhr._value
+    bhr_mask = bhr._mask
+    bor_val = bor._value
+    bor_mask = bor._mask
+
+    w_block = entry
+    ras: list = []
+    ras_ver = 1
+    snap_ver = 0
+    ras_snap: tuple = ()
+
+    st_branches = st_uops = st_taken = st_static = st_misp = st_pmisp = 0
+    st_forced = st_credir = 0
+    n_ca = n_cd = n_ia = n_id = n_cn = n_in = 0
+    f_lookups = f_hits = 0
+    site: dict = {}
+
+    if not config.collect_predictor_stats:
+        system.set_stats_enabled(False)
+    # Hoist after the toggle so the critic's stats gate is the live one.
+    c_stats_on = critic.stats_enabled
+    c_record = critic.stats.record
+    try:
+        while resolved < n_branches:
+            pending = tail - head
+            # 1) Critique arm (ordinary or forced, same eligibility logic
+            #    as the scalar driver).
+            forced = False
+            s = -1
+            if critiqued < pending:
+                s = (head + critiqued) % cap
+                if r_static[s] or next_seq - r_seq[s] >= required_bits:
+                    pass
+                elif pending >= hard_cap and not (critiqued > 0 and pending > depth):
+                    forced = True
+                else:
+                    s = -1
+            if s >= 0:
+                if forced and resolved >= warmup:
+                    st_forced += 1
+                if r_static[s]:
+                    r_final[s] = False
+                    r_chit[s] = False
+                    critiqued += 1
+                    continue
+                bor_value = bor_val if use_live_bor else r_borb[s]
+                r_borc[s] = bor_value
+                # Inline TaggedGsharePredictor._hash_pair.
+                value = bor_value & c_hmask
+                fi = r_k0[s]
+                for sh in c_set_shifts:
+                    fi ^= value >> sh
+                ftag = 0
+                for sh in c_tag_shifts:
+                    ftag ^= value >> sh
+                ft2 = 0
+                if c_tag_shifts:
+                    rotated = ((bor_value >> 1) | ((bor_value & 1) << c_rot)) & c_hmask
+                    for sh in c_tag_shifts:
+                        ft2 ^= rotated >> sh
+                tg = (r_k1[s] ^ ftag ^ (ft2 << 1)) & c_tag_mask
+                si = fi & c_set_mask
+                r_cix[s] = si
+                r_ctag[s] = tg
+                f_lookups += 1
+                ppred = r_pred[s]
+                frow = f_tags[si]
+                if tg in frow:
+                    way = frow.index(tg)
+                    f_hits += 1
+                    order = f_lru[si]
+                    if order[-1] != way:
+                        order.remove(way)
+                        order.append(way)
+                    cpred = c_counters[si * c_ways + way] > 1
+                    r_chit[s] = True
+                    r_cpred[s] = cpred
+                    final = cpred
+                else:
+                    r_chit[s] = False
+                    r_cpred[s] = None
+                    final = ppred
+                r_final[s] = final
+                critiqued += 1
+                if final != ppred:
+                    # Critic override: FTQ-confined flush + redirect.
+                    tail = head + critiqued
+                    bit = 1 if final else 0
+                    bhr_val = ((r_bhrb[s] << 1) | bit) & bhr_mask
+                    bor_val = ((r_borb[s] << 1) | bit) & bor_mask
+                    snap = r_snap[s]
+                    ras[:] = snap
+                    ras_ver += 1
+                    ras_snap = snap
+                    snap_ver = ras_ver
+                    w_block = r_tkb[s] if final else r_ftb[s]
+                    next_seq = r_seq[s] + 1
+                    if resolved >= warmup:
+                        st_credir += 1
+                continue
+
+            # 3) Fetch burst.
+            if pending < hard_cap and not (critiqued > 0 and pending > depth):
+                if critiqued < pending:
+                    have_candidate = True
+                    target_seq = r_seq[(head + critiqued) % cap] + required_bits
+                else:
+                    have_candidate = False
+                    target_seq = 0
+                while True:
+                    bid = w_block
+                    uops = 0
+                    while True:
+                        fs = flat.get(bid)
+                        if fs is None:
+                            fs = flatten(bid)
+                        uops += fs[0]
+                        ops = fs[1]
+                        if ops is not None:
+                            for op in ops:
+                                if op >= 0:
+                                    if len(ras) >= _RAS_CAPACITY:
+                                        del ras[0]
+                                    ras.append(op)
+                                else:
+                                    ras.pop()
+                            ras_ver += 1
+                        pc = fs[2]
+                        if pc is not None:
+                            break
+                        nb = fs[5]
+                        if nb is not None:
+                            bid = nb
+                        elif ras:
+                            bid = ras.pop()
+                            ras_ver += 1
+                        else:
+                            bid = entry
+                    fetched_uops += uops
+                    s = tail % cap
+                    tail += 1
+                    if use_btb:
+                        row = b_sets[fs[6]]
+                        t = fs[7]
+                        if t in row:
+                            if row[-1] != t:
+                                row.remove(t)
+                                row.append(t)
+                            dyn = True
+                        else:
+                            dyn = False
+                    else:
+                        dyn = True
+                    r_pc[s] = pc
+                    r_bhrb[s] = bhr_val
+                    r_borb[s] = bor_val
+                    r_tkb[s] = fs[3]
+                    r_ftb[s] = fs[4]
+                    r_k0[s] = fs[12]
+                    r_k1[s] = fs[13]
+                    if dyn:
+                        if kind == _GSKEW:
+                            v2 = ((bhr_val & gk_hmask) ^ fs[9]) & gk_imask
+                            hinv_v2 = gk_hinv[v2]
+                            g0 = fs[10] ^ hinv_v2 ^ v2
+                            g1 = fs[10] ^ hinv_v2 ^ fs[8]
+                            meta = fs[11] ^ gk_h[v2] ^ v2
+                            state = fs[8] | (g0 << gk_n) | (g1 << gk_n2) | (meta << gk_n3)
+                            bim = gk_bim[fs[8]] > 1
+                            if gk_meta[meta] > 1:
+                                pred = (bim + (gk_g0[g0] > 1) + (gk_g1[g1] > 1)) >= 2
+                            else:
+                                pred = bim
+                        elif kind == _GSHARE:
+                            state = (fs[8] ^ (bhr_val & gs_hmask)) & gs_imask
+                            pred = gs_raw[state] > gs_mid
+                        elif kind == _GAS:
+                            state = ((bhr_val & ga_hmask) << ga_sb) | fs[8]
+                            pred = ga_raw[state] > ga_mid
+                        else:
+                            state = fs[8]
+                            pred = bm_raw[state] > bm_mid
+                        r_static[s] = False
+                        r_pred[s] = pred
+                        r_state[s] = state
+                        bit = 1 if pred else 0
+                        bhr_val = ((bhr_val << 1) | bit) & bhr_mask
+                        bor_val = ((bor_val << 1) | bit) & bor_mask
+                        r_seq[s] = next_seq
+                        next_seq += 1
+                    else:
+                        r_static[s] = True
+                        r_pred[s] = False
+                        pred = False
+                        r_seq[s] = next_seq  # no BOR bit: no increment
+                    if snap_ver != ras_ver:
+                        ras_snap = tuple(ras)
+                        snap_ver = ras_ver
+                    r_snap[s] = ras_snap
+                    w_block = fs[3] if pred else fs[4]
+                    pending = tail - head
+                    if pending >= hard_cap:
+                        break
+                    if critiqued > 0 and pending > depth:
+                        break
+                    if not have_candidate:
+                        have_candidate = True
+                        if not dyn:
+                            break  # static: immediately critique-eligible
+                        target_seq = r_seq[s] + required_bits
+                    if next_seq >= target_seq:
+                        break
+                continue
+
+            # 2) Resolve burst.
+            while True:
+                s = head % cap
+                pc = t_pc[resolved]
+                taken = t_tk[resolved]
+                uops = t_uops[resolved]
+                if pc != r_pc[s]:
+                    raise SimulationDesyncError(
+                        f"committed branch {pc:#x} but front end fetched "
+                        f"{r_pc[s]:#x} (branch #{resolved})"
+                    )
+                statc = r_static[s]
+                if resolved >= warmup:
+                    st_branches += 1
+                    st_uops += uops
+                    if taken:
+                        st_taken += 1
+                    if statc:
+                        st_static += 1
+                        if taken:
+                            st_misp += 1
+                            st_pmisp += 1
+                    else:
+                        ppred = r_pred[s]
+                        pcorr = ppred == taken
+                        if not r_chit[s]:
+                            if pcorr:
+                                n_cn += 1
+                            else:
+                                n_in += 1
+                        elif r_cpred[s] == ppred:
+                            if pcorr:
+                                n_ca += 1
+                            else:
+                                n_ia += 1
+                        elif pcorr:
+                            n_cd += 1
+                        else:
+                            n_id += 1
+                        fm = r_final[s] != taken
+                        if not pcorr:
+                            st_pmisp += 1
+                        if fm:
+                            st_misp += 1
+                        if collect_per_site:
+                            row = site.get(pc)
+                            if row is None:
+                                site[pc] = row = [0, 0, 0, 0, 0]
+                            row[0] += 1
+                            if not pcorr:
+                                row[1] += 1
+                                if not fm:
+                                    row[3] += 1
+                            if fm:
+                                row[2] += 1
+                                if pcorr:
+                                    row[4] += 1
+                if statc:
+                    if use_btb:
+                        word = pc >> 2
+                        t = word >> b_set_bits
+                        row = b_sets[word & b_set_mask]
+                        if t in row:
+                            row.remove(t)
+                        elif len(row) >= b_ways:
+                            row.pop(0)
+                        row.append(t)
+                    mispredicted = taken
+                else:
+                    ppred = r_pred[s]
+                    prophet_update(pc, r_bhrb[s], taken, ppred, r_state[s])
+                    final = r_final[s]
+                    fmt = (final != taken) if insert_final else (ppred != taken)
+                    si = r_cix[s]
+                    tg = r_ctag[s]
+                    # Inline train_hashed: probe (no LRU/stats side
+                    # effects), train + touch on hit, insert on
+                    # final-mispredict miss.
+                    frow = f_tags[si]
+                    if tg in frow:
+                        way = frow.index(tg)
+                        idx = si * c_ways + way
+                        if c_stats_on:
+                            c_record((c_counters[idx] > 1) == taken)
+                        v = c_counters[idx]
+                        if taken:
+                            if v < 3:
+                                c_counters[idx] = v + 1
+                        elif v > 0:
+                            c_counters[idx] = v - 1
+                        order = f_lru[si]
+                        if order[-1] != way:
+                            order.remove(way)
+                            order.append(way)
+                    elif fmt:
+                        way, _evicted = filter_insert(si, tg)
+                        c_counters[si * c_ways + way] = 2 if taken else 1
+                    mispredicted = final != taken
+                head += 1
+                resolved += 1
+                if resolved == warmup:
+                    warmup_fetched = fetched_uops
+                if mispredicted:
+                    bit = 1 if taken else 0
+                    bhr_val = ((r_bhrb[s] << 1) | bit) & bhr_mask
+                    bor_val = ((r_borb[s] << 1) | bit) & bor_mask
+                    snap = r_snap[s]
+                    ras[:] = snap
+                    ras_ver += 1
+                    ras_snap = snap
+                    snap_ver = ras_ver
+                    w_block = r_tkb[s] if taken else r_ftb[s]
+                    tail = head
+                    critiqued = 0
+                    next_seq = r_seq[s] + 1
+                    break
+                critiqued -= 1
+                if resolved >= n_branches:
+                    break
+                if not (critiqued > 0 and tail - head > depth):
+                    break
+    finally:
+        if not config.collect_predictor_stats:
+            system.set_stats_enabled(True)
+        bhr._value = bhr_val
+        bor._value = bor_val
+        fstats = filt.stats
+        fstats.lookups += f_lookups
+        fstats.hits += f_hits
+
+    stats.branches = st_branches
+    stats.committed_uops = st_uops
+    stats.taken_branches = st_taken
+    stats.static_branches = st_static
+    stats.mispredicts = st_misp
+    stats.prophet_mispredicts = st_pmisp
+    stats.forced_critiques = st_forced
+    stats.critic_redirects = st_credir
+    counts = stats.census.counts
+    counts[CritiqueKind.CORRECT_AGREE] = n_ca
+    counts[CritiqueKind.CORRECT_DISAGREE] = n_cd
+    counts[CritiqueKind.INCORRECT_AGREE] = n_ia
+    counts[CritiqueKind.INCORRECT_DISAGREE] = n_id
+    counts[CritiqueKind.CORRECT_NONE] = n_cn
+    counts[CritiqueKind.INCORRECT_NONE] = n_in
+    if site:
+        stats.per_site = site
+    stats.fetched_uops = max(0, fetched_uops - warmup_fetched)
+    return stats

@@ -88,6 +88,13 @@ class SimulationConfig:
     #: Pure telemetry — RunStats is identical either way; throughput
     #: harnesses switch it off to shave per-update accounting.
     collect_predictor_stats: bool = True
+    #: Kernel backend: "scalar" is the reference loop below; "batched" is
+    #: the structure-of-arrays kernel in :mod:`repro.sim.batched`, proven
+    #: bit-identical by the differential tests and falling back to the
+    #: scalar loop for system shapes it does not specialize. A pure
+    #: execution detail: results are identical, so the field is excluded
+    #: from SweepCell content hashes (see specs._described_config).
+    backend: str = "scalar"
 
     def effective_depth(self, future_bits: int) -> int:
         """In-flight depth, never smaller than the critique window."""
@@ -103,6 +110,18 @@ def simulate(
     config = config or SimulationConfig()
     if config.warmup >= config.n_branches:
         raise ValueError("warmup must leave a measurement window")
+    if config.backend == "batched":
+        from repro.sim.batched import simulate_batched
+
+        stats = simulate_batched(program, system, config)
+        if stats is not None:
+            return stats
+        # Unsupported system shape: the batched kernel declined; run the
+        # scalar loop (documented fallback, results identical by design).
+    elif config.backend != "scalar":
+        raise ValueError(
+            f"unknown backend {config.backend!r}; expected 'scalar' or 'batched'"
+        )
 
     program.reset()
     executor = ArchitecturalExecutor(program)

@@ -123,6 +123,20 @@ class RunStats:
         self.fetched_uops += other.fetched_uops
         self.taken_branches += other.taken_branches
         self.census.merge(other.census)
+        if other.per_site is not None:
+            if self.per_site is None:
+                # Copy rows, never alias: the merged stats must not share
+                # mutable row lists with the contributing run.
+                self.per_site = {pc: list(row) for pc, row in other.per_site.items()}
+            else:
+                per_site = self.per_site
+                for pc, row in other.per_site.items():
+                    mine = per_site.get(pc)
+                    if mine is None:
+                        per_site[pc] = list(row)
+                    else:
+                        for i, value in enumerate(row):
+                            mine[i] += value
 
     def record_site(self, pc: int, prophet_misp: bool, final_misp: bool) -> None:
         """Accumulate one branch into the per-site attribution table."""
@@ -143,8 +157,11 @@ class RunStats:
             "mispredicts": self.mispredicts,
             "misp_per_kuops": round(self.misp_per_kuops, 4),
             "mispredict_pct": round(100.0 * self.mispredict_rate, 4),
+            # None, not float("inf"): summaries are serialized to JSON and
+            # the Infinity token is not valid JSON (a zero-mispredict cell
+            # would poison the whole payload for strict parsers).
             "uops_per_flush": (
-                round(self.uops_per_flush, 1) if self.mispredicts else float("inf")
+                round(self.uops_per_flush, 1) if self.mispredicts else None
             ),
             "prophet_misp_per_kuops": round(self.prophet_misp_per_kuops, 4),
             "filtered_pct": round(100.0 * self.filtered_fraction, 2),

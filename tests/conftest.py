@@ -4,6 +4,12 @@ Shared test-support modules (notably :mod:`reference_kernel`, the frozen
 pre-optimization simulation kernel used by the differential tests and by
 ``tools/profile_kernel.py --compare-reference``) live directly under
 ``tests/``; nested test packages need that directory on ``sys.path``.
+
+Backend matrix: the differential kernel tests parametrize over the
+simulation backends via the ``kernel_backend`` fixture, which by default
+runs every case under both ``"scalar"`` and ``"batched"``. Pass
+``--backend scalar`` (or ``batched``) to restrict the matrix to one
+backend — useful for bisecting a divergence, or for CI shards.
 """
 
 from __future__ import annotations
@@ -11,4 +17,32 @@ from __future__ import annotations
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+_BACKENDS = ("scalar", "batched")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=None,
+        choices=_BACKENDS,
+        help="restrict backend-parametrized kernel tests to one backend",
+    )
+
+
+@pytest.fixture(params=_BACKENDS)
+def kernel_backend(request):
+    """Simulation backend to run a differential case under.
+
+    Parametrized over every backend so the tier-1 differential matrix
+    proves each one against the frozen reference; ``--backend`` narrows
+    the parametrization to a single backend.
+    """
+    chosen = request.config.getoption("--backend")
+    if chosen is not None and request.param != chosen:
+        pytest.skip(f"--backend={chosen} excludes {request.param}")
+    return request.param

@@ -1,0 +1,274 @@
+"""The batched structure-of-arrays backend: identity, memoization, helpers.
+
+The batched kernel (:mod:`repro.sim.batched`) is admissible only because
+it is bit-for-bit identical to the scalar loop and to the frozen
+reference kernel — the full seeds × suites × systems matrix runs in
+``tests/sim/test_differential_kernel.py`` under both backends via the
+``kernel_backend`` fixture. This module covers what that matrix does
+not:
+
+* deep windows (long aligned run-ahead, the batched fast path);
+* the memoized architectural trace: repeat runs, prefix reuse, and
+  scalar runs staying oblivious to the cache;
+* the vectorized batch-predict helpers against each predictor's scalar
+  ``predict_packed``, and the tagged-gshare hash against ``_hash_pair``;
+* backend dispatch: unknown names, the scalar fallback for unsupported
+  predictors, and the numpy-missing gate;
+* the hash-stability constraint: ``backend`` is an execution detail and
+  must not perturb ``SweepCell.content_hash`` (pinned to its PR-5
+  value).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+
+import pytest
+
+from reference_kernel import reference_simulate
+from repro.sim import batched
+from repro.sim.driver import SimulationConfig, simulate
+from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec
+from repro.workloads.generator import generate_program
+from repro.workloads.suites import BENCHMARKS
+
+np = pytest.importorskip("numpy")
+
+_FIELDS = (
+    "branches",
+    "committed_uops",
+    "mispredicts",
+    "prophet_mispredicts",
+    "static_branches",
+    "forced_critiques",
+    "critic_redirects",
+    "fetched_uops",
+    "taken_branches",
+)
+
+_CONFIG = SimulationConfig(
+    n_branches=1500, warmup=300, inflight_depth=12, collect_per_site=True
+)
+
+
+def _program(benchmark: str, seed: int):
+    profile = replace(
+        BENCHMARKS[benchmark],
+        name=f"batched-{benchmark}-{seed}",
+        seed=seed,
+        static_branch_target=150,
+        n_functions=5,
+    )
+    return generate_program(profile)
+
+
+def _assert_identical(a, b):
+    for field in _FIELDS:
+        assert getattr(a, field) == getattr(b, field), field
+    assert a.census.counts == b.census.counts
+    assert a.per_site == b.per_site
+
+
+def _single_builders():
+    """One builder per batched single-predictor kind (gas and bimodal
+    have no budget presets, so they are built from explicit params)."""
+    from repro.core import SinglePredictorSystem
+    from repro.predictors import BimodalPredictor, GAsPredictor
+
+    return {
+        "2bc-gskew": lambda: SystemSpec.single("2bc-gskew", 2).build(),
+        "gshare": lambda: SystemSpec.single("gshare", 2).build(),
+        "gas": lambda: SinglePredictorSystem(GAsPredictor(10, 4)),
+        "bimodal": lambda: SinglePredictorSystem(BimodalPredictor(4096)),
+    }
+
+
+class TestDeepWindow:
+    """A 64-deep window maximizes aligned run-ahead — the batched kernel's
+    burst fast path — and the post-trace speculative tail."""
+
+    @pytest.mark.parametrize("use_btb", [True, False])
+    @pytest.mark.parametrize("kind", ["2bc-gskew", "gshare", "gas", "bimodal"])
+    def test_single_predictors(self, kind, use_btb):
+        program = _program("gcc", 5)
+        build = _single_builders()[kind]
+        config = replace(
+            _CONFIG, inflight_depth=64, use_btb=use_btb,
+            btb_entries=256, btb_ways=4,
+        )
+        scalar = simulate(program, build(), replace(config, backend="scalar"))
+        batch = simulate(program, build(), replace(config, backend="batched"))
+        ref = reference_simulate(program, build(), config)
+        _assert_identical(batch, scalar)
+        _assert_identical(batch, ref)
+
+    @pytest.mark.parametrize("future_bits", [0, 8])
+    def test_hybrid(self, future_bits):
+        program = _program("tpcc", 6)
+        spec = SystemSpec.hybrid(
+            "2bc-gskew", 2, "tagged-gshare", 2, future_bits=future_bits
+        )
+        config = replace(_CONFIG, inflight_depth=64)
+        scalar = simulate(program, spec.build(), replace(config, backend="scalar"))
+        batch = simulate(program, spec.build(), replace(config, backend="batched"))
+        ref = reference_simulate(program, spec.build(), config)
+        _assert_identical(batch, scalar)
+        _assert_identical(batch, ref)
+
+
+class TestTraceMemoization:
+    """The architectural trace is predictor-independent and prefix-stable,
+    so it is cached on the program object across batched runs."""
+
+    def test_repeat_runs_bit_identical(self):
+        program = _program("gcc", 11)
+        spec = SystemSpec.single("2bc-gskew", 2)
+        config = replace(_CONFIG, backend="batched")
+        first = simulate(program, spec.build(), config)
+        assert getattr(program, "_trace_cache", None) is not None
+        second = simulate(program, spec.build(), config)
+        _assert_identical(second, first)
+
+    def test_cache_shared_across_systems(self):
+        """One walk serves every system swept over the same program."""
+        program = _program("flash", 12)
+        config = replace(_CONFIG, backend="batched")
+        simulate(program, SystemSpec.single("gshare", 2).build(), config)
+        cache = program._trace_cache
+        stats = simulate(program, SystemSpec.single("2bc-gskew", 2).build(), config)
+        assert program._trace_cache is cache  # not rebuilt
+        fresh = simulate(
+            _program("flash", 12),
+            SystemSpec.single("2bc-gskew", 2).build(),
+            replace(config, backend="scalar"),
+        )
+        _assert_identical(stats, fresh)
+
+    def test_prefix_reuse(self):
+        """A shorter run is served as a slice of the longest cached trace."""
+        program = _program("swim", 13)
+        spec = SystemSpec.single("gshare", 2)
+        long_cfg = replace(_CONFIG, backend="batched")
+        short_cfg = replace(
+            _CONFIG, n_branches=500, warmup=100, backend="batched"
+        )
+        simulate(program, spec.build(), long_cfg)
+        assert program._trace_cache[0] == _CONFIG.n_branches
+        short = simulate(program, spec.build(), short_cfg)
+        assert program._trace_cache[0] == _CONFIG.n_branches  # kept, not shrunk
+        fresh = simulate(
+            _program("swim", 13), spec.build(),
+            replace(short_cfg, backend="scalar"),
+        )
+        _assert_identical(short, fresh)
+
+    def test_scalar_runs_unaffected_by_cache(self):
+        program = _program("tpcc", 14)
+        spec = SystemSpec.single("2bc-gskew", 2)
+        simulate(program, spec.build(), replace(_CONFIG, backend="batched"))
+        after = simulate(program, spec.build(), replace(_CONFIG, backend="scalar"))
+        fresh = simulate(
+            _program("tpcc", 14), spec.build(), replace(_CONFIG, backend="scalar")
+        )
+        _assert_identical(after, fresh)
+
+
+def _random_inputs(rng, count=256):
+    pcs = np.asarray(
+        [0x40000000 + 4 * int(rng.integers(0, 1 << 20)) for _ in range(count)],
+        dtype=np.int64,
+    )
+    hists = np.asarray(
+        [int(rng.integers(0, 1 << 24)) for _ in range(count)], dtype=np.int64
+    )
+    return pcs, hists
+
+
+class TestBatchHelpers:
+    """Vectorized predict/hash helpers vs the scalar methods they mirror."""
+
+    @pytest.mark.parametrize("kind", ["2bc-gskew", "gshare", "gas", "bimodal"])
+    def test_batch_predict_matches_scalar(self, kind):
+        predictor = _single_builders()[kind]().predictor
+        fn = batched._BATCH_PREDICT[batched._PROPHET_KINDS[type(predictor)]]
+        rng = np.random.default_rng(zlib.crc32(kind.encode()))
+        pcs, hists = _random_inputs(rng)
+        preds, states = fn(predictor, pcs, hists)
+        for i in range(len(pcs)):
+            pred, state = predictor.predict_packed(int(pcs[i]), int(hists[i]))
+            assert bool(preds[i]) == pred, i
+            assert states[i] == state, i
+
+    def test_batch_hash_matches_scalar(self):
+        from repro.predictors.budget import make_critic
+
+        critic = make_critic("tagged-gshare", 2)
+        rng = np.random.default_rng(99)
+        pcs, hists = _random_inputs(rng)
+        sets, tags = batched.batch_hash_tagged_gshare(critic, pcs, hists)
+        for i in range(len(pcs)):
+            set_index, tag = critic._hash_pair(int(pcs[i]), int(hists[i]))
+            assert (sets[i], tags[i]) == (set_index, tag), i
+
+
+class TestBackendDispatch:
+    def test_unknown_backend_rejected(self):
+        program = _program("gcc", 21)
+        spec = SystemSpec.single("gshare", 2)
+        with pytest.raises(ValueError, match="backend"):
+            simulate(program, spec.build(), replace(_CONFIG, backend="vector"))
+
+    def test_unsupported_predictor_falls_back_to_scalar(self):
+        """tage has no batched path: simulate_batched declines, the driver
+        runs the scalar loop, and results match scalar exactly."""
+        program = _program("gcc", 22)
+        spec = SystemSpec.single("tage", 2)
+        assert batched.simulate_batched(program, spec.build(), _CONFIG) is None
+        batch = simulate(program, spec.build(), replace(_CONFIG, backend="batched"))
+        fresh = simulate(
+            _program("gcc", 22), spec.build(), replace(_CONFIG, backend="scalar")
+        )
+        _assert_identical(batch, fresh)
+
+    def test_numpy_gate_falls_back(self, monkeypatch):
+        """Without numpy the batched backend degrades to scalar, silently
+        and bit-identically."""
+        program = _program("swim", 23)
+        spec = SystemSpec.single("2bc-gskew", 2)
+        monkeypatch.setattr(batched, "np", None)
+        batch = simulate(program, spec.build(), replace(_CONFIG, backend="batched"))
+        fresh = simulate(
+            _program("swim", 23), spec.build(), replace(_CONFIG, backend="scalar")
+        )
+        _assert_identical(batch, fresh)
+
+
+class TestContentHashStability:
+    """``backend`` is an execution detail: it must not change result
+    identity, and pre-existing scalar hashes must survive the field's
+    introduction (the PR-3/PR-4 cache-invalidation mistake, not again)."""
+
+    #: content_hash of the canonical cell below, computed at PR 5 —
+    #: before SimulationConfig grew the ``backend`` field.
+    _PR5_HASH = "4fe51eab9d29759c5c0bc9eb9f8f36a54c5b7d9e5a8893688d9258fe407c3bff"
+
+    def _cell(self, warmup=2000, backend="scalar"):
+        return SweepCell(
+            system_label="baseline",
+            bench_name="gcc",
+            system=SystemSpec.single("2bc-gskew", 16),
+            program=ProgramSpec(benchmark="gcc"),
+            config=SimulationConfig(
+                n_branches=20000, warmup=warmup, backend=backend
+            ),
+        )
+
+    def test_default_backend_hash_pinned_to_pr5(self):
+        assert self._cell().content_hash() == self._PR5_HASH
+
+    def test_backend_excluded_from_hash(self):
+        assert self._cell(backend="batched").content_hash() == self._PR5_HASH
+
+    def test_other_config_fields_still_hash(self):
+        assert self._cell(warmup=2001).content_hash() != self._PR5_HASH

@@ -13,6 +13,13 @@ exactly equal across a randomized matrix of seeds × suite archetypes ×
 Any intentional semantic change to the simulation must be applied to
 ``tests/reference_kernel.py`` as well, with the reasoning documented
 there; these tests then pin the new semantics.
+
+Every case runs under each simulation backend (the ``kernel_backend``
+fixture: scalar and batched), so the batched structure-of-arrays kernel
+is held to the same bit-for-bit standard against the same frozen
+reference. Backends the batched kernel does not support fall back to
+scalar inside ``simulate`` — running them under ``backend="batched"``
+still proves the fallback path. Use ``--backend`` to restrict.
 """
 
 from __future__ import annotations
@@ -73,6 +80,10 @@ def _program(suite: str, seed: int):
     return generate_program(profile)
 
 
+def _simulate(program, system, config, backend):
+    return simulate(program, system, replace(config, backend=backend))
+
+
 def assert_bit_identical(new: RunStats, ref: RunStats) -> None:
     for field in _FIELDS:
         assert getattr(new, field) == getattr(ref, field), field
@@ -86,25 +97,25 @@ class TestDifferentialMatrix:
     @pytest.mark.parametrize("suite", sorted(_ARCHETYPES))
     @pytest.mark.parametrize("system_kind", sorted(_SYSTEMS))
     @pytest.mark.parametrize("use_btb", [True, False])
-    def test_kernel_matches_reference(self, suite, system_kind, use_btb):
+    def test_kernel_matches_reference(self, suite, system_kind, use_btb, kernel_backend):
         # Deterministic per-cell seed variation (crc32, not hash(): the
         # matrix must exercise the same seeds on every run and machine).
         seed = 1000 + zlib.crc32(f"{suite}/{system_kind}".encode()) % 7
         program = _program(suite, seed)
         config = replace(_CONFIG, use_btb=use_btb, btb_entries=256, btb_ways=4)
-        new = simulate(program, _SYSTEMS[system_kind].build(), config)
+        new = _simulate(program, _SYSTEMS[system_kind].build(), config, kernel_backend)
         ref = reference_simulate(program, _SYSTEMS[system_kind].build(), config)
         assert new.mispredicts > 0  # a trivial run would prove nothing
         assert_bit_identical(new, ref)
 
     @pytest.mark.parametrize("seed", [7, 8, 9])
-    def test_random_seeds_hybrid(self, seed):
+    def test_random_seeds_hybrid(self, seed, kernel_backend):
         """Fresh random programs (same archetype, new seeds) stay identical."""
         program = _program("INT00", seed)
         system = SystemSpec.hybrid(
             "2bc-gskew", 2, "tagged-gshare", 2, future_bits=8
         )
-        new = simulate(program, system.build(), _CONFIG)
+        new = _simulate(program, system.build(), _CONFIG, kernel_backend)
         ref = reference_simulate(program, system.build(), _CONFIG)
         assert_bit_identical(new, ref)
 
@@ -112,16 +123,16 @@ class TestDifferentialMatrix:
 class TestDifferentialCriticShapes:
     """Critic variants exercise every prediction-system fast path."""
 
-    def test_filtered_perceptron_critic(self):
+    def test_filtered_perceptron_critic(self, kernel_backend):
         program = _program("MM", 21)
         spec = SystemSpec.hybrid(
             "2bc-gskew", 2, "filtered-perceptron", 2, future_bits=4
         )
-        new = simulate(program, spec.build(), _CONFIG)
+        new = _simulate(program, spec.build(), _CONFIG, kernel_backend)
         ref = reference_simulate(program, spec.build(), _CONFIG)
         assert_bit_identical(new, ref)
 
-    def test_unfiltered_critic_and_insert_on_prophet(self):
+    def test_unfiltered_critic_and_insert_on_prophet(self, kernel_backend):
         from repro.core.hybrid import ProphetCriticSystem
         from repro.predictors.budget import make_prophet
 
@@ -135,23 +146,23 @@ class TestDifferentialCriticShapes:
                 insert_on="prophet",
             )
 
-        new = simulate(program, build(), _CONFIG)
+        new = _simulate(program, build(), _CONFIG, kernel_backend)
         ref = reference_simulate(program, build(), _CONFIG)
         assert_bit_identical(new, ref)
 
-    def test_zero_future_bits_conventional_hybrid(self):
+    def test_zero_future_bits_conventional_hybrid(self, kernel_backend):
         program = _program("FP00", 23)
         spec = SystemSpec.hybrid("gshare", 2, "tagged-gshare", 2, future_bits=0)
-        new = simulate(program, spec.build(), _CONFIG)
+        new = _simulate(program, spec.build(), _CONFIG, kernel_backend)
         ref = reference_simulate(program, spec.build(), _CONFIG)
         assert_bit_identical(new, ref)
 
-    def test_single_predictor_prophets(self):
+    def test_single_predictor_prophets(self, kernel_backend):
         """Every prophet family goes through the packed fast path."""
         program = _program("INT00", 31)
         for kind in ("gshare", "perceptron", "tage"):
             spec = SystemSpec.single(kind, 2)
-            new = simulate(program, spec.build(), _CONFIG)
+            new = _simulate(program, spec.build(), _CONFIG, kernel_backend)
             ref = reference_simulate(program, spec.build(), _CONFIG)
             assert_bit_identical(new, ref)
 
@@ -209,19 +220,19 @@ class TestDifferentialEdges:
                     expected.pc, expected.taken, expected.uops
                 ), capacity
 
-    def test_tiny_window_forces_critiques(self):
+    def test_tiny_window_forces_critiques(self, kernel_backend):
         """A shallow window exercises the forced-critique path."""
         program = _program("INT00", 41)
         config = replace(_CONFIG, inflight_depth=2, collect_per_site=False)
         spec = SystemSpec.hybrid("2bc-gskew", 2, "tagged-gshare", 2, future_bits=8)
-        new = simulate(program, spec.build(), config)
+        new = _simulate(program, spec.build(), config, kernel_backend)
         ref = reference_simulate(program, spec.build(), config)
         assert_bit_identical(new, ref)
 
-    def test_zero_warmup(self):
+    def test_zero_warmup(self, kernel_backend):
         program = _program("MM", 42)
         config = replace(_CONFIG, warmup=0)
         spec = SystemSpec.single("2bc-gskew", 2)
-        new = simulate(program, spec.build(), config)
+        new = _simulate(program, spec.build(), config, kernel_backend)
         ref = reference_simulate(program, spec.build(), config)
         assert_bit_identical(new, ref)

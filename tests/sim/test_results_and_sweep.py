@@ -86,6 +86,67 @@ class TestRunStats:
         row = stats.per_site[0x100]
         assert row == [2, 1, 1, 1, 1]
 
+    # -- regression: merge() used to drop other.per_site entirely, so
+    # suite-averaged runs silently lost per-site attribution.
+
+    def test_merge_per_site_none_none(self):
+        a, b = RunStats(), RunStats()
+        a.merge(b)
+        assert a.per_site is None
+
+    def test_merge_per_site_copies_from_other(self):
+        a = RunStats()
+        b = RunStats()
+        b.record_site(0x10, prophet_misp=True, final_misp=True)
+        a.merge(b)
+        assert a.per_site == {0x10: [1, 1, 1, 0, 0]}
+        # Rows are copied, never aliased: mutating the merged stats must
+        # not corrupt the contributing run.
+        a.per_site[0x10][0] += 1
+        assert b.per_site[0x10][0] == 1
+
+    def test_merge_per_site_keeps_own_when_other_none(self):
+        a = RunStats()
+        a.record_site(0x10, prophet_misp=False, final_misp=True)
+        a.merge(RunStats())
+        assert a.per_site == {0x10: [1, 0, 1, 0, 1]}
+
+    def test_merge_per_site_sums_element_wise(self):
+        a = RunStats()
+        a.record_site(0x10, prophet_misp=True, final_misp=False)
+        a.record_site(0x20, prophet_misp=False, final_misp=False)
+        b = RunStats()
+        b.record_site(0x10, prophet_misp=True, final_misp=True)
+        b.record_site(0x30, prophet_misp=False, final_misp=True)
+        a.merge(b)
+        # Hand-summed rows: shared key 0x10 adds element-wise, disjoint
+        # keys carry over verbatim.
+        assert a.per_site == {
+            0x10: [2, 2, 1, 1, 0],
+            0x20: [1, 0, 0, 0, 0],
+            0x30: [1, 0, 1, 0, 1],
+        }
+
+    # -- regression: summary() used to emit float("inf") for
+    # uops_per_flush on zero-mispredict runs, which json.dump serializes
+    # as the invalid token ``Infinity``.
+
+    def test_summary_zero_mispredicts_is_strict_json(self):
+        import json
+
+        stats = RunStats(branches=100, committed_uops=1300, mispredicts=0)
+        summary = stats.summary()
+        assert summary["uops_per_flush"] is None
+        text = json.dumps(summary, allow_nan=False)
+        parsed = json.loads(
+            text, parse_constant=lambda token: pytest.fail(f"non-JSON {token}")
+        )
+        assert parsed["uops_per_flush"] is None
+
+    def test_summary_finite_uops_per_flush_survives(self):
+        stats = RunStats(branches=100, committed_uops=1300, mispredicts=13)
+        assert stats.summary()["uops_per_flush"] == 100.0
+
 
 class TestRunSweep:
     def test_grid_shape_and_aggregation(self):

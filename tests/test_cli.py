@@ -139,6 +139,44 @@ class TestConfigCli:
                      "--branches", "2000"]) == 0
         assert "swim" in capsys.readouterr().out
 
+    def test_sweep_out_zero_mispredicts_is_strict_json(self, tmp_path, capsys):
+        """Regression: a zero-mispredict cell used to serialize
+        ``uops_per_flush`` as the invalid JSON token ``Infinity``. The
+        payload must round-trip through a parser that rejects the
+        non-standard constants."""
+        from repro.workloads.behaviors import PatternBehavior
+        from repro.workloads.program import BasicBlock, BlockKind, Program
+        from repro.workloads.trace import record_trace
+
+        # A single always-taken loop branch: after warmup the counter is
+        # saturated and the branch BTB-resident, so mispredicts == 0.
+        program = Program(
+            name="alwaystaken",
+            blocks=[
+                BasicBlock(0, 0x1000, 4, BlockKind.COND, taken_target=0,
+                           fallthrough=0, behavior=PatternBehavior("T")),
+            ],
+            entry=0,
+        )
+        trace = tmp_path / "alwaystaken.trace"
+        record_trace(program, 600, trace)
+        systems = self.write_config(
+            tmp_path, "systems.json", {"kind": "single", "prophet": ["gshare", 2]}
+        )
+        out_file = tmp_path / "results.json"
+        assert main(["sweep", "--systems", systems, "--benchmarks", str(trace),
+                     "--branches", "600", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        payload = json.loads(
+            out_file.read_text(encoding="utf-8"),
+            parse_constant=lambda token: pytest.fail(
+                f"non-standard JSON constant {token!r} in --out payload"
+            ),
+        )
+        (cell,) = payload["cells"]
+        assert cell["summary"]["mispredicts"] == 0
+        assert cell["summary"]["uops_per_flush"] is None
+
     def test_sweep_rejects_unknown_benchmark(self, tmp_path, capsys):
         systems = self.write_config(
             tmp_path, "systems.json", {"kind": "single", "prophet": ["gshare", 2]}

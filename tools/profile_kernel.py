@@ -14,12 +14,21 @@ Methodology (see docs/PERFORMANCE.md):
   tables and settled allocator state;
 * per-predictor ``PredictorStats`` accounting is off during timed runs
   (``collect_predictor_stats=False``), matching how sweeps run;
+* every cell is additionally run through the batched structure-of-arrays
+  backend (``SimulationConfig.backend = "batched"``) and reported as a
+  third column with its speedup over the scalar backend. The timed
+  batched run measures steady-state replay: an untimed batched run at
+  the same branch count first populates the memoized architectural
+  trace (the regime a sweep lives in, where one program is simulated
+  across many systems). Bit-identity of the two backends is asserted on
+  every run;
 * ``--compare-reference`` times the frozen pre-optimization kernel
   (``tests/reference_kernel.py``) on the same cells in the same process
   and reports the speedup ratio. Ratios are much more stable across
   machines than absolute branches/sec, so the CI floor is expressed in
   ratios;
-* ``--check-floor FILE`` fails (exit 1) when a cell's speedup falls more
+* ``--check-floor FILE`` fails (exit 1) when a cell's speedup — over the
+  reference kernel or of the batched backend over scalar — falls more
   than 25% below its floor value.
 
 Usage::
@@ -37,6 +46,7 @@ import json
 import platform
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -61,6 +71,13 @@ CELLS: list[dict] = [
     {
         "id": "gcc/2bc-gskew-16",
         "benchmark": "gcc",
+        "system": SystemSpec.single("2bc-gskew", 16),
+        "quick": True,
+        "headline": True,
+    },
+    {
+        "id": "flash/2bc-gskew-16",
+        "benchmark": "flash",
         "system": SystemSpec.single("2bc-gskew", 16),
         "quick": True,
         "headline": True,
@@ -121,6 +138,28 @@ def measure_cell(
         "mispredicts": stats.mispredicts,
     }
 
+    from repro.sim import batched as _batched
+
+    if _batched.np is not None:
+        batched_cfg = replace(config, backend="batched")
+        # Untimed batched run at the full branch count: populates the
+        # memoized architectural trace and the flat CFG tables, so the
+        # timed run below measures steady-state replay (the sweep
+        # regime: one program, many systems).
+        simulate(program, cell["system"].build(), batched_cfg)
+        b_elapsed, b_stats = _time_run(
+            simulate, program, cell["system"].build(), batched_cfg
+        )
+        if (b_stats.mispredicts, b_stats.committed_uops, b_stats.fetched_uops) != (
+            stats.mispredicts, stats.committed_uops, stats.fetched_uops
+        ):
+            raise AssertionError(
+                f"{cell['id']}: batched and scalar backends disagree — run "
+                "the differential tests (tests/sim/test_batched_backend.py)"
+            )
+        row["batched_branches_per_sec"] = round(n_branches / b_elapsed, 1)
+        row["speedup_batched_vs_scalar"] = round(elapsed / b_elapsed, 3)
+
     if compare_reference:
         from reference_kernel import reference_simulate
 
@@ -148,18 +187,37 @@ def check_floor(rows: list[dict], floor_path: Path) -> list[str]:
     failures = []
     for row in rows:
         floor = floors.get("min_speedup_vs_reference", {}).get(row["cell"])
-        if floor is None:
-            continue
-        measured = row.get("speedup_vs_reference")
-        if measured is None:
-            failures.append(f"{row['cell']}: floor set but --compare-reference not run")
-            continue
-        threshold = floor * tolerance
-        if measured < threshold:
-            failures.append(
-                f"{row['cell']}: speedup {measured:.2f}x fell below "
-                f"{threshold:.2f}x (floor {floor:.2f}x, tolerance {tolerance:.0%})"
-            )
+        if floor is not None:
+            measured = row.get("speedup_vs_reference")
+            if measured is None:
+                failures.append(
+                    f"{row['cell']}: floor set but --compare-reference not run"
+                )
+            elif measured < floor * tolerance:
+                failures.append(
+                    f"{row['cell']}: speedup {measured:.2f}x fell below "
+                    f"{floor * tolerance:.2f}x (floor {floor:.2f}x, "
+                    f"tolerance {tolerance:.0%})"
+                )
+        floor = floors.get("min_speedup_batched_vs_scalar", {}).get(row["cell"])
+        if floor is not None:
+            measured = row.get("speedup_batched_vs_scalar")
+            if measured is None:
+                # numpy absent: the batched column legitimately cannot
+                # run, so the batched floor is waived rather than failed.
+                from repro.sim import batched as _batched
+
+                if _batched.np is not None:
+                    failures.append(
+                        f"{row['cell']}: batched floor set but batched "
+                        "column missing"
+                    )
+            elif measured < floor * tolerance:
+                failures.append(
+                    f"{row['cell']}: batched speedup {measured:.2f}x fell "
+                    f"below {floor * tolerance:.2f}x (floor {floor:.2f}x, "
+                    f"tolerance {tolerance:.0%})"
+                )
     return failures
 
 
@@ -182,7 +240,7 @@ def main(argv: list[str] | None = None) -> int:
         help="floor JSON; exit 1 on >25%% regression vs min_speedup_vs_reference",
     )
     parser.add_argument(
-        "--json", type=Path, default=Path("BENCH_kernel.json"),
+        "--json", type=Path, default=REPO_ROOT / "benchmarks" / "BENCH_kernel.json",
         help="output path for the machine-readable result (default: %(default)s)",
     )
     args = parser.parse_args(argv)
@@ -197,6 +255,11 @@ def main(argv: list[str] | None = None) -> int:
         row = measure_cell(cell, n_branches, warmup_branches, compare)
         rows.append(row)
         line = f"{row['cell']:24s} {row['branches_per_sec']:>12,.0f} branches/s"
+        if "speedup_batched_vs_scalar" in row:
+            line += (
+                f"   (batched {row['batched_branches_per_sec']:>10,.0f} b/s,"
+                f" {row['speedup_batched_vs_scalar']:.2f}x)"
+            )
         if "speedup_vs_reference" in row:
             line += (
                 f"   (reference {row['reference_branches_per_sec']:>10,.0f} b/s,"
