@@ -1,0 +1,68 @@
+"""Service-layer bench: the sweep daemon's floor gate, kept honest.
+
+The full load harness — cold, warm-cache and 8-client dup-heavy
+scenarios against a live daemon — lives in ``tools/profile_serve.py``
+(gated against ``benchmarks/BENCH_serve_floor.json`` in CI's perf-smoke
+job). These tests pin the two halves of that gate without booting a
+daemon: the floor-check logic itself, and the committed snapshot's
+agreement with the committed floor.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+
+def test_floor_check_logic_flags_regressions(tmp_path):
+    """The --check-floor gate fires on dedup and speedup drops, and only then."""
+    from profile_serve import check_floor
+
+    floor_path = tmp_path / "floor.json"
+    floor_path.write_text(json.dumps({
+        "tolerance": 0.75,
+        "min_cache_served_fraction": {"dup-heavy/8-client": 0.8},
+        "min_warm_speedup_vs_cold": 3.0,
+    }))
+    ok = [
+        {"scenario": "cold/1-client", "seconds": 1.0, "cache_served_fraction": 0.0},
+        {"scenario": "warm-cache/1-client", "seconds": 0.4, "cache_served_fraction": 1.0},
+        {"scenario": "dup-heavy/8-client", "seconds": 0.5, "cache_served_fraction": 0.875},
+    ]
+    assert check_floor(ok, floor_path) == []
+
+    # the dedup fraction has NO tolerance: 0.79 < 0.8 must fail outright.
+    bad_dedup = [dict(row) for row in ok]
+    bad_dedup[2]["cache_served_fraction"] = 0.79
+    failures = check_floor(bad_dedup, floor_path)
+    assert len(failures) == 1 and "dup-heavy" in failures[0]
+
+    # the speedup ratio gets the 25% band: 2.5x passes (floor 3.0 * 0.75
+    # = 2.25), 2.0x fails.
+    slow_warm = [dict(row) for row in ok]
+    slow_warm[1]["seconds"] = 0.4
+    slow_warm[0]["seconds"] = 1.0
+    assert check_floor(slow_warm, floor_path) == []
+    slower = [dict(row) for row in ok]
+    slower[1]["seconds"] = 0.5  # 2.0x speedup
+    failures = check_floor(slower, floor_path)
+    assert len(failures) == 1 and "speedup" in failures[0]
+
+    # a floor naming an unmeasured scenario is a failure, not a skip.
+    failures = check_floor(ok[:2], floor_path)
+    assert any("not measured" in f for f in failures)
+
+
+def test_committed_snapshot_satisfies_committed_floor():
+    """The repo's own BENCH_serve.json must pass the repo's own floor."""
+    from profile_serve import check_floor
+
+    snapshot = json.loads((REPO / "benchmarks" / "BENCH_serve.json").read_text())
+    failures = check_floor(
+        snapshot["scenarios"], REPO / "benchmarks" / "BENCH_serve_floor.json"
+    )
+    assert failures == []

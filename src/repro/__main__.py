@@ -59,10 +59,8 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
-import os
 import sys
 from pathlib import Path
-from typing import Mapping
 
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.predictors import registered_predictors
@@ -74,6 +72,11 @@ from repro.sim.specs import (
     ProgramSpec,
     SweepCell,
     SystemSpec,
+)
+from repro.sim.sweepconfig import (
+    SweepConfigError,
+    benchmarks_from_config,
+    systems_from_config,
 )
 from repro.workloads import benchmark, benchmark_names
 from repro.workloads.suites import SUITES
@@ -338,85 +341,37 @@ def _load_sweep_systems(path: str) -> dict[str, SystemSpec]:
 
     Three shapes are accepted: one system config object, a list of
     configs (labelled by :meth:`SystemSpec.default_label`), or a
-    ``{label: config}`` mapping.
+    ``{label: config}`` mapping — the parsing itself lives in
+    :mod:`repro.sim.sweepconfig`, shared with the sweep daemon's
+    ``POST /jobs``.
     """
     payload = _load_json(path, "sweep systems")
-    if isinstance(payload, Mapping) and "kind" in payload:
-        payload = [payload]
     try:
-        if isinstance(payload, Mapping):
-            systems = {
-                str(label): SystemSpec.from_config(config)
-                for label, config in payload.items()
-            }
-        elif isinstance(payload, list):
-            systems = {}
-            for config in payload:
-                spec = SystemSpec.from_config(config)
-                label = spec.default_label()
-                if label in systems:
-                    raise _ConfigError(
-                        f"sweep systems: {path}: two systems share the derived "
-                        f"label {label!r}; use a {{label: config}} mapping to "
-                        "name them explicitly"
-                    )
-                systems[label] = spec
-        else:
-            systems = None
-        if systems is not None:
-            for label, spec in systems.items():
-                spec.build()  # surface geometry-value errors now, not in a worker
-            return systems
-    except (TypeError, ValueError, KeyError) as exc:
+        return systems_from_config(payload)
+    except SweepConfigError as exc:
         raise _ConfigError(f"sweep systems: {path}: {exc}") from exc
-    raise _ConfigError(
-        f"sweep systems: {path}: expected a system config object, a list of "
-        "configs, or a {label: config} mapping"
-    )
 
 
 def _sweep_benchmarks(arg: str, branches: int) -> list[tuple[str, ProgramSpec]]:
-    """Parse ``--benchmarks``: comma-separated names and/or trace paths.
+    """Parse ``--benchmarks``: comma-separated names and/or trace paths."""
+    try:
+        return benchmarks_from_config(arg, branches)
+    except SweepConfigError as exc:
+        raise _ConfigError(f"benchmarks: {exc}") from exc
 
-    Results are filed under the benchmark/trace display name, so names
-    must be unique; trace-backed entries must hold at least ``branches``
-    records (the same guard ``trace replay`` applies).
-    """
-    names = benchmark_names()
-    pairs: list[tuple[str, ProgramSpec]] = []
-    for token in (t.strip() for t in arg.split(",")):
-        if not token:
-            continue
-        if token in names:
-            pairs.append((token, ProgramSpec(benchmark=token)))
-        elif os.path.exists(token):
-            try:
-                header = read_trace_header(token)
-            except (OSError, TraceFormatError) as exc:
-                raise _ConfigError(f"benchmarks: {token}: {exc}") from exc
-            if branches > header.record_count:
-                raise _ConfigError(
-                    f"benchmarks: {token} holds {header.record_count} "
-                    f"branches; cannot sweep {branches} (lower --branches "
-                    "or record a longer trace)"
-                )
-            pairs.append((header.name, ProgramSpec(trace=token)))
-        else:
-            raise _ConfigError(
-                f"benchmarks: unknown benchmark {token!r} (and no such trace "
-                f"file); known benchmarks: {names}"
-            )
-    if not pairs:
-        raise _ConfigError("benchmarks: nothing to run")
-    seen: set[str] = set()
-    for name, _ in pairs:
-        if name in seen:
-            raise _ConfigError(
-                f"benchmarks: {name!r} appears twice (results are filed by "
-                "name, so duplicates would overwrite each other)"
-            )
-        seen.add(name)
-    return pairs
+
+def _render_sweep_table(labels, bench_names, result) -> str:
+    """The ``sweep``/``submit`` verbs' shared misp/Kuops grid rendering."""
+    headers = ["system (misp/Kuops)"] + list(bench_names) + ["AVG"]
+    rows = []
+    for label in labels:
+        values = [result.get(label, name).misp_per_kuops for name in bench_names]
+        rows.append(
+            [label]
+            + [f"{value:.3f}" for value in values]
+            + [f"{sum(values) / len(values):.3f}"]
+        )
+    return format_table(headers, rows)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -456,16 +411,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"sweep: {exc}", file=sys.stderr)
         return 1
     bench_names = [name for name, _ in benchmarks]
-    headers = ["system (misp/Kuops)"] + bench_names + ["AVG"]
-    rows = []
-    for label in systems:
-        values = [result.get(label, name).misp_per_kuops for name in bench_names]
-        rows.append(
-            [label]
-            + [f"{value:.3f}" for value in values]
-            + [f"{sum(values) / len(values):.3f}"]
-        )
-    print(format_table(headers, rows))
+    print(_render_sweep_table(list(systems), bench_names, result))
     if args.out:
         payload = {
             "format": SPEC_FORMAT_VERSION,
@@ -489,6 +435,131 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"wrote {len(cells)} cell result(s) to {args.out}", file=sys.stderr)
     _print_cache_stats(engine)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.daemon import ServeConfig, SweepDaemon
+
+    if args.jobs < 1:
+        print("serve: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.max_queue < 1:
+        print("serve: --max-queue must be at least 1", file=sys.stderr)
+        return 2
+    cache_url = None if args.no_cache else args.cache_url
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_url=cache_url,
+        max_queue=args.max_queue,
+    )
+    daemon = SweepDaemon(config)
+
+    def ready(d: SweepDaemon) -> None:
+        # Parsed by the SIGTERM tests and by shell wrappers; printed to
+        # stdout (and flushed) the instant the port is bound.
+        print(f"serving on http://{config.host}:{d.port}", flush=True)
+        cache = d.cache.root if d.cache is not None else "disabled (no dedup)"
+        print(
+            f"serve: engine jobs={config.jobs}, cache={cache}, "
+            f"max queue={config.max_queue}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(daemon.run(ready=ready))
+    except OSError as exc:
+        print(f"serve: cannot bind {config.host}:{config.port}: {exc}", file=sys.stderr)
+        return 1
+    print("serve: drained, exiting", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError, SweepClient
+
+    if args.branches < 1:
+        print("submit: --branches must be positive", file=sys.stderr)
+        return 2
+    try:
+        systems_payload = _load_json(args.systems, "sweep systems")
+    except _ConfigError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    payload = {
+        "systems": systems_payload,
+        "benchmarks": args.benchmarks,
+        "branches": args.branches,
+    }
+    if args.warmup is not None:
+        payload["warmup"] = args.warmup
+    if args.backend is not None:
+        payload["backend"] = args.backend
+    if args.priority:
+        payload["priority"] = args.priority
+    client = SweepClient(args.url)
+    try:
+        job_id = client.submit_payload(payload)
+    except ServeError as exc:
+        if exc.status == 429:
+            print(
+                f"submit: daemon queue is full ({exc.payload.get('queue_depth')}"
+                f"/{exc.payload.get('max_queue')}); retry later",
+                file=sys.stderr,
+            )
+        elif exc.status == 400:
+            print(f"submit: rejected config — {exc.payload.get('error')}", file=sys.stderr)
+        else:
+            print(f"submit: {exc}", file=sys.stderr)
+        return 2 if exc.status == 400 else 1
+    except (OSError, ValueError) as exc:
+        print(f"submit: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    print(f"submitted {job_id} to {args.url}", file=sys.stderr)
+    if args.no_wait:
+        print(job_id)
+        return 0
+    try:
+        for event in client.events(job_id):
+            if args.progress and event.get("event") == "cell":
+                print(
+                    f"[{event['done']}/{event['total']}] "
+                    f"{event['system']} × {event['benchmark']}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+        document = client.status(job_id)
+    except (OSError, ServeError) as exc:
+        print(f"submit: lost the daemon mid-job: {exc}", file=sys.stderr)
+        return 1
+    if document["state"] != "done":
+        error = document.get("error") or {}
+        print(
+            f"submit: job {job_id} {document['state']}: "
+            f"{error.get('error', 'unknown failure')}",
+            file=sys.stderr,
+        )
+        if error.get("cause"):
+            print(f"  cause: {error['cause']}", file=sys.stderr)
+        return 1
+    result = client.sweep_result(job_id)
+    print(_render_sweep_table(document["labels"], document["benchmarks"], result))
+    print(
+        f"job {job_id}: {document['cells_executed']} simulated, "
+        f"{document['cells_from_cache']} from cache, "
+        f"{document['cells_deduped']} deduped",
+        file=sys.stderr,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True, allow_nan=False)
+            fh.write("\n")
+        print(f"wrote job document to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -648,6 +719,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the whole file, checking record count and content digest",
     )
     info_parser.set_defaults(func=_cmd_trace_info)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the sweep daemon: one persistent engine + cache behind "
+             "an HTTP job queue (see docs/SERVE.md)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port, 0 for an ephemeral one (default 8642)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes in the persistent pool (default 1 = in-process)",
+    )
+    serve_parser.add_argument(
+        "--cache-url", default=".repro-cache", metavar="URL",
+        help="result cache backend: a directory, http://host:port of "
+             "another daemon, or tiered:<dir>|<url> (default .repro-cache)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="run without a result cache (every cell simulates, no dedup)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="queued-job limit before POST /jobs returns 429 (default 64)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running daemon and stream its progress",
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="daemon address (default http://127.0.0.1:8642)",
+    )
+    submit_parser.add_argument(
+        "--systems", required=True, metavar="FILE",
+        help="JSON file in the same shapes `sweep --systems` accepts",
+    )
+    submit_parser.add_argument(
+        "--benchmarks", required=True, metavar="LIST",
+        help="comma-separated benchmark names and/or trace paths "
+             "(paths must exist on the daemon's host)",
+    )
+    submit_parser.add_argument(
+        "--branches", type=int, default=16_000,
+        help="committed branches per cell (default 16000)",
+    )
+    submit_parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="warmup branches per cell (default: branches / 5)",
+    )
+    submit_parser.add_argument(
+        "--backend", choices=("scalar", "batched"), default=None,
+        help="kernel backend for the job's cells (default scalar)",
+    )
+    submit_parser.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority; higher runs first (default 0)",
+    )
+    submit_parser.add_argument(
+        "--progress", action="store_true",
+        help="print one stderr line per finished cell (streamed)",
+    )
+    submit_parser.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and exit instead of waiting for results",
+    )
+    submit_parser.add_argument(
+        "--out", metavar="FILE",
+        help="also write the final job document (results included) as JSON",
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
     return parser
 
 

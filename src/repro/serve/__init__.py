@@ -1,0 +1,31 @@
+"""Sweep-as-a-service: the async sweep daemon and its client.
+
+One long-lived :class:`~repro.serve.daemon.SweepDaemon` owns one
+persistent :class:`~repro.sim.execution.SweepEngine` (worker pool,
+memoized builds) and one content-addressed result cache behind a
+pluggable :class:`~repro.sim.cache.CacheBackend`; many clients submit
+PR-4 JSON sweep configs as jobs over HTTP and stream per-cell progress.
+See ``docs/SERVE.md`` for the API schema and deployment topologies, and
+``repro serve`` / ``repro submit`` on the CLI.
+"""
+
+from repro.serve.client import ServeError, SweepClient
+from repro.serve.daemon import (
+    SERVE_API_VERSION,
+    DaemonHandle,
+    Job,
+    ServeConfig,
+    SweepDaemon,
+    start_daemon,
+)
+
+__all__ = [
+    "DaemonHandle",
+    "Job",
+    "SERVE_API_VERSION",
+    "ServeConfig",
+    "ServeError",
+    "SweepClient",
+    "SweepDaemon",
+    "start_daemon",
+]

@@ -1,0 +1,186 @@
+"""Client for the sweep daemon (the ``repro submit`` verb's engine).
+
+:class:`SweepClient` speaks the daemon's JSON-over-HTTP surface with
+nothing but :mod:`http.client`: submit a PR-4 sweep config as a job,
+follow its newline-delimited event stream, and reconstruct results
+through the cache's lossless codec — so a sweep fetched over HTTP is
+bit-for-bit the sweep :func:`repro.sim.sweep.run_sweep` would have
+produced locally (the service tests assert exactly that).
+
+Every request uses a short-lived connection (the daemon answers with
+``Connection: close``), so a client value is cheap, picklable and safe
+to share across threads — the 8-client load scenario in
+``tools/profile_serve.py`` hammers one daemon with eight of them.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Iterator
+
+from repro.sim.cache import decode_result
+from repro.sim.sweep import SweepResult
+
+
+class ServeError(RuntimeError):
+    """An HTTP error from the daemon, with its structured payload.
+
+    ``status`` is the HTTP code (429 = queue full, 400 = bad config,
+    503 = draining); ``payload`` is the daemon's JSON error document.
+    """
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error", "") if isinstance(payload, dict) else ""
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class SweepClient:
+    """Talk to one daemon at ``http://host:port``."""
+
+    def __init__(self, url: str, timeout: float = 600.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(f"SweepClient needs an http://host:port URL, got {url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.prefix = parsed.path.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _request(self, method: str, path: str, payload: Any = None) -> dict:
+        body = None
+        headers = {"Connection": "close"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = self._connection()
+        try:
+            connection.request(method, self.prefix + path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+        finally:
+            connection.close()
+        document = json.loads(data.decode("utf-8")) if data else {}
+        if response.status >= 400:
+            raise ServeError(response.status, document)
+        return document
+
+    # ------------------------------------------------------------- endpoints
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit_payload(self, payload: dict) -> str:
+        """Submit a raw job payload; returns the job id (or raises ServeError)."""
+        return self._request("POST", "/jobs", payload)["job"]
+
+    def submit(
+        self,
+        systems: Any,
+        benchmarks: Any,
+        branches: int | None = None,
+        warmup: int | None = None,
+        backend: str | None = None,
+        priority: int = 0,
+    ) -> str:
+        """Submit one sweep job from PR-4 config pieces (see docs/SERVE.md)."""
+        payload: dict[str, Any] = {"systems": systems, "benchmarks": benchmarks}
+        if branches is not None:
+            payload["branches"] = branches
+        if warmup is not None:
+            payload["warmup"] = warmup
+        if backend is not None:
+            payload["backend"] = backend
+        if priority:
+            payload["priority"] = priority
+        return self.submit_payload(payload)
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's events: full history first, then live.
+
+        Yields each newline-delimited JSON event as a dict and returns
+        after the terminal ``done`` event (or on daemon shutdown, when
+        the stream closes).
+        """
+        connection = self._connection()
+        try:
+            connection.request(
+                "GET", f"{self.prefix}/jobs/{job_id}/events",
+                headers={"Connection": "close"},
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise ServeError(response.status, json.loads(response.read() or b"{}"))
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, poll: float = 0.2, timeout: float | None = None) -> dict:
+        """Block until the job finishes; returns its final status document.
+
+        Prefers the event stream (wakes exactly when the job does);
+        falls back to polling if the stream drops before the terminal
+        event.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for event in self.events(job_id):
+            if event.get("event") == "done":
+                return self.status(job_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still running after {timeout}s")
+        while True:
+            document = self.status(job_id)
+            if document["state"] in ("done", "failed"):
+                return document
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still running after {timeout}s")
+            time.sleep(poll)
+
+    # --------------------------------------------------------------- results
+
+    def results(self, job_id: str) -> list[tuple[str, str, Any]]:
+        """The finished job's cells as (system label, bench name, result).
+
+        Results decode through :func:`repro.sim.cache.decode_result` —
+        the same lossless codec a local cache hit uses, so they are
+        bit-identical to a local :func:`~repro.sim.sweep.run_sweep`.
+        """
+        document = self.status(job_id)
+        if document["state"] == "failed":
+            raise ServeError(500, document.get("error") or {"error": "job failed"})
+        if document["state"] != "done" or document.get("results") is None:
+            raise ServeError(409, {"error": f"job {job_id} is {document['state']}"})
+        return [
+            (row["system"], row["benchmark"], decode_result(row["result"]))
+            for row in document["results"]
+        ]
+
+    def sweep_result(self, job_id: str) -> SweepResult:
+        """The finished job as a :class:`~repro.sim.sweep.SweepResult`."""
+        sweep = SweepResult()
+        for system_label, bench_name, result in self.results(job_id):
+            result.system = system_label
+            result.benchmark = bench_name
+            sweep.add(system_label, bench_name, result)
+        return sweep

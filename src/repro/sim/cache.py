@@ -1,4 +1,4 @@
-"""On-disk result cache for sweep cells.
+"""Content-addressed result cache for sweep cells, over pluggable backends.
 
 Results are keyed by :meth:`repro.sim.specs.SweepCell.content_hash` — a
 SHA-256 over the cell's *content* (system spec, resolved workload
@@ -7,18 +7,40 @@ deterministic in its spec, a hit can be substituted for a run without
 changing a single bit of the sweep's outcome; the differential tests in
 ``tests/sim/test_execution.py`` enforce exactly that.
 
-Layout: ``<root>/<key[:2]>/<key>.json``, one small JSON document per
-cell. Writes are atomic (temp file + ``os.replace``) so a crashed or
-interrupted sweep never leaves a truncated entry; reads treat any
-malformed or mismatched entry as a miss. The cache is therefore safe to
-share between concurrent sweeps and to delete wholesale at any time.
+The *codec* (result ↔ JSON document) and the validation of fetched
+entries live in :class:`ResultCache`; *where the bytes go* is a
+:class:`CacheBackend`:
+
+* :class:`LocalDirBackend` — today's on-disk layout, byte for byte:
+  ``<root>/<key[:2]>/<key>.json``, one small JSON document per cell,
+  written atomically (temp file + ``os.replace``) so a crashed or
+  interrupted sweep never leaves a truncated entry. Pre-refactor cache
+  directories keep hitting unchanged
+  (``tests/serve/test_differential_local_backend.py`` pins the bytes).
+* :class:`HTTPBackend` — speaks ``GET/PUT /cache/<key>`` to a running
+  sweep daemon (:mod:`repro.serve`), so several daemons on several
+  machines can shard one cache. Cell hashes are machine-independent
+  (trace digests, not paths), which is what makes the remote share
+  sound.
+* :class:`TieredBackend` — local over remote: reads prefer the local
+  tier and write remote hits through; writes land locally and are
+  mirrored to the remote best-effort (a dead peer degrades throughput,
+  never correctness).
+
+Reads treat any malformed, mismatched or unreachable entry as a miss.
+Every backend is therefore safe to share between concurrent sweeps and
+to delete wholesale at any time; :func:`cache_from_url` builds the
+backend stack from one ``--cache-url`` string.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
+import re
 import tempfile
+import urllib.parse
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -31,6 +53,11 @@ if TYPE_CHECKING:  # pipeline imports sim.driver; keep the runtime DAG acyclic
 
 #: Schema version of the cached payloads themselves.
 CACHE_SCHEMA_VERSION = 1
+
+#: Cache keys are SHA-256 hex digests; backends validate before touching
+#: storage (the HTTP server additionally refuses anything else, so a key
+#: can never become a path traversal).
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
 
 _RUNSTATS_COUNTERS = (
     "branches",
@@ -132,26 +159,273 @@ def clone_result(result: "RunStats | PipelineResult") -> "RunStats | PipelineRes
     return decode_result(encode_result(result))
 
 
-class ResultCache:
-    """Content-addressed store of cell results under a root directory."""
+class CacheBackendError(OSError):
+    """A backend could not reach its storage (bad key, dead peer, HTTP 5xx).
+
+    Subclasses :class:`OSError` deliberately: :meth:`ResultCache.get`
+    already treats I/O trouble as a miss, and network trouble is the
+    same advisory condition — a cache read that cannot complete is a
+    miss, never corruption. Writes still surface it (a sweep should not
+    silently stop recording results).
+    """
+
+
+def _check_key(key: str) -> str:
+    if not _KEY_RE.fullmatch(key):
+        raise CacheBackendError(f"malformed cache key {key!r} (want 64 hex chars)")
+    return key
+
+
+class CacheBackend:
+    """Where cache entries' bytes live. Keys are SHA-256 hex digests.
+
+    Backends store and fetch *opaque bytes*; the codec, schema stamps and
+    entry validation stay in :class:`ResultCache`, so every backend is
+    trivially interchangeable and a corrupt or truncated entry from any
+    of them decodes to a miss, never a wrong result.
+    """
+
+    def get_bytes(self, key: str) -> bytes | None:
+        """The entry's bytes, or None on miss. May raise CacheBackendError."""
+        raise NotImplementedError
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        """Store an entry (atomic, last-writer-wins per key)."""
+        raise NotImplementedError
+
+    def location(self) -> str:
+        """Human-readable description of where entries live (CLI stats)."""
+        raise NotImplementedError
+
+
+class LocalDirBackend(CacheBackend):
+    """Today's on-disk layout: ``<root>/<key[:2]>/<key>.json``.
+
+    Byte-compatible with the pre-backend :class:`ResultCache`: entries
+    written by either are indistinguishable on disk, so existing cache
+    directories keep hitting (pinned by the differential test in
+    ``tests/serve/test_differential_local_backend.py``). Writes are
+    atomic (temp file + ``os.replace`` in the destination directory).
+    """
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        #: Telemetry for the current process (reported by the CLI).
-        self.hits = 0
-        self.misses = 0
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (two-level fan-out)."""
         return self.root / key[:2] / f"{key}.json"
 
+    def get_bytes(self, key: str) -> bytes | None:
+        _check_key(key)
+        try:
+            return self.path_for(key).read_bytes()
+        except OSError:
+            return None
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        _check_key(key)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def location(self) -> str:
+        return str(self.root)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+class HTTPBackend(CacheBackend):
+    """Remote tier: ``GET/PUT /cache/<key>`` against a sweep daemon.
+
+    One short-lived connection per operation (``Connection: close``), so
+    the backend is trivially picklable across pool workers and needs no
+    lock. A 404 is a miss; any other failure (refused connection, 5xx,
+    short body) raises :class:`CacheBackendError`, which reads treat as
+    a miss and writes surface.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http",):
+            raise ValueError(f"HTTPBackend needs an http:// URL, got {url!r}")
+        if not parsed.hostname:
+            raise ValueError(f"HTTPBackend URL has no host: {url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.prefix = parsed.path.rstrip("/")
+        self.timeout = timeout
+
+    def _url(self) -> str:
+        return f"http://{self.host}:{self.port}{self.prefix}"
+
+    def _request(self, method: str, key: str, body: bytes | None = None):
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, f"{self.prefix}/cache/{key}", body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            return response.status, data
+        except OSError as exc:
+            raise CacheBackendError(
+                f"cache peer {self._url()} unreachable: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    def get_bytes(self, key: str) -> bytes | None:
+        _check_key(key)
+        status, data = self._request("GET", key)
+        if status == 404:
+            return None
+        if status != 200:
+            raise CacheBackendError(
+                f"cache peer {self._url()} answered HTTP {status} on GET {key[:12]}…"
+            )
+        return data
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        _check_key(key)
+        status, _ = self._request("PUT", key, body=data)
+        if status not in (200, 201, 204):
+            raise CacheBackendError(
+                f"cache peer {self._url()} answered HTTP {status} on PUT {key[:12]}…"
+            )
+
+    def location(self) -> str:
+        return self._url()
+
+
+class TieredBackend(CacheBackend):
+    """Local tier over a remote tier (the multi-daemon sharding shape).
+
+    Reads prefer the local tier; a remote hit is written through locally
+    so the next read is one file open. Writes land locally first (the
+    correctness tier) and are mirrored to the remote *best-effort*: a
+    dead or lagging peer costs shared hits, never a failed sweep. Remote
+    read trouble likewise degrades to a miss.
+    """
+
+    def __init__(self, local: CacheBackend, remote: CacheBackend) -> None:
+        self.local = local
+        self.remote = remote
+
+    def get_bytes(self, key: str) -> bytes | None:
+        data = self.local.get_bytes(key)
+        if data is not None:
+            return data
+        try:
+            data = self.remote.get_bytes(key)
+        except CacheBackendError:
+            return None
+        if data is not None:
+            self.local.put_bytes(key, data)
+        return data
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        self.local.put_bytes(key, data)
+        try:
+            self.remote.put_bytes(key, data)
+        except CacheBackendError:
+            pass  # peer down: local tier already holds the truth
+
+    def location(self) -> str:
+        return f"tiered({self.local.location()} over {self.remote.location()})"
+
+    def __len__(self) -> int:
+        # Only the local tier is enumerable in general (the remote may be
+        # another machine's disk); documented as the local entry count.
+        return len(self.local)  # type: ignore[arg-type]
+
+
+def cache_from_url(url: str | os.PathLike) -> CacheBackend:
+    """Build a backend stack from one ``--cache-url`` string.
+
+    * ``http://host:port[/prefix]`` — :class:`HTTPBackend` against a
+      running daemon's ``/cache`` endpoints;
+    * ``tiered:<local-dir>|<url>`` — :class:`TieredBackend` with a local
+      directory over any other URL this function understands;
+    * ``file://<path>`` or a plain path — :class:`LocalDirBackend`.
+
+    >>> cache_from_url("/tmp/c").location()
+    '/tmp/c'
+    >>> cache_from_url("tiered:/tmp/c|http://127.0.0.1:9/x").location()
+    'tiered(/tmp/c over http://127.0.0.1:9/x)'
+    """
+    text = os.fspath(url)
+    if text.startswith(("http://", "https://")):
+        return HTTPBackend(text)
+    if text.startswith("tiered:"):
+        rest = text[len("tiered:"):]
+        local_part, sep, remote_part = rest.partition("|")
+        if not sep or not local_part or not remote_part:
+            raise ValueError(
+                f"tiered cache URL must look like 'tiered:<local-dir>|<remote-url>', got {text!r}"
+            )
+        return TieredBackend(LocalDirBackend(local_part), cache_from_url(remote_part))
+    if text.startswith("file://"):
+        text = text[len("file://"):]
+    return LocalDirBackend(text)
+
+
+class ResultCache:
+    """Content-addressed store of cell results over a :class:`CacheBackend`.
+
+    ``ResultCache(path)`` keeps the historical constructor — a local
+    directory in today's layout; pass any :class:`CacheBackend` (or use
+    :meth:`from_url`) to put the same validated codec over a remote or
+    tiered store. Malformed, stale-format and unreachable entries all
+    read as misses.
+    """
+
+    def __init__(self, root: str | os.PathLike | CacheBackend) -> None:
+        self.backend = root if isinstance(root, CacheBackend) else LocalDirBackend(root)
+        #: Telemetry for the current process (reported by the CLI).
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def from_url(url: str | os.PathLike) -> "ResultCache":
+        """A cache over whatever backend ``--cache-url`` denotes."""
+        return ResultCache(cache_from_url(url))
+
+    @property
+    def root(self):
+        """The local root path (local backends) or a location string."""
+        if isinstance(self.backend, LocalDirBackend):
+            return self.backend.root
+        return self.backend.location()
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (local-directory backends)."""
+        if not isinstance(self.backend, LocalDirBackend):
+            raise TypeError(
+                f"cache backend {self.backend.location()!r} has no local paths"
+            )
+        return self.backend.path_for(key)
+
     def get(self, key: str) -> RunStats | PipelineResult | None:
         """Fetch a result, or None on miss / stale format / corruption."""
-        path = self.path_for(key)
         try:
-            with open(path, encoding="utf-8") as handle:
-                document = json.load(handle)
+            data = self.backend.get_bytes(key)
+            if data is None:
+                self.misses += 1
+                return None
+            document = json.loads(data.decode("utf-8"))
             if (
                 document.get("key") != key
                 or document.get("cache_schema") != CACHE_SCHEMA_VERSION
@@ -168,23 +442,21 @@ class ResultCache:
 
     def put(self, key: str, result: RunStats | PipelineResult) -> None:
         """Store a result atomically (last writer wins, all writers agree)."""
-        document = encode_result(result)
-        document["key"] = key
-        document["cache_schema"] = CACHE_SCHEMA_VERSION
-        document["spec_format"] = SPEC_FORMAT_VERSION
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, separators=(",", ":"))
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        self.backend.put_bytes(key, serialize_entry(key, result))
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.backend)  # type: ignore[arg-type]
+
+
+def serialize_entry(key: str, result: "RunStats | PipelineResult") -> bytes:
+    """The canonical entry bytes for ``key`` — every backend stores these.
+
+    Deterministic in (key, result): same compact separators and field
+    order as every cache since PR 1, so all writers of a key agree byte
+    for byte and racing ``put``\\ s are unobservable.
+    """
+    document = encode_result(result)
+    document["key"] = key
+    document["cache_schema"] = CACHE_SCHEMA_VERSION
+    document["spec_format"] = SPEC_FORMAT_VERSION
+    return json.dumps(document, separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,28 @@
+"""Fixtures for the sweep-daemon service tests.
+
+Each test gets a private daemon on an ephemeral port with a fresh cache
+directory — booted on a background thread via the same
+:func:`repro.serve.start_daemon` harness the load profiler uses, so the
+tests exercise the real asyncio server, not a mock transport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig, SweepClient, start_daemon
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A running daemon (serial engine, fresh local cache); drained at exit."""
+    handle = start_daemon(
+        ServeConfig(port=0, jobs=1, cache_url=str(tmp_path / "cache"))
+    )
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    return SweepClient(daemon.url)

@@ -1,22 +1,32 @@
-"""Concurrent-use guarantees of the on-disk :class:`ResultCache`.
+"""Concurrent-use guarantees of the shared result cache — local and served.
 
 The sweep-scale engine made the cache a genuinely shared resource: pool
 workers write their own results as cells finish, and nothing stops two
 engines (or two whole sweeps on different machines sharing a filesystem)
-from racing on the same keys. The contract under race is:
+from racing on the same keys. The sweep daemon (:mod:`repro.serve`)
+widened the sharing again: a daemon serves its local cache over
+``/cache/<key>``, and other daemons layer a
+:class:`~repro.sim.cache.TieredBackend` on top of it. The contract under
+race is the same at every layer:
 
 * a ``get`` never returns a corrupt or partially written entry — it is
   either a full, decodable result or a miss;
 * racing ``put``\\ s of the same key are atomic, last-writer-wins, and
   every writer writes the same bytes for the same key (results are
-  deterministic in the spec), so *which* writer wins is unobservable.
+  deterministic in the spec, ``serialize_entry`` is deterministic in the
+  result), so *which* writer wins is unobservable.
 
-These tests hammer one cache directory from several processes and then
-verify every entry decodes to the expected result.
+These tests hammer one cache directory from several processes, race two
+daemons through one shared HTTP tier, and kill a daemon mid-job to prove
+the resumed job reuses every already-cached cell.
 """
 
 import json
 import multiprocessing
+import os
+import subprocess
+import sys
+import threading
 
 import pytest
 
@@ -30,7 +40,12 @@ from repro.sim import (
     SystemSpec,
     run_cell,
 )
-from repro.sim.cache import stats_to_dict
+from repro.sim.cache import (
+    HTTPBackend,
+    TieredBackend,
+    serialize_entry,
+    stats_to_dict,
+)
 
 CONFIG = SimulationConfig(n_branches=1200, warmup=240)
 
@@ -117,7 +132,7 @@ class TestRacingWriters:
         for cell in cells:
             assert cache.get(cell.content_hash()) is not None
 
-    def test_partial_write_is_invisible(self, tmp_path):
+    def test_partial_write_is_invisible(self, tmp_path, monkeypatch):
         """A writer dying mid-put leaves no observable entry at all."""
         cache = ResultCache(tmp_path)
         cell = make_cells()[0]
@@ -126,20 +141,224 @@ class TestRacingWriters:
         class Boom(RuntimeError):
             pass
 
-        # Simulate a crash inside the atomic-rename window: the temp file
-        # write raises before os.replace runs.
+        # Simulate a crash inside the atomic-rename window: the entry
+        # bytes are fully written to the temp file, but the process dies
+        # before ``os.replace`` publishes it.
         import repro.sim.cache as cache_module
 
-        original_dump = cache_module.json.dump
-
-        def exploding_dump(*args, **kwargs):
+        def exploding_replace(src, dst):
             raise Boom()
 
-        cache_module.json.dump = exploding_dump
-        try:
-            with pytest.raises(Boom):
-                cache.put(key, run_cell(cell))
-        finally:
-            cache_module.json.dump = original_dump
+        monkeypatch.setattr(cache_module.os, "replace", exploding_replace)
+        with pytest.raises(Boom):
+            cache.put(key, run_cell(cell))
+        monkeypatch.undo()
         assert cache.get(key) is None
         assert list(tmp_path.glob("**/*.tmp")) == []  # temp file cleaned up
+
+
+def _job_payload():
+    """The service-level spelling of :func:`make_cells`' grid."""
+    return {
+        "systems": {
+            "gshare": {"kind": "single",
+                       "prophet": {"kind": "gshare", "budget_kb": 2}},
+            "hybrid": {"kind": "hybrid",
+                       "prophet": {"kind": "gshare", "budget_kb": 2},
+                       "critic": {"kind": "tagged-gshare", "budget_kb": 2},
+                       "future_bits": 4},
+        },
+        "benchmarks": "swim,facerec",
+        "branches": CONFIG.n_branches,
+        "warmup": CONFIG.warmup,
+    }
+
+
+class TestDaemonCacheSharing:
+    """Two daemons sharing one HTTP cache tier, and kill/resume reuse."""
+
+    def test_tiered_daemons_over_one_http_tier_never_corrupt(self, tmp_path):
+        """Daemons B and C race identical jobs through A's shared tier.
+
+        Whatever the interleaving — B simulates and writes through, C
+        hits A's tier remotely, or both simulate concurrently — every
+        fetched result must be bit-identical to a local run, and every
+        entry left in any tier must be whole and decodable.
+        """
+        from repro.serve import ServeConfig, SweepClient, start_daemon
+
+        cells = make_cells()
+        reference = {
+            cell.content_hash(): stats_to_dict(run_cell(cell)) for cell in cells
+        }
+
+        hub = start_daemon(
+            ServeConfig(port=0, cache_url=str(tmp_path / "hub"))
+        )
+        try:
+            edges = [
+                start_daemon(ServeConfig(
+                    port=0,
+                    cache_url=f"tiered:{tmp_path / f'edge{i}'}|{hub.url}",
+                ))
+                for i in range(2)
+            ]
+            try:
+                docs: dict[int, dict] = {}
+                errors: list[BaseException] = []
+
+                def submit_and_wait(i: int) -> None:
+                    try:
+                        client = SweepClient(edges[i].url)
+                        job = client.submit_payload(_job_payload())
+                        docs[i] = client.wait(job, timeout=120)
+                    except BaseException as exc:
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=submit_and_wait, args=(i,))
+                    for i in range(2)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+                assert not errors, errors
+                # Both daemons' results are bit-identical to local runs.
+                for doc in docs.values():
+                    assert doc["state"] == "done"
+                    by_key = {row["content_hash"]: row for row in doc["results"]}
+                    for key, want in reference.items():
+                        assert by_key[key]["result"]["payload"] == want
+            finally:
+                for edge in edges:
+                    edge.stop()
+        finally:
+            hub.stop()
+        # Every tier holds only whole, decodable entries for these keys.
+        for tier in ("hub", "edge0", "edge1"):
+            root = tmp_path / tier
+            if not root.exists():
+                continue
+            cache = ResultCache(root)
+            for cell in cells:
+                fetched = cache.get(cell.content_hash())
+                if fetched is not None:
+                    assert stats_to_dict(fetched) == reference[cell.content_hash()]
+        # The hub tier saw every key (at least one edge wrote through).
+        hub_cache = ResultCache(tmp_path / "hub")
+        for cell in cells:
+            assert hub_cache.get(cell.content_hash()) is not None
+
+    def test_http_tier_hammered_by_threads_never_partial_reads(self, tmp_path):
+        """Raw /cache traffic under thread race: full bytes or a miss."""
+        from repro.serve import ServeConfig, start_daemon
+
+        cells = make_cells()
+        expected = {
+            cell.content_hash(): serialize_entry(
+                cell.content_hash(), run_cell(cell)
+            )
+            for cell in cells
+        }
+        handle = start_daemon(ServeConfig(port=0, cache_url=str(tmp_path / "hub")))
+        try:
+            anomalies: list[str] = []
+
+            def hammer() -> None:
+                backend = HTTPBackend(handle.url)
+                for _ in range(8):
+                    for key, want in expected.items():
+                        backend.put_bytes(key, want)
+                        got = backend.get_bytes(key)
+                        if got is not None and got != want:
+                            anomalies.append(key)
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert anomalies == []
+        finally:
+            handle.stop()
+
+    def test_tiered_backend_write_through_and_peer_down(self, tmp_path):
+        """A dead remote peer degrades a tiered cache, never fails it."""
+        cells = make_cells()
+        cell = cells[0]
+        key = cell.content_hash()
+        result = run_cell(cell)
+        # Port 9 (discard) is reliably closed: every remote op errors.
+        dead = TieredBackend(
+            local=ResultCache(tmp_path / "local").backend,
+            remote=HTTPBackend("http://127.0.0.1:9"),
+        )
+        cache = ResultCache(dead)
+        cache.put(key, result)  # remote put fails silently; local holds it
+        fetched = cache.get(key)
+        assert fetched is not None
+        assert stats_to_dict(fetched) == stats_to_dict(result)
+
+    def test_killed_daemon_resumed_job_reuses_cached_cells(self, tmp_path):
+        """SIGKILL a daemon mid-job; its successor resumes from the cache.
+
+        The engine streams each cell into the cache *before* its
+        progress event reaches the client, so every cell event observed
+        before the kill is a cell the resumed job must not re-simulate.
+        """
+        from repro.serve import SweepClient
+
+        cache_dir = str(tmp_path / "cache")
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--cache-url", cache_dir],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("serving on http://"), banner
+            url = banner.split()[-1]
+            client = SweepClient(url)
+            job = client.submit_payload(_job_payload())
+            seen = 0
+            try:
+                for event in client.events(job):
+                    if event.get("event") == "cell":
+                        seen += 1
+                        if seen >= 2:
+                            break
+            finally:
+                proc.kill()  # SIGKILL: no drain, no cleanup
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        assert seen >= 2
+
+        # A fresh daemon on the same cache dir resumes the identical job:
+        # every cell the dead daemon finished is served from the cache.
+        from repro.serve import ServeConfig, start_daemon
+
+        handle = start_daemon(ServeConfig(port=0, cache_url=cache_dir))
+        try:
+            client = SweepClient(handle.url)
+            job = client.submit_payload(_job_payload())
+            doc = client.wait(job, timeout=120)
+        finally:
+            handle.stop()
+        assert doc["state"] == "done"
+        total = doc["cells_executed"] + doc["cells_from_cache"]
+        assert total == len(make_cells())
+        assert doc["cells_from_cache"] >= seen
+        # And the resumed results are still the local-run truth.
+        reference = {
+            cell.content_hash(): stats_to_dict(run_cell(cell))
+            for cell in make_cells()
+        }
+        for row in doc["results"]:
+            assert row["result"]["payload"] == reference[row["content_hash"]]
