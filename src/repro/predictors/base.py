@@ -117,5 +117,22 @@ class DirectionPredictor(abc.ABC):
         """Clear learned state (default: re-construct stats only)."""
         self.stats = PredictorStats()
 
+    def __getstate__(self) -> dict:
+        """Pickle without batched-kernel table caches.
+
+        The batched kernel memoizes constant lookup tables on predictor
+        instances as numpy ndarrays under ``*_np`` attributes (see
+        ``sim.batched._np_table``). They are derivable constants, so
+        shipping them with pool chunks or cache entries would bloat
+        every pickle by megabytes — and would make predictor pickles
+        depend on whether a batched run happened to touch the object
+        first. Dropped here; rebuilt lazily on first batched use.
+        """
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.endswith("_np")
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.storage_bits() / 8192.0:.1f}KB h={self.history_length}>"

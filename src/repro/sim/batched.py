@@ -26,10 +26,21 @@ O(window). That is the deliberate trade for throughput.
 
 ``simulate_batched`` specializes the system shapes the sweeps actually
 run — :class:`SinglePredictorSystem` and :class:`ProphetCriticSystem`
-over the table predictors (2bc-gskew, gshare, gas, bimodal) with the
-tagged-gshare critic — and returns None for anything else (including
-when numpy is unavailable), telling the driver to fall back to the
-scalar loop.
+over the table predictors (2bc-gskew, gshare, gas, bimodal) plus the
+perceptron, with the tagged-gshare and filtered-perceptron critics —
+and returns None for anything else (including when numpy is
+unavailable), telling the driver to fall back to the scalar loop.
+
+Two amortization layers sit on top of the kernels:
+
+* :class:`FusedReplayContext` — shared precompute (trace-derived
+  columns, flat CFG tables, fused per-branch rows) for replaying many
+  systems over one program in a sweep, plumbed in via
+  ``simulate_batched(..., shared=ctx)`` / :func:`fused_replay`;
+* a process-wide :func:`set_trace_store` hook that spills the memoized
+  architectural-trace columns through a persistent
+  :class:`repro.sim.cache.CacheBackend`, keyed by the program's build
+  key and prefix-stable in branch count.
 """
 
 from __future__ import annotations
@@ -44,9 +55,11 @@ from repro.core.hybrid import ProphetCriticSystem, SinglePredictorSystem
 from repro.engine.btb import BranchTargetBuffer
 from repro.engine.executor import ArchitecturalExecutor
 from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.filtered_perceptron import FilteredPerceptronPredictor
 from repro.predictors.gas import GAsPredictor
 from repro.predictors.gshare import GsharePredictor
 from repro.predictors.gskew import TwoBcGskewPredictor
+from repro.predictors.perceptron import PerceptronPredictor
 from repro.predictors.tagged_gshare import TaggedGsharePredictor
 from repro.sim.driver import SimulationDesyncError
 from repro.sim.metrics import RunStats
@@ -55,7 +68,7 @@ from repro.sim.metrics import RunStats
 #: compiled-CFG pair limit and the drop-oldest RAS bound.
 _RAS_CAPACITY = 64
 
-_GSKEW, _GSHARE, _GAS, _BIMODAL = 1, 2, 3, 4
+_GSKEW, _GSHARE, _GAS, _BIMODAL, _PERC = 1, 2, 3, 4, 5
 
 #: Exact-type dispatch: subclasses may override behaviour the fused
 #: kernels inline, so they fall back to the scalar loop.
@@ -64,6 +77,15 @@ _PROPHET_KINDS = {
     GsharePredictor: _GSHARE,
     GAsPredictor: _GAS,
     BimodalPredictor: _BIMODAL,
+    PerceptronPredictor: _PERC,
+}
+
+_CR_TAGGED, _CR_FPERC = 1, 2
+
+#: Critic shapes the hybrid kernel fuses (exact types, like the prophets).
+_CRITIC_KINDS = {
+    TaggedGsharePredictor: _CR_TAGGED,
+    FilteredPerceptronPredictor: _CR_FPERC,
 }
 
 
@@ -160,11 +182,41 @@ def batch_predict_bimodal(predictor, pcs, histories):
     return preds, idx_l
 
 
+def batch_predict_perceptron(predictor, pcs, histories):
+    """Vectorized ``PerceptronPredictor.predict_packed``.
+
+    Returns ``(preds, states)``: a bool ndarray of predictions and the
+    list of ±1 input vectors (the packed state ``update_packed``
+    expects). Histories wider than 62 bits fall back to the scalar
+    ``_inputs`` per element (the int64 shift table would overflow).
+    """
+    h = predictor.history_length
+    rows = ((pcs >> 2) % predictor.n_perceptrons).tolist()
+    count = len(rows)
+    if h < 63:
+        bits = (histories[:, None] >> np.arange(h, dtype=np.int64)) & 1
+        x = np.empty((count, h + 1), dtype=np.int16)
+        x[:, 0] = 1
+        x[:, 1:] = bits.astype(np.int16) * 2 - 1
+        states = list(x)
+    else:
+        inputs = predictor._inputs
+        states = [inputs(int(histories[i])) for i in range(count)]
+        x = np.stack(states) if count else np.zeros((0, h + 1), np.int16)
+    weights = predictor.weights
+    y = (
+        np.stack([weights[r] for r in rows]).astype(np.int32)
+        * x.astype(np.int32)
+    ).sum(axis=1) if count else np.zeros(0, np.int32)
+    return y >= 0, states
+
+
 _BATCH_PREDICT = {
     _GSKEW: batch_predict_gskew,
     _GSHARE: batch_predict_gshare,
     _GAS: batch_predict_gas,
     _BIMODAL: batch_predict_bimodal,
+    _PERC: batch_predict_perceptron,
 }
 
 
@@ -191,6 +243,38 @@ def batch_hash_tagged_gshare(critic, pcs, histories):
         (pcs >> 5) ^ (pcs >> (5 + critic.tag_bits)) ^ ftag ^ (ft2 << 1)
     ) & critic._tag_mask
     sets = fi & critic._set_mask
+    return sets.tolist(), tags.tolist()
+
+
+def batch_hash_filtered_perceptron(critic, pcs, histories):
+    """Vectorized filter hashes of ``FilteredPerceptronPredictor``.
+
+    Mirrors ``_set_index``/``_tag`` (``index_hash``/``tag_hash`` over the
+    ``filter_history_length`` slice of the BOR) with the same fold
+    structure as the tagged-gshare hash. Returns ``(set_indices, tags)``
+    as Python int lists.
+    """
+    fhl = critic.filter_history_length
+    set_bits = critic.filter.set_bits
+    tag_bits = critic.tag_bits
+    hmask = (1 << fhl) - 1 if fhl > 0 else 0
+    tag_shifts = range(0, fhl, max(tag_bits, 1))
+    values = histories & hmask
+    fi = pcs >> 2
+    for shift in range(0, fhl, max(set_bits, 1)):
+        fi = fi ^ (values >> shift)
+    ftag = np.zeros_like(pcs)
+    for shift in tag_shifts:
+        ftag = ftag ^ (values >> shift)
+    ft2 = np.zeros_like(pcs)
+    if fhl > 0:
+        rotated = ((histories >> 1) | ((histories & 1) << (fhl - 1))) & hmask
+        for shift in tag_shifts:
+            ft2 = ft2 ^ (rotated >> shift)
+    tags = (
+        (pcs >> 5) ^ (pcs >> (5 + tag_bits)) ^ ftag ^ (ft2 << 1)
+    ) & ((1 << tag_bits) - 1)
+    sets = fi & ((1 << set_bits) - 1)
     return sets.tolist(), tags.tolist()
 
 
@@ -227,6 +311,11 @@ def _make_pc_consts(predictor, kind: int, critic):
 
         def pc_consts(pc):
             return (pc >> 2) & smask, 0, 0, 0, pc >> 2, (pc >> 5) ^ (pc >> tb5)
+    elif kind == _PERC:
+        n_perc = predictor.n_perceptrons
+
+        def pc_consts(pc):
+            return (pc >> 2) % n_perc, 0, 0, 0, pc >> 2, (pc >> 5) ^ (pc >> tb5)
     else:
         imask = (1 << predictor._index_bits) - 1
 
@@ -234,6 +323,72 @@ def _make_pc_consts(predictor, kind: int, critic):
             return (pc >> 2) & imask, 0, 0, 0, pc >> 2, (pc >> 5) ^ (pc >> tb5)
 
     return pc_consts
+
+
+# -- precomputed hash-image tables -------------------------------------------
+#
+# The critic fold hash and the gskew skewing functions are pure functions
+# of a bounded-width input, so their images are precomputed once per
+# geometry and the per-critique / per-fetch hash collapses to one table
+# lookup. Cached module-level, not per run: geometries repeat across a
+# sweep and the images are immutable.
+
+_FOLD_TBL_CACHE: dict = {}
+
+
+def _critic_fold_tables(c_hmask, c_rot, c_set_shifts, c_tag_shifts):
+    """Set/tag fold images over the (history_bits + 1)-wide BOR window.
+
+    Indexed by ``bor & vmask`` where ``vmask = (c_hmask << 1) | 1``: the
+    rotated tag fold reads one bit above the history mask, so the image
+    tables carry that extra input bit. The tag image folds the plain and
+    rotated hashes together (``ftag ^ (ft2 << 1)``) so the critique's
+    whole tag computation is ``(k1 ^ ftt[w]) & c_tag_mask``.
+    """
+    key = (c_hmask, c_rot, c_set_shifts, c_tag_shifts)
+    hit = _FOLD_TBL_CACHE.get(key)
+    if hit is None:
+        w = np.arange((c_hmask << 1) + 2, dtype=np.int64)
+        value = w & c_hmask
+        fs_img = np.zeros(w.shape[0], dtype=np.int64)
+        for sh in c_set_shifts:
+            fs_img ^= value >> sh
+        ft_img = np.zeros_like(fs_img)
+        for sh in c_tag_shifts:
+            ft_img ^= value >> sh
+        if c_tag_shifts:
+            rotated = ((w >> 1) | ((w & 1) << c_rot)) & c_hmask
+            f2 = np.zeros_like(fs_img)
+            for sh in c_tag_shifts:
+                f2 ^= rotated >> sh
+            ft_img ^= f2 << 1
+        if len(_FOLD_TBL_CACHE) >= 3:
+            _FOLD_TBL_CACHE.clear()
+        _FOLD_TBL_CACHE[key] = hit = (fs_img.tolist(), ft_img.tolist())
+    return hit
+
+
+_GSKEW_XOR_CACHE: dict = {}
+
+
+def _gskew_xor_tables(prophet):
+    """``hinv[v] ^ v`` / ``h[v] ^ v`` images for the skewed indices.
+
+    With these, ``g0 = h1 ^ hx[v2]``, ``g1 = g0 ^ v2 ^ v1`` and
+    ``meta = hi1 ^ hv[v2]`` — four xors instead of seven per prediction.
+    Pure functions of the index width, so keyed by it.
+    """
+    n = prophet._index_bits
+    hit = _GSKEW_XOR_CACHE.get(n)
+    if hit is None:
+        h = prophet._h_table
+        hinv = prophet._hinv_table
+        hx = [hinv[v] ^ v for v in range(len(hinv))]
+        hv = [h[v] ^ v for v in range(len(h))]
+        if len(_GSKEW_XOR_CACHE) >= 8:
+            _GSKEW_XOR_CACHE.clear()
+        _GSKEW_XOR_CACHE[n] = hit = (hx, hv)
+    return hit
 
 
 def _make_flattener(compiled, use_btb: bool, set_mask: int, set_bits: int, pc_consts):
@@ -288,22 +443,125 @@ def _make_flattener(compiled, use_btb: bool, set_mask: int, set_bits: int, pc_co
     return flat, flatten
 
 
+# -- fused multi-system replay ----------------------------------------------
+#
+# A sweep replays many systems over the *same* program: the trace
+# columns, the flat CFG table, the BTB set/tag columns and every
+# pc-derived per-branch row are pure functions of (program, predictor
+# geometry, BTB geometry) — not of predictor *state* — so K same-program
+# cells can share them. The kernels ask for each artifact through
+# `_ctx_get(shared, key, build)`: with no context the artifact is built
+# per run exactly as before; with a context the first run pays and the
+# rest reuse.
+
+
+class FusedReplayContext:
+    """Memoized per-program precompute shared across batched replays.
+
+    One context is valid for exactly one program (one ``build_key``);
+    the execution layer keeps a context per chunk of same-program cells.
+    Keys embed every geometry input the artifact depends on, so systems
+    with different predictor/BTB shapes coexist in one context.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+
+    def get(self, key, build):
+        store = self._store
+        hit = store.get(key)
+        if hit is None:
+            store[key] = hit = build()
+        return hit
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+def _ctx_get(shared, key, build):
+    if shared is None:
+        return build()
+    return shared.get(key, build)
+
+
+def _prophet_geometry(predictor, kind: int) -> tuple:
+    """Geometry key: everything the per-pc prophet columns depend on."""
+    if kind == _GSKEW:
+        return (predictor._index_bits, predictor._pc_high_shift)
+    if kind == _GSHARE:
+        return ()
+    if kind == _GAS:
+        return (predictor.set_bits,)
+    if kind == _PERC:
+        return (predictor.n_perceptrons,)
+    return (predictor._index_bits,)
+
+
+# -- persistent trace-column store ------------------------------------------
+#
+# Process-wide hook: when installed (see ``repro.sim.execution``), the
+# in-memory trace memo spills through a persistent cache backend keyed
+# by the program's build key, so pool workers and daemon restarts skip
+# the one-time architectural CFG walk. Only programs carrying a
+# ``_build_key`` annotation (stamped by the execution layer's build
+# cache) participate — ad-hoc programs never touch the store.
+
+_trace_store = None
+
+
+def set_trace_store(store) -> None:
+    """Install (or clear, with None) the persistent trace-column store."""
+    global _trace_store
+    _trace_store = store
+
+
+def get_trace_store():
+    return _trace_store
+
+
 # -- dispatch ---------------------------------------------------------------
 
 
-def simulate_batched(program, system, config):
+def simulate_batched(program, system, config, shared=None):
     """Run the batched kernel, or return None for unsupported shapes."""
+    if shared is None:
+        # Sequential replays of one program reuse the same memoized
+        # precompute the fused path shares across a chunk; every key
+        # embeds the geometry it depends on, so mixed systems coexist.
+        shared = getattr(program, "_replay_ctx", None)
+        if shared is None:
+            shared = FusedReplayContext()
+            program._replay_ctx = shared
     if type(system) is SinglePredictorSystem:
         kind = _PROPHET_KINDS.get(type(system.predictor))
         if kind is None:
             return None
-        return _simulate_single(program, system, config, kind)
+        return _simulate_single(program, system, config, kind, shared)
     if type(system) is ProphetCriticSystem:
         kind = _PROPHET_KINDS.get(type(system.prophet))
-        if kind is None or type(system.critic) is not TaggedGsharePredictor:
+        ckind = _CRITIC_KINDS.get(type(system.critic))
+        if kind is None or ckind is None:
             return None
-        return _simulate_hybrid(program, system, config, kind)
+        return _simulate_hybrid(program, system, config, kind, ckind, shared)
     return None
+
+
+def fused_replay(program, runs, shared=None):
+    """Replay ``runs`` — an iterable of ``(system, config)`` — over one
+    program with all per-program precompute shared.
+
+    Returns one result per run, in order; entries are None where the
+    batched kernel does not support the shape (callers fall back to the
+    scalar loop for those, exactly like ``simulate`` does).
+    """
+    if shared is None:
+        shared = FusedReplayContext()
+    return [
+        simulate_batched(program, system, config, shared)
+        for system, config in runs
+    ]
 
 
 # -- single-predictor kernel ------------------------------------------------
@@ -352,6 +610,16 @@ def _architectural_trace(program, n: int):
         if cached[0] == n:
             return cached[1]
         return tuple(col[:n] for col in cached[1])
+    store = _trace_store
+    build_key = getattr(program, "_build_key", None)
+    if store is not None and build_key is not None:
+        hit = store.get(build_key, n)
+        if hit is not None:
+            stored_n, cols = hit
+            program._trace_cache = (stored_n, cols)
+            if stored_n == n:
+                return cols
+            return tuple(col[:n] for col in cols)
     program.reset()
     executor = ArchitecturalExecutor(program)
     t_pc = [0] * n
@@ -373,10 +641,12 @@ def _architectural_trace(program, n: int):
         t_snap[i] = ras_snapshot()
     cols = (t_pc, t_tk, t_uops, t_tt, t_ft, t_snap)
     program._trace_cache = (n, cols)
+    if store is not None and build_key is not None:
+        store.put(build_key, n, cols)
     return cols
 
 
-def _simulate_single(program, system, config, kind: int):
+def _simulate_single(program, system, config, kind: int, shared=None):
     if np is None:
         return None
     program.reset()
@@ -402,20 +672,32 @@ def _simulate_single(program, system, config, kind: int):
 
     predictor = system.predictor
     update_packed = system._update_packed
+    geom = _prophet_geometry(predictor, kind)
     pc_consts = _make_pc_consts(predictor, kind, None)
-    flat, flatten = _make_flattener(
-        compiled, use_btb, b_set_mask or 0, b_set_bits or 0, pc_consts
+    flat, flatten = _ctx_get(
+        shared,
+        ("flat", kind, geom, use_btb, b_set_mask or 0, b_set_bits or 0, 5),
+        lambda: _make_flattener(
+            compiled, use_btb, b_set_mask or 0, b_set_bits or 0, pc_consts
+        ),
     )
 
     # ---- vectorized precompute over the trace pcs ----------------------
-    if n_branches:
-        pcs = np.fromiter(t_pc, dtype=np.int64, count=n_branches)
-    else:
-        pcs = np.zeros(0, dtype=np.int64)
+    def _build_pcs():
+        if n_branches:
+            return np.fromiter(t_pc, dtype=np.int64, count=n_branches)
+        return np.zeros(0, dtype=np.int64)
+
+    pcs = _ctx_get(shared, ("pcs", n_branches), _build_pcs)
     if use_btb:
-        words = pcs >> 2
-        a_si = (words & b_set_mask).tolist()
-        a_tag = (words >> b_set_bits).tolist()
+
+        def _build_btb_cols():
+            words = pcs >> 2
+            return (words & b_set_mask).tolist(), (words >> b_set_bits).tolist()
+
+        a_si, a_tag = _ctx_get(
+            shared, ("btb", n_branches, b_set_mask, b_set_bits), _build_btb_cols
+        )
     else:
         a_si = a_tag = [0] * n_branches
 
@@ -432,34 +714,59 @@ def _simulate_single(program, system, config, kind: int):
         gk_g0 = predictor._g0_raw
         gk_g1 = predictor._g1_raw
         gk_meta = predictor._meta_raw
-        v1_np = (pcs >> 2) & gk_imask
-        a_v1 = v1_np.tolist()
-        a_pch = (pcs >> predictor._pc_high_shift).tolist()
-        a_h1 = _np_table(predictor, "_h_np", gk_h)[v1_np].tolist()
-        a_hi1 = _np_table(predictor, "_hinv_np", gk_hinv)[v1_np].tolist()
-        f_rows = list(zip(t_uops, t_tk, a_si, a_tag, a_v1, a_pch, a_h1, a_hi1))
+        def _build_rows():
+            v1_np = (pcs >> 2) & gk_imask
+            a_v1 = v1_np.tolist()
+            a_pch = (pcs >> predictor._pc_high_shift).tolist()
+            a_h1 = _np_table(predictor, "_h_np", gk_h)[v1_np].tolist()
+            a_hi1 = _np_table(predictor, "_hinv_np", gk_hinv)[v1_np].tolist()
+            return list(zip(t_uops, t_tk, a_si, a_tag, a_v1, a_pch, a_h1, a_hi1))
     elif kind == _GSHARE:
         gs_hmask = predictor._history_mask
         gs_imask = predictor._index_mask
         gs_raw = predictor._raw
         gs_mid = predictor._midpoint
-        a_c = (pcs >> 2).tolist()
-        f_rows = list(zip(t_uops, t_tk, a_si, a_tag, a_c))
+
+        def _build_rows():
+            a_c = (pcs >> 2).tolist()
+            return list(zip(t_uops, t_tk, a_si, a_tag, a_c))
     elif kind == _GAS:
         ga_hmask = (1 << predictor.history_length) - 1
         ga_sb = predictor.set_bits
         ga_raw = predictor.table.raw
         ga_mid = predictor.table.midpoint
-        a_c = ((pcs >> 2) & ((1 << ga_sb) - 1)).tolist()
-        f_rows = list(zip(t_uops, t_tk, a_si, a_tag, a_c))
+
+        def _build_rows():
+            a_c = ((pcs >> 2) & ((1 << ga_sb) - 1)).tolist()
+            return list(zip(t_uops, t_tk, a_si, a_tag, a_c))
+    elif kind == _PERC:
+        pp_w = predictor.weights
+        pp_inputs = predictor._inputs
+        np_dot = np.dot
+        np_int32 = np.int32
+
+        def _build_rows():
+            a_c = ((pcs >> 2) % predictor.n_perceptrons).tolist()
+            return list(zip(t_uops, t_tk, a_si, a_tag, a_c))
     else:
         bm_raw = predictor.table.raw
         bm_mid = predictor.table.midpoint
-        a_c = ((pcs >> 2) & ((1 << predictor._index_bits) - 1)).tolist()
-        f_rows = list(zip(t_uops, t_tk, a_si, a_tag, a_c))
+
+        def _build_rows():
+            a_c = ((pcs >> 2) & ((1 << predictor._index_bits) - 1)).tolist()
+            return list(zip(t_uops, t_tk, a_si, a_tag, a_c))
     # Fused per-branch rows: one tuple unpack per event in the hot loops
     # instead of half a dozen list indexings.
-    res_rows = list(zip(t_pc, t_tk, t_uops, a_si, a_tag))
+    f_rows = _ctx_get(
+        shared,
+        ("frows1", kind, geom, n_branches, use_btb, b_set_mask or 0, b_set_bits or 0),
+        _build_rows,
+    )
+    res_rows = _ctx_get(
+        shared,
+        ("res1", n_branches, use_btb, b_set_mask or 0, b_set_bits or 0),
+        lambda: list(zip(t_pc, t_tk, t_uops, a_si, a_tag)),
+    )
 
     stats = RunStats(benchmark=program.name, system=type(system).__name__)
     depth = config.effective_depth(0)
@@ -502,7 +809,7 @@ def _simulate_single(program, system, config, kind: int):
     if not config.collect_predictor_stats:
         system.set_stats_enabled(False)
     gk_stats_on = kind == _GSKEW and predictor.stats_enabled
-    gk_record = predictor.stats.record
+    gk_sn = gk_sc = 0
     flat_get = flat.get
     try:
         while resolved < n_branches:
@@ -599,6 +906,9 @@ def _simulate_single(program, system, config, kind: int):
                                 elif kind == _GAS:
                                     state = ((bhr_val & ga_hmask) << ga_sb) | c
                                     pred = ga_raw[state] > ga_mid
+                                elif kind == _PERC:
+                                    state = pp_inputs(bhr_val)
+                                    pred = int(np_dot(pp_w[c].astype(np_int32), state)) >= 0
                                 else:
                                     state = c
                                     pred = bm_raw[state] > bm_mid
@@ -699,6 +1009,10 @@ def _simulate_single(program, system, config, kind: int):
                                 pred = gs_raw[(c0 ^ (bhr_val & gs_hmask)) & gs_imask] > gs_mid
                             elif kind == _GAS:
                                 pred = ga_raw[((bhr_val & ga_hmask) << ga_sb) | c0] > ga_mid
+                            elif kind == _PERC:
+                                pred = int(
+                                    np_dot(pp_w[c0].astype(np_int32), pp_inputs(bhr_val))
+                                ) >= 0
                             else:
                                 pred = bm_raw[c0] > bm_mid
                             bhr_val = ((bhr_val << 1) | pred) & bhr_mask
@@ -755,7 +1069,9 @@ def _simulate_single(program, system, config, kind: int):
                 if kind == _GSKEW:
                     # Inlined TwoBcGskewPredictor.update_packed.
                     if gk_stats_on:
-                        gk_record(p == taken)
+                        gk_sn += 1
+                        if p == taken:
+                            gk_sc += 1
                     packed = r_state[s]
                     bi = packed & gk_imask
                     g0i = (packed >> gk_n) & gk_imask
@@ -831,6 +1147,10 @@ def _simulate_single(program, system, config, kind: int):
         if not config.collect_predictor_stats:
             system.set_stats_enabled(True)
         bhr._value = bhr_val
+        if gk_sn:
+            pstats = predictor.stats
+            pstats.predictions += gk_sn
+            pstats.correct += gk_sc
 
     stats.branches = st_branches
     stats.committed_uops = st_uops
@@ -858,7 +1178,7 @@ def _simulate_single(program, system, config, kind: int):
 # ring as the single kernel, widened with the critique-time fields.
 
 
-def _simulate_hybrid(program, system, config, kind: int):
+def _simulate_hybrid(program, system, config, kind: int, ckind: int, shared=None):
     if np is None:
         return None
     program.reset()
@@ -868,7 +1188,9 @@ def _simulate_hybrid(program, system, config, kind: int):
 
     # Architectural trace, resolved up front (the executor never observes
     # the front end): exactly n_branches resolve_next() calls, memoized.
-    t_pc, t_tk, t_uops, _, _, _ = _architectural_trace(program, n_resolved)
+    t_pc, t_tk, t_uops, t_tt, t_ft, t_snap = _architectural_trace(
+        program, n_resolved
+    )
 
     use_btb = config.use_btb
     if use_btb:
@@ -883,50 +1205,189 @@ def _simulate_hybrid(program, system, config, kind: int):
     prophet = system.prophet
     critic = system.critic
     prophet_update = prophet.update_packed
+    geom = _prophet_geometry(prophet, kind)
+    tb5 = 5 + critic.tag_bits
     pc_consts = _make_pc_consts(prophet, kind, critic)
-    flat, flatten = _make_flattener(
-        compiled, use_btb, b_set_mask or 0, b_set_bits or 0, pc_consts
+    flat, flatten = _ctx_get(
+        shared,
+        ("flat", kind, geom, use_btb, b_set_mask or 0, b_set_bits or 0, tb5),
+        lambda: _make_flattener(
+            compiled, use_btb, b_set_mask or 0, b_set_bits or 0, pc_consts
+        ),
     )
 
+    # ---- vectorized precompute over the trace pcs ----------------------
+    def _build_pcs():
+        if n_resolved:
+            return np.fromiter(t_pc, dtype=np.int64, count=n_resolved)
+        return np.zeros(0, dtype=np.int64)
+
+    pcs = _ctx_get(shared, ("pcs", n_resolved), _build_pcs)
+    if use_btb:
+
+        def _build_btb_cols():
+            words = pcs >> 2
+            return (words & b_set_mask).tolist(), (words >> b_set_bits).tolist()
+
+        a_si, a_tag = _ctx_get(
+            shared, ("btb", n_resolved, b_set_mask, b_set_bits), _build_btb_cols
+        )
+    else:
+        a_si = a_tag = [0] * n_resolved
+
+    a_k0, a_k1 = _ctx_get(
+        shared,
+        ("critic-pc", n_resolved, tb5),
+        lambda: ((pcs >> 2).tolist(), ((pcs >> 5) ^ (pcs >> tb5)).tolist()),
+    )
+
+    def _build_snapc():
+        # Trace RAS snapshots in the walker's cons-list form, deduped by
+        # identity of the source tuple run (snaps repeat between calls).
+        out = []
+        ap = out.append
+        memo = {}
+        for st in t_snap:
+            c = memo.get(st)
+            if c is None:
+                chain = None
+                for x in st:
+                    chain = (x, chain)
+                memo[st] = c = (chain, len(st))
+            ap(c)
+        return out
+
+    t_snap_c = _ctx_get(shared, ("snapc", n_resolved), _build_snapc)
+
+    np_dot = np.dot
+    np_int32 = np.int32
+    np_clip = np.clip
+
     if kind == _GSKEW:
-        gk_n = prophet._index_bits
-        gk_n2 = 2 * gk_n
-        gk_n3 = 3 * gk_n
         gk_imask = prophet._index_mask
         gk_hmask = prophet._history_mask
         gk_h = prophet._h_table
-        gk_hinv = prophet._hinv_table
         gk_bim = prophet._bim_raw
         gk_g0 = prophet._g0_raw
         gk_g1 = prophet._g1_raw
         gk_meta = prophet._meta_raw
+        gk_hx, gk_hv = _gskew_xor_tables(prophet)
+
+        def _build_rows():
+            v1_np = (pcs >> 2) & gk_imask
+            a_v1 = v1_np.tolist()
+            a_pch = (pcs >> prophet._pc_high_shift).tolist()
+            a_h1 = _np_table(prophet, "_h_np", gk_h)[v1_np].tolist()
+            a_hi1 = _np_table(prophet, "_hinv_np", prophet._hinv_table)[v1_np].tolist()
+            return list(zip(
+                t_uops, t_tk, a_si, a_tag, t_pc, t_tt, t_ft, t_snap_c,
+                a_k0, a_k1, a_v1, a_pch, a_h1, a_hi1,
+            ))
     elif kind == _GSHARE:
         gs_hmask = prophet._history_mask
         gs_imask = prophet._index_mask
         gs_raw = prophet._raw
         gs_mid = prophet._midpoint
+
+        def _build_rows():
+            a_c = (pcs >> 2).tolist()
+            return list(zip(
+                t_uops, t_tk, a_si, a_tag, t_pc, t_tt, t_ft, t_snap_c,
+                a_k0, a_k1, a_c,
+            ))
     elif kind == _GAS:
         ga_hmask = (1 << prophet.history_length) - 1
         ga_sb = prophet.set_bits
         ga_raw = prophet.table.raw
         ga_mid = prophet.table.midpoint
+
+        def _build_rows():
+            a_c = ((pcs >> 2) & ((1 << ga_sb) - 1)).tolist()
+            return list(zip(
+                t_uops, t_tk, a_si, a_tag, t_pc, t_tt, t_ft, t_snap_c,
+                a_k0, a_k1, a_c,
+            ))
+    elif kind == _PERC:
+        pp_w = prophet.weights
+        pp_inputs = prophet._inputs
+
+        def _build_rows():
+            a_c = ((pcs >> 2) % prophet.n_perceptrons).tolist()
+            return list(zip(
+                t_uops, t_tk, a_si, a_tag, t_pc, t_tt, t_ft, t_snap_c,
+                a_k0, a_k1, a_c,
+            ))
     else:
         bm_raw = prophet.table.raw
         bm_mid = prophet.table.midpoint
 
-    # Critic constants (tagged gshare: fold hash + tag filter + counters).
-    c_ways = critic.ways
-    c_set_mask = critic._set_mask
-    c_tag_mask = critic._tag_mask
-    c_hmask = critic._history_mask
-    c_rot = critic._rotate_shift
-    c_set_shifts = critic._set_fold_shifts
-    c_tag_shifts = critic._tag_fold_shifts
-    c_counters = critic._counters_raw
+        def _build_rows():
+            a_c = ((pcs >> 2) & ((1 << prophet._index_bits) - 1)).tolist()
+            return list(zip(
+                t_uops, t_tk, a_si, a_tag, t_pc, t_tt, t_ft, t_snap_c,
+                a_k0, a_k1, a_c,
+            ))
+
+    f_rows = _ctx_get(
+        shared,
+        ("frows2", kind, geom, n_resolved, use_btb,
+         b_set_mask or 0, b_set_bits or 0, tb5),
+        _build_rows,
+    )
+
+    # Critic constants: fold-hash geometry + tag filter, plus either the
+    # 2-bit counter bank (tagged gshare) or the perceptron weight table
+    # (filtered perceptron). Both critics share the TagFilter and the
+    # same fold-hash structure, so the critique arm's inline hash is
+    # common; only the opinion/train bodies dispatch on ``ckind``.
     filt = critic.filter
     f_tags = filt._tags
     f_lru = filt._lru
-    filter_insert = filt.insert
+    # Tag->way mirror of the filter rows: one dict probe per critique
+    # instead of two linear scans; the (inlined) inserts keep it in sync.
+    f_ways = filt.ways
+    f_maps = []
+    for _row in f_tags:
+        _m = {}
+        for _w, _t in enumerate(_row):
+            if _t is not None:
+                _m[_t] = _w
+        f_maps.append(_m)
+    f_ins = f_evc = 0
+    if ckind == _CR_TAGGED:
+        c_ways = critic.ways
+        c_set_mask = critic._set_mask
+        c_tag_mask = critic._tag_mask
+        c_hmask = critic._history_mask
+        c_rot = critic._rotate_shift
+        c_set_shifts = critic._set_fold_shifts
+        c_tag_shifts = critic._tag_fold_shifts
+        c_counters = critic._counters_raw
+    else:
+        fhl = critic.filter_history_length
+        c_set_mask = (1 << filt.set_bits) - 1
+        c_tag_mask = (1 << critic.tag_bits) - 1
+        c_hmask = (1 << fhl) - 1 if fhl > 0 else 0
+        c_rot = fhl - 1
+        c_set_shifts = tuple(range(0, fhl, max(filt.set_bits, 1)))
+        c_tag_shifts = tuple(range(0, fhl, max(critic.tag_bits, 1)))
+        fp = critic.perceptron
+        fp_w = fp.weights
+        fp_n = fp.n_perceptrons
+        fp_thresh = fp.threshold
+        fp_inputs = fp._inputs
+        fp_wmin = fp.WEIGHT_MIN
+        fp_wmax = fp.WEIGHT_MAX
+
+    # Fold-image tables for the critique hash (both critics share the
+    # fold structure). Gated by width: the image spans one bit above the
+    # history mask, and degenerate zero-history shapes keep the loop path.
+    if 0 < c_hmask.bit_length() <= 19:
+        fst, ftt = _critic_fold_tables(c_hmask, c_rot, c_set_shifts, c_tag_shifts)
+        vmask = (c_hmask << 1) | 1
+    else:
+        fst = ftt = None
+        vmask = 0
 
     stats = RunStats(benchmark=program.name, system=type(system).__name__)
     required_bits = max(system.future_bits, 0)
@@ -938,26 +1399,20 @@ def _simulate_hybrid(program, system, config, kind: int):
     warmup = config.warmup
     collect_per_site = config.collect_per_site
 
-    # Structure-of-arrays in-flight ring.
-    cap = hard_cap
-    r_pc = [0] * cap
-    r_pred = [False] * cap
-    r_bhrb = [0] * cap
-    r_borb = [0] * cap
-    r_seq = [0] * cap
-    r_static = [False] * cap
-    r_state = [0] * cap
-    r_final = [False] * cap
-    r_chit = [False] * cap
-    r_cpred = [None] * cap
-    r_cix = [0] * cap
-    r_ctag = [0] * cap
-    r_borc = [0] * cap
-    r_snap = [()] * cap
-    r_tkb = [0] * cap
-    r_ftb = [0] * cap
-    r_k0 = [0] * cap
-    r_k1 = [0] * cap
+    # In-flight ring. Power-of-two capacity so every ring index is a
+    # mask (``& cmask``) instead of a modulo, and each entry packs its
+    # fetch-time fields into ONE tuple store (``r_fe``) and its
+    # critique-time fields into another (``r_cq``): the fetch loop is
+    # the hottest code in the kernel and a single BUILD_TUPLE +
+    # STORE_SUBSCR beats a dozen separate list stores.
+    #
+    #   r_fe[s] = (pc, bhrb, borb, tkb, ftb, k0, k1, snap, seq,
+    #              static, pred, state)
+    #   r_cq[s] = (final, chit, cpred, cset, ctag, borc)
+    cap = 1 << (hard_cap - 1).bit_length()
+    cmask = cap - 1
+    r_fe = [()] * cap
+    r_cq = [()] * cap
     head = 0
     tail = 0
     critiqued = 0
@@ -974,10 +1429,19 @@ def _simulate_hybrid(program, system, config, kind: int):
     bor_mask = bor._mask
 
     w_block = entry
-    ras: list = []
+    ras_c = None  # immutable cons-list: (block, rest) | None
+    ras_n = 0  # live depth (overflow drops-oldest without trimming)
     ras_ver = 1
     snap_ver = 0
-    ras_snap: tuple = ()
+    ras_snap = (None, 0)
+    #: True while the front end tracks the committed trace: fetches are
+    #: then pure column reads (no CFG walk, no RAS maintenance) and the
+    #: walker state above is dormant. While False, ``n_aligned`` counts
+    #: the trace-correspondent ring prefix — ring offsets 0..n_aligned-1
+    #: hold trace rows resolved..resolved+n_aligned-1; everything past
+    #: that prefix is wrong-path and will be flushed, never resolved.
+    fe_aligned = True
+    n_aligned = 0
 
     st_branches = st_uops = st_taken = st_static = st_misp = st_pmisp = 0
     st_forced = st_credir = 0
@@ -988,231 +1452,589 @@ def _simulate_hybrid(program, system, config, kind: int):
     if not config.collect_predictor_stats:
         system.set_stats_enabled(False)
     # Hoist after the toggle so the critic's stats gate is the live one.
+    # (``set_stats_enabled`` does not reach into the filtered critic's
+    # inner perceptron, so its gate is hoisted on its own.)
     c_stats_on = critic.stats_enabled
-    c_record = critic.stats.record
+    c_sn = c_sc = 0
+    if kind == _GSKEW:
+        gk_stats_on = prophet.stats_enabled
+        gk_sn = gk_sc = 0
+    if ckind == _CR_FPERC:
+        fp_stats_on = fp.stats_enabled
+        fp_sn = fp_sc = 0
+    else:
+        fp_stats_on = False
+        fp_sn = fp_sc = 0
+    depth1 = depth + 1
     try:
         while resolved < n_branches:
             pending = tail - head
             # 1) Critique arm (ordinary or forced, same eligibility logic
             #    as the scalar driver).
-            forced = False
-            s = -1
             if critiqued < pending:
-                s = (head + critiqued) % cap
-                if r_static[s] or next_seq - r_seq[s] >= required_bits:
-                    pass
-                elif pending >= hard_cap and not (critiqued > 0 and pending > depth):
-                    forced = True
-                else:
-                    s = -1
-            if s >= 0:
-                if forced and resolved >= warmup:
-                    st_forced += 1
-                if r_static[s]:
-                    r_final[s] = False
-                    r_chit[s] = False
-                    critiqued += 1
-                    continue
-                bor_value = bor_val if use_live_bor else r_borb[s]
-                r_borc[s] = bor_value
-                # Inline TaggedGsharePredictor._hash_pair.
-                value = bor_value & c_hmask
-                fi = r_k0[s]
-                for sh in c_set_shifts:
-                    fi ^= value >> sh
-                ftag = 0
-                for sh in c_tag_shifts:
-                    ftag ^= value >> sh
-                ft2 = 0
-                if c_tag_shifts:
-                    rotated = ((bor_value >> 1) | ((bor_value & 1) << c_rot)) & c_hmask
-                    for sh in c_tag_shifts:
-                        ft2 ^= rotated >> sh
-                tg = (r_k1[s] ^ ftag ^ (ft2 << 1)) & c_tag_mask
-                si = fi & c_set_mask
-                r_cix[s] = si
-                r_ctag[s] = tg
-                f_lookups += 1
-                ppred = r_pred[s]
-                frow = f_tags[si]
-                if tg in frow:
-                    way = frow.index(tg)
-                    f_hits += 1
-                    order = f_lru[si]
-                    if order[-1] != way:
-                        order.remove(way)
-                        order.append(way)
-                    cpred = c_counters[si * c_ways + way] > 1
-                    r_chit[s] = True
-                    r_cpred[s] = cpred
-                    final = cpred
-                else:
-                    r_chit[s] = False
-                    r_cpred[s] = None
-                    final = ppred
-                r_final[s] = final
-                critiqued += 1
-                if final != ppred:
-                    # Critic override: FTQ-confined flush + redirect.
-                    tail = head + critiqued
-                    bit = 1 if final else 0
-                    bhr_val = ((r_bhrb[s] << 1) | bit) & bhr_mask
-                    bor_val = ((r_borb[s] << 1) | bit) & bor_mask
-                    snap = r_snap[s]
-                    ras[:] = snap
-                    ras_ver += 1
-                    ras_snap = snap
-                    snap_ver = ras_ver
-                    w_block = r_tkb[s] if final else r_ftb[s]
-                    next_seq = r_seq[s] + 1
+                s = (head + critiqued) & cmask
+                fe = r_fe[s]
+                go = fe[9] or next_seq - fe[8] >= required_bits
+                if not go and pending >= hard_cap and not (
+                    critiqued > 0 and pending > depth
+                ):
+                    go = True
                     if resolved >= warmup:
-                        st_credir += 1
+                        st_forced += 1
+            else:
+                go = False
+            if go:
+                # Drain every consecutively-eligible critique in one
+                # visit. Between back-to-back eligible critiques the
+                # scalar loop does nothing else -- the fetch guard stays
+                # blocked (pending unchanged, and a forced critique
+                # can't follow an ordinary one in the same window) and
+                # the resolve arm is never reached -- so draining here is
+                # order-identical to one critique per outer iteration.
+                while True:
+                    if fe[9]:
+                        # Static: no critic consult, nothing the resolve
+                        # arm reads back.
+                        critiqued += 1
+                    else:
+                        k0 = fe[5]
+                        ppred = fe[10]
+                        bor_value = bor_val if use_live_bor else fe[2]
+                        if fst is not None:
+                            w = bor_value & vmask
+                            si = (k0 ^ fst[w]) & c_set_mask
+                            tg = (fe[6] ^ ftt[w]) & c_tag_mask
+                        else:
+                            # Inline TaggedGsharePredictor._hash_pair.
+                            value = bor_value & c_hmask
+                            fi = k0
+                            for sh in c_set_shifts:
+                                fi ^= value >> sh
+                            ftag = 0
+                            for sh in c_tag_shifts:
+                                ftag ^= value >> sh
+                            ft2 = 0
+                            if c_tag_shifts:
+                                rotated = (
+                                    (bor_value >> 1) | ((bor_value & 1) << c_rot)
+                                ) & c_hmask
+                                for sh in c_tag_shifts:
+                                    ft2 ^= rotated >> sh
+                            tg = (fe[6] ^ ftag ^ (ft2 << 1)) & c_tag_mask
+                            si = fi & c_set_mask
+                        f_lookups += 1
+                        way = f_maps[si].get(tg)
+                        if way is not None:
+                            f_hits += 1
+                            order = f_lru[si]
+                            if order[-1] != way:
+                                order.remove(way)
+                                order.append(way)
+                            if ckind == _CR_TAGGED:
+                                final = c_counters[si * c_ways + way] > 1
+                            else:
+                                final = int(np_dot(
+                                    fp_w[k0 % fp_n].astype(np_int32),
+                                    fp_inputs(bor_value),
+                                )) >= 0
+                            r_cq[s] = (final, True, final, si, tg, bor_value)
+                        else:
+                            final = ppred
+                            r_cq[s] = (ppred, False, None, si, tg, bor_value)
+                        critiqued += 1
+                        if final != ppred:
+                            # Critic override: FTQ-confined flush +
+                            # redirect.
+                            bhrb = fe[1]
+                            borb = fe[2]
+                            tkb = fe[3]
+                            ftb = fe[4]
+                            snap = fe[7]
+                            seq = fe[8]
+                            tail = head + critiqued
+                            bhr_val = ((bhrb << 1) | final) & bhr_mask
+                            bor_val = ((borb << 1) | final) & bor_mask
+                            next_seq = seq + 1
+                            if resolved >= warmup:
+                                st_credir += 1
+                            # Re-point the front end. While it tracks the
+                            # trace the walker is dormant: a redirect
+                            # whose corrected direction lands back on the
+                            # committed outcome keeps (or repairs)
+                            # alignment and costs nothing; only a
+                            # redirect onto the wrong path materialises
+                            # walker state -- from the ring, where aligned
+                            # entries carry the free trace-column RAS
+                            # snapshot.
+                            off = critiqued - 1
+                            if fe_aligned:
+                                if final != t_tk[resolved + off]:
+                                    fe_aligned = False
+                                    n_aligned = critiqued
+                                    ras_c, ras_n = snap
+                                    ras_ver += 1
+                                    ras_snap = snap
+                                    snap_ver = ras_ver
+                                    w_block = tkb if final else ftb
+                            elif off < n_aligned:
+                                n_aligned = critiqued
+                                if final == t_tk[resolved + off]:
+                                    # The override undoes the divergence:
+                                    # the surviving window prefix is
+                                    # exactly the trace again, so
+                                    # re-align instead of restoring the
+                                    # walker.
+                                    fe_aligned = True
+                                else:
+                                    ras_c, ras_n = snap
+                                    ras_ver += 1
+                                    ras_snap = snap
+                                    snap_ver = ras_ver
+                                    w_block = tkb if final else ftb
+                            else:
+                                ras_c, ras_n = snap
+                                ras_ver += 1
+                                ras_snap = snap
+                                snap_ver = ras_ver
+                                w_block = tkb if final else ftb
+                            break
+                    if critiqued >= tail - head:
+                        break
+                    s = (head + critiqued) & cmask
+                    fe = r_fe[s]
+                    if not (fe[9] or next_seq - fe[8] >= required_bits):
+                        break
                 continue
 
-            # 3) Fetch burst.
+            # 3) Fused fetch/critique burst. The scalar driver alternates
+            #    one-entry fetch bursts with critique dispatches through
+            #    its outer loop; here the critique runs inline the moment
+            #    its candidate goes bits-ready, so the outer loop is only
+            #    re-entered for forced critiques, redirects, and resolve
+            #    bursts. The operation ORDER is identical to the scalar
+            #    loop's -- fetch until the candidate is eligible, critique,
+            #    resume fetching -- which is what keeps the replay
+            #    bit-identical.
             if pending < hard_cap and not (critiqued > 0 and pending > depth):
                 if critiqued < pending:
                     have_candidate = True
-                    target_seq = r_seq[(head + critiqued) % cap] + required_bits
+                    target_seq = r_fe[(head + critiqued) & cmask][8] + required_bits
                 else:
                     have_candidate = False
                     target_seq = 0
+                # ``head`` is constant for the whole burst (only the
+                # resolve arm advances it), so the scalar loop's two
+                # fetch-exit conditions (pending >= hard_cap; critiqued
+                # > 0 and pending > depth) collapse into one precomputed
+                # tail bound per critiqued-regime: ONE compare per fetch.
+                head_cap = head + hard_cap
+                head_depth1 = head + depth1
+                fetch_limit = head_depth1 if critiqued else head_cap
+                burst_done = False
                 while True:
-                    bid = w_block
-                    uops = 0
-                    while True:
-                        fs = flat.get(bid)
-                        if fs is None:
-                            fs = flatten(bid)
-                        uops += fs[0]
-                        ops = fs[1]
-                        if ops is not None:
-                            for op in ops:
-                                if op >= 0:
-                                    if len(ras) >= _RAS_CAPACITY:
-                                        del ras[0]
-                                    ras.append(op)
-                                else:
-                                    ras.pop()
+                    # -- fetch one entry --------------------------------
+                    if fe_aligned:
+                        i = resolved + tail - head
+                        if i >= n_branches:
+                            # Trace exhausted mid-window: keep fetching
+                            # speculatively past the last committed
+                            # branch, following its committed direction
+                            # (an override-repaired entry's pred may
+                            # disagree with the direction the front end
+                            # actually took, so read the trace column).
+                            fe_aligned = False
+                            n_aligned = tail - head
+                            fe = r_fe[(tail - 1) & cmask]
+                            snap = fe[7]
+                            ras_c, ras_n = snap
                             ras_ver += 1
-                        pc = fs[2]
-                        if pc is not None:
-                            break
-                        nb = fs[5]
-                        if nb is not None:
-                            bid = nb
-                        elif ras:
-                            bid = ras.pop()
-                            ras_ver += 1
+                            ras_snap = snap
+                            snap_ver = ras_ver
+                            w_block = fe[3] if t_tk[i - 1] else fe[4]
+                    if fe_aligned:
+                        # Aligned fetch: the front end provably sits on
+                        # the committed path, so this is pure column
+                        # reads plus one BTB probe -- no CFG walk, no RAS
+                        # maintenance, and the ring's RAS snapshot comes
+                        # free out of the trace column. The walker below
+                        # only runs between a divergence (or an override
+                        # onto the wrong path) and its flush.
+                        if kind == _GSKEW:
+                            (uops, taken, si, btag, pc, tkb, ftb, snap,
+                             k0, k1, v1, pch, h1, hi1) = f_rows[i]
                         else:
-                            bid = entry
-                    fetched_uops += uops
-                    s = tail % cap
-                    tail += 1
-                    if use_btb:
-                        row = b_sets[fs[6]]
-                        t = fs[7]
-                        if t in row:
-                            if row[-1] != t:
+                            (uops, taken, si, btag, pc, tkb, ftb, snap,
+                             k0, k1, c) = f_rows[i]
+                        fetched_uops += uops
+                        s = tail & cmask
+                        tail += 1
+                        if use_btb:
+                            brow = b_sets[si]
+                            if brow and brow[-1] == btag:
+                                dyn = True
+                            elif btag in brow:
+                                brow.remove(btag)
+                                brow.append(btag)
+                                dyn = True
+                            else:
+                                dyn = False
+                        else:
+                            dyn = True
+                        if dyn:
+                            if kind == _GSKEW:
+                                v2 = ((bhr_val & gk_hmask) ^ pch) & gk_imask
+                                g0 = h1 ^ gk_hx[v2]
+                                g1 = g0 ^ v2 ^ v1
+                                meta = hi1 ^ gk_hv[v2]
+                                state = (v1, g0, g1, meta)
+                                bim = gk_bim[v1] > 1
+                                if gk_meta[meta] > 1:
+                                    pred = (
+                                        bim + (gk_g0[g0] > 1) + (gk_g1[g1] > 1)
+                                    ) >= 2
+                                else:
+                                    pred = bim
+                            elif kind == _GSHARE:
+                                state = (c ^ (bhr_val & gs_hmask)) & gs_imask
+                                pred = gs_raw[state] > gs_mid
+                            elif kind == _GAS:
+                                state = ((bhr_val & ga_hmask) << ga_sb) | c
+                                pred = ga_raw[state] > ga_mid
+                            elif kind == _PERC:
+                                state = pp_inputs(bhr_val)
+                                pred = int(
+                                    np_dot(pp_w[c].astype(np_int32), state)
+                                ) >= 0
+                            else:
+                                state = c
+                                pred = bm_raw[state] > bm_mid
+                            r_fe[s] = (pc, bhr_val, bor_val, tkb, ftb, k0, k1,
+                                       snap, next_seq, False, pred, state)
+                            bhr_val = ((bhr_val << 1) | pred) & bhr_mask
+                            bor_val = ((bor_val << 1) | pred) & bor_mask
+                            next_seq += 1
+                            if pred != taken:
+                                # Divergence: leave the trace; the walker
+                                # picks up at the predicted target.
+                                fe_aligned = False
+                                n_aligned = tail - head
+                                ras_c, ras_n = snap
+                                ras_ver += 1
+                                ras_snap = snap
+                                snap_ver = ras_ver
+                                w_block = tkb if pred else ftb
+                        else:
+                            # No BOR bit for statics: seq stored without
+                            # incrementing next_seq.
+                            r_fe[s] = (pc, bhr_val, bor_val, tkb, ftb, k0, k1,
+                                       snap, next_seq, True, False, 0)
+                            if taken:
+                                # Static taken: the walker falls off-path
+                                # at the fallthrough.
+                                fe_aligned = False
+                                n_aligned = tail - head
+                                ras_c, ras_n = snap
+                                ras_ver += 1
+                                ras_snap = snap
+                                snap_ver = ras_ver
+                                w_block = ftb
+                    else:
+                        # Wrong-path (or post-trace) fill: walk the flat
+                        # CFG one fetch at a time.
+                        try:
+                            fs = flat[w_block]
+                        except KeyError:
+                            fs = flatten(w_block)
+                        pc = fs[2]
+                        if pc is not None and fs[1] is None:
+                            # Common case: the collapsed chain ends at a
+                            # conditional branch with no RAS traffic.
+                            uops = fs[0]
+                        else:
+                            uops = 0
+                            while True:
+                                uops += fs[0]
+                                ops = fs[1]
+                                if ops is not None:
+                                    for op in ops:
+                                        if op >= 0:
+                                            ras_c = (op, ras_c)
+                                            if ras_n < _RAS_CAPACITY:
+                                                ras_n += 1
+                                        else:
+                                            ras_c = ras_c[1]
+                                            ras_n -= 1
+                                    ras_ver += 1
+                                pc = fs[2]
+                                if pc is not None:
+                                    break
+                                nb = fs[5]
+                                if nb is not None:
+                                    bid = nb
+                                elif ras_n:
+                                    bid, ras_c = ras_c
+                                    ras_n -= 1
+                                    ras_ver += 1
+                                else:
+                                    bid = entry
+                                try:
+                                    fs = flat[bid]
+                                except KeyError:
+                                    fs = flatten(bid)
+                        fetched_uops += uops
+                        s = tail & cmask
+                        tail += 1
+                        if use_btb:
+                            row = b_sets[fs[6]]
+                            t = fs[7]
+                            if row and row[-1] == t:
+                                dyn = True
+                            elif t in row:
                                 row.remove(t)
                                 row.append(t)
-                            dyn = True
-                        else:
-                            dyn = False
-                    else:
-                        dyn = True
-                    r_pc[s] = pc
-                    r_bhrb[s] = bhr_val
-                    r_borb[s] = bor_val
-                    r_tkb[s] = fs[3]
-                    r_ftb[s] = fs[4]
-                    r_k0[s] = fs[12]
-                    r_k1[s] = fs[13]
-                    if dyn:
-                        if kind == _GSKEW:
-                            v2 = ((bhr_val & gk_hmask) ^ fs[9]) & gk_imask
-                            hinv_v2 = gk_hinv[v2]
-                            g0 = fs[10] ^ hinv_v2 ^ v2
-                            g1 = fs[10] ^ hinv_v2 ^ fs[8]
-                            meta = fs[11] ^ gk_h[v2] ^ v2
-                            state = fs[8] | (g0 << gk_n) | (g1 << gk_n2) | (meta << gk_n3)
-                            bim = gk_bim[fs[8]] > 1
-                            if gk_meta[meta] > 1:
-                                pred = (bim + (gk_g0[g0] > 1) + (gk_g1[g1] > 1)) >= 2
+                                dyn = True
                             else:
-                                pred = bim
-                        elif kind == _GSHARE:
-                            state = (fs[8] ^ (bhr_val & gs_hmask)) & gs_imask
-                            pred = gs_raw[state] > gs_mid
-                        elif kind == _GAS:
-                            state = ((bhr_val & ga_hmask) << ga_sb) | fs[8]
-                            pred = ga_raw[state] > ga_mid
+                                dyn = False
                         else:
-                            state = fs[8]
-                            pred = bm_raw[state] > bm_mid
-                        r_static[s] = False
-                        r_pred[s] = pred
-                        r_state[s] = state
-                        bit = 1 if pred else 0
-                        bhr_val = ((bhr_val << 1) | bit) & bhr_mask
-                        bor_val = ((bor_val << 1) | bit) & bor_mask
-                        r_seq[s] = next_seq
-                        next_seq += 1
-                    else:
-                        r_static[s] = True
-                        r_pred[s] = False
-                        pred = False
-                        r_seq[s] = next_seq  # no BOR bit: no increment
-                    if snap_ver != ras_ver:
-                        ras_snap = tuple(ras)
-                        snap_ver = ras_ver
-                    r_snap[s] = ras_snap
-                    w_block = fs[3] if pred else fs[4]
-                    pending = tail - head
-                    if pending >= hard_cap:
-                        break
-                    if critiqued > 0 and pending > depth:
+                            dyn = True
+                        tkb = fs[3]
+                        ftb = fs[4]
+                        if snap_ver != ras_ver:
+                            ras_snap = (ras_c, ras_n)
+                            snap_ver = ras_ver
+                        if dyn:
+                            if kind == _GSKEW:
+                                v1 = fs[8]
+                                v2 = ((bhr_val & gk_hmask) ^ fs[9]) & gk_imask
+                                g0 = fs[10] ^ gk_hx[v2]
+                                g1 = g0 ^ v2 ^ v1
+                                meta = fs[11] ^ gk_hv[v2]
+                                state = (v1, g0, g1, meta)
+                                bim = gk_bim[v1] > 1
+                                if gk_meta[meta] > 1:
+                                    pred = (
+                                        bim + (gk_g0[g0] > 1) + (gk_g1[g1] > 1)
+                                    ) >= 2
+                                else:
+                                    pred = bim
+                            elif kind == _GSHARE:
+                                state = (fs[8] ^ (bhr_val & gs_hmask)) & gs_imask
+                                pred = gs_raw[state] > gs_mid
+                            elif kind == _GAS:
+                                state = ((bhr_val & ga_hmask) << ga_sb) | fs[8]
+                                pred = ga_raw[state] > ga_mid
+                            elif kind == _PERC:
+                                state = pp_inputs(bhr_val)
+                                pred = int(
+                                    np_dot(pp_w[fs[8]].astype(np_int32), state)
+                                ) >= 0
+                            else:
+                                state = fs[8]
+                                pred = bm_raw[state] > bm_mid
+                            r_fe[s] = (pc, bhr_val, bor_val, tkb, ftb, fs[12],
+                                       fs[13], ras_snap, next_seq, False, pred,
+                                       state)
+                            bhr_val = ((bhr_val << 1) | pred) & bhr_mask
+                            bor_val = ((bor_val << 1) | pred) & bor_mask
+                            next_seq += 1
+                        else:
+                            pred = False
+                            # No BOR bit for statics: seq stored without
+                            # incrementing next_seq.
+                            r_fe[s] = (pc, bhr_val, bor_val, tkb, ftb, fs[12],
+                                       fs[13], ras_snap, next_seq, True, False,
+                                       0)
+                        w_block = tkb if pred else ftb
+                    # -- burst exit checks (same order as scalar) -------
+                    if tail >= fetch_limit:
                         break
                     if not have_candidate:
                         have_candidate = True
-                        if not dyn:
-                            break  # static: immediately critique-eligible
-                        target_seq = r_seq[s] + required_bits
-                    if next_seq >= target_seq:
+                        if dyn:
+                            target_seq = next_seq - 1 + required_bits
+                        else:
+                            target_seq = next_seq  # static: eligible now
+                    if next_seq < target_seq:
+                        continue
+                    # -- candidate went bits-ready: drain every critique
+                    #    that is now eligible, then resume fetching ------
+                    s = (head + critiqued) & cmask
+                    fe = r_fe[s]
+                    fetch_limit = head_depth1
+                    while True:
+                        if fe[9]:
+                            critiqued += 1
+                        else:
+                            k0 = fe[5]
+                            ppred = fe[10]
+                            bor_value = bor_val if use_live_bor else fe[2]
+                            if fst is not None:
+                                w = bor_value & vmask
+                                si = (k0 ^ fst[w]) & c_set_mask
+                                tg = (fe[6] ^ ftt[w]) & c_tag_mask
+                            else:
+                                # Inline TaggedGsharePredictor._hash_pair.
+                                value = bor_value & c_hmask
+                                fi = k0
+                                for sh in c_set_shifts:
+                                    fi ^= value >> sh
+                                ftag = 0
+                                for sh in c_tag_shifts:
+                                    ftag ^= value >> sh
+                                ft2 = 0
+                                if c_tag_shifts:
+                                    rotated = (
+                                        (bor_value >> 1)
+                                        | ((bor_value & 1) << c_rot)
+                                    ) & c_hmask
+                                    for sh in c_tag_shifts:
+                                        ft2 ^= rotated >> sh
+                                tg = (fe[6] ^ ftag ^ (ft2 << 1)) & c_tag_mask
+                                si = fi & c_set_mask
+                            f_lookups += 1
+                            way = f_maps[si].get(tg)
+                            if way is not None:
+                                f_hits += 1
+                                order = f_lru[si]
+                                if order[-1] != way:
+                                    order.remove(way)
+                                    order.append(way)
+                                if ckind == _CR_TAGGED:
+                                    final = c_counters[si * c_ways + way] > 1
+                                else:
+                                    final = int(np_dot(
+                                        fp_w[k0 % fp_n].astype(np_int32),
+                                        fp_inputs(bor_value),
+                                    )) >= 0
+                                r_cq[s] = (final, True, final, si, tg, bor_value)
+                            else:
+                                final = ppred
+                                r_cq[s] = (ppred, False, None, si, tg, bor_value)
+                            critiqued += 1
+                            if final != ppred:
+                                # Critic override: FTQ-confined flush +
+                                # redirect, then re-dispatch through the
+                                # outer loop.
+                                bhrb = fe[1]
+                                borb = fe[2]
+                                tkb = fe[3]
+                                ftb = fe[4]
+                                snap = fe[7]
+                                seq = fe[8]
+                                tail = head + critiqued
+                                bhr_val = ((bhrb << 1) | final) & bhr_mask
+                                bor_val = ((borb << 1) | final) & bor_mask
+                                next_seq = seq + 1
+                                if resolved >= warmup:
+                                    st_credir += 1
+                                off = critiqued - 1
+                                if fe_aligned:
+                                    if final != t_tk[resolved + off]:
+                                        fe_aligned = False
+                                        n_aligned = critiqued
+                                        ras_c, ras_n = snap
+                                        ras_ver += 1
+                                        ras_snap = snap
+                                        snap_ver = ras_ver
+                                        w_block = tkb if final else ftb
+                                elif off < n_aligned:
+                                    n_aligned = critiqued
+                                    if final == t_tk[resolved + off]:
+                                        # The override undoes the
+                                        # divergence: the surviving
+                                        # window prefix is exactly the
+                                        # trace again, so re-align
+                                        # instead of restoring the
+                                        # walker.
+                                        fe_aligned = True
+                                    else:
+                                        ras_c, ras_n = snap
+                                        ras_ver += 1
+                                        ras_snap = snap
+                                        snap_ver = ras_ver
+                                        w_block = tkb if final else ftb
+                                else:
+                                    ras_c, ras_n = snap
+                                    ras_ver += 1
+                                    ras_snap = snap
+                                    snap_ver = ras_ver
+                                    w_block = tkb if final else ftb
+                                burst_done = True
+                                break
+                        if tail >= head_depth1:
+                            burst_done = 2
+                            break
+                        if critiqued >= tail - head:
+                            have_candidate = False
+                            break
+                        s = (head + critiqued) & cmask
+                        fe = r_fe[s]
+                        if fe[9]:
+                            continue
+                        target_seq = fe[8] + required_bits
+                        if next_seq < target_seq:
+                            break
+                    if burst_done:
                         break
-                continue
+                if burst_done != 2:
+                    continue
+                # Depth-full exit: the scalar loop's next action is a
+                # resolve unless the arm has an eligible candidate (a
+                # forced critique needs pending >= hard_cap, impossible
+                # at depth + 1), so fall straight through to the resolve
+                # burst instead of re-dispatching through the outer loop.
+                if critiqued < tail - head:
+                    fe = r_fe[(head + critiqued) & cmask]
+                    if fe[9] or next_seq - fe[8] >= required_bits:
+                        continue
 
             # 2) Resolve burst.
             while True:
-                s = head % cap
+                s = head & cmask
                 pc = t_pc[resolved]
                 taken = t_tk[resolved]
                 uops = t_uops[resolved]
-                if pc != r_pc[s]:
+                (fpc, bhrb, borb, tkb, ftb, k0, k1, snap, seq, statc,
+                 ppred, state) = r_fe[s]
+                if pc != fpc:
                     raise SimulationDesyncError(
                         f"committed branch {pc:#x} but front end fetched "
-                        f"{r_pc[s]:#x} (branch #{resolved})"
+                        f"{fpc:#x} (branch #{resolved})"
                     )
-                statc = r_static[s]
-                if resolved >= warmup:
-                    st_branches += 1
-                    st_uops += uops
-                    if taken:
-                        st_taken += 1
-                    if statc:
+                if statc:
+                    if resolved >= warmup:
+                        st_branches += 1
+                        st_uops += uops
+                        if taken:
+                            st_taken += 1
                         st_static += 1
                         if taken:
                             st_misp += 1
                             st_pmisp += 1
-                    else:
-                        ppred = r_pred[s]
+                    if use_btb:
+                        word = pc >> 2
+                        t = word >> b_set_bits
+                        row = b_sets[word & b_set_mask]
+                        if t in row:
+                            row.remove(t)
+                        elif len(row) >= b_ways:
+                            row.pop(0)
+                        row.append(t)
+                    mispredicted = taken
+                else:
+                    (final, chit, cpred, si, tg, borc) = r_cq[s]
+                    if resolved >= warmup:
+                        st_branches += 1
+                        st_uops += uops
+                        if taken:
+                            st_taken += 1
                         pcorr = ppred == taken
-                        if not r_chit[s]:
+                        if not chit:
                             if pcorr:
                                 n_cn += 1
                             else:
                                 n_in += 1
-                        elif r_cpred[s] == ppred:
+                        elif cpred == ppred:
                             if pcorr:
                                 n_ca += 1
                             else:
@@ -1221,7 +2043,7 @@ def _simulate_hybrid(program, system, config, kind: int):
                             n_cd += 1
                         else:
                             n_id += 1
-                        fm = r_final[s] != taken
+                        fm = final != taken
                         if not pcorr:
                             st_pmisp += 1
                         if fm:
@@ -1239,65 +2061,188 @@ def _simulate_hybrid(program, system, config, kind: int):
                                 row[2] += 1
                                 if pcorr:
                                     row[4] += 1
-                if statc:
-                    if use_btb:
-                        word = pc >> 2
-                        t = word >> b_set_bits
-                        row = b_sets[word & b_set_mask]
-                        if t in row:
-                            row.remove(t)
-                        elif len(row) >= b_ways:
-                            row.pop(0)
-                        row.append(t)
-                    mispredicted = taken
-                else:
-                    ppred = r_pred[s]
-                    prophet_update(pc, r_bhrb[s], taken, ppred, r_state[s])
-                    final = r_final[s]
+                    if kind == _GSKEW:
+                        # Inlined TwoBcGskewPredictor.update_packed —
+                        # ``state`` carries the four bank indices
+                        # unpacked, so no shift/mask decode here.
+                        if gk_stats_on:
+                            gk_sn += 1
+                            if ppred == taken:
+                                gk_sc += 1
+                        bi, g0i, g1i, mi = state
+                        bv = gk_bim[bi]
+                        g0v = gk_g0[g0i]
+                        g1v = gk_g1[g1i]
+                        bim = bv > 1
+                        g0 = g0v > 1
+                        g1 = g1v > 1
+                        mm = gk_meta[mi] > 1
+                        majority = (bim + g0 + g1) >= 2
+                        overall = majority if mm else bim
+                        if taken:
+                            if overall:
+                                if mm:
+                                    if bim and bv < 3:
+                                        gk_bim[bi] = bv + 1
+                                    if g0 and g0v < 3:
+                                        gk_g0[g0i] = g0v + 1
+                                    if g1 and g1v < 3:
+                                        gk_g1[g1i] = g1v + 1
+                                elif bv < 3:
+                                    gk_bim[bi] = bv + 1
+                            else:
+                                if bv < 3:
+                                    gk_bim[bi] = bv + 1
+                                if g0v < 3:
+                                    gk_g0[g0i] = g0v + 1
+                                if g1v < 3:
+                                    gk_g1[g1i] = g1v + 1
+                        else:
+                            if not overall:
+                                if mm:
+                                    if not bim and bv > 0:
+                                        gk_bim[bi] = bv - 1
+                                    if not g0 and g0v > 0:
+                                        gk_g0[g0i] = g0v - 1
+                                    if not g1 and g1v > 0:
+                                        gk_g1[g1i] = g1v - 1
+                                elif bv > 0:
+                                    gk_bim[bi] = bv - 1
+                            else:
+                                if bv > 0:
+                                    gk_bim[bi] = bv - 1
+                                if g0v > 0:
+                                    gk_g0[g0i] = g0v - 1
+                                if g1v > 0:
+                                    gk_g1[g1i] = g1v - 1
+                        if bim != majority:
+                            mv = gk_meta[mi]
+                            if majority == taken:
+                                if mv < 3:
+                                    gk_meta[mi] = mv + 1
+                            elif mv > 0:
+                                gk_meta[mi] = mv - 1
+                    else:
+                        prophet_update(pc, bhrb, taken, ppred, state)
                     fmt = (final != taken) if insert_final else (ppred != taken)
-                    si = r_cix[s]
-                    tg = r_ctag[s]
                     # Inline train_hashed: probe (no LRU/stats side
                     # effects), train + touch on hit, insert on
                     # final-mispredict miss.
-                    frow = f_tags[si]
-                    if tg in frow:
-                        way = frow.index(tg)
-                        idx = si * c_ways + way
-                        if c_stats_on:
-                            c_record((c_counters[idx] > 1) == taken)
-                        v = c_counters[idx]
-                        if taken:
-                            if v < 3:
-                                c_counters[idx] = v + 1
-                        elif v > 0:
-                            c_counters[idx] = v - 1
-                        order = f_lru[si]
-                        if order[-1] != way:
-                            order.remove(way)
-                            order.append(way)
-                    elif fmt:
-                        way, _evicted = filter_insert(si, tg)
-                        c_counters[si * c_ways + way] = 2 if taken else 1
+                    if ckind == _CR_TAGGED:
+                        way = f_maps[si].get(tg)
+                        if way is not None:
+                            idx = si * c_ways + way
+                            if c_stats_on:
+                                c_sn += 1
+                                if (c_counters[idx] > 1) == taken:
+                                    c_sc += 1
+                            v = c_counters[idx]
+                            if taken:
+                                if v < 3:
+                                    c_counters[idx] = v + 1
+                            elif v > 0:
+                                c_counters[idx] = v - 1
+                            order = f_lru[si]
+                            if order[-1] != way:
+                                order.remove(way)
+                                order.append(way)
+                        elif fmt:
+                            fmap = f_maps[si]
+                            frow = f_tags[si]
+                            if len(fmap) < f_ways:
+                                way = frow.index(None)
+                            else:
+                                way = f_lru[si][0]
+                                del fmap[frow[way]]
+                                f_evc += 1
+                            frow[way] = tg
+                            fmap[tg] = way
+                            f_ins += 1
+                            order = f_lru[si]
+                            if order[-1] != way:
+                                order.remove(way)
+                                order.append(way)
+                            c_counters[si * c_ways + way] = 2 if taken else 1
+                    else:
+                        # Filtered perceptron. The scalar path dots the
+                        # weight row twice (predict, then update's
+                        # recompute) against weights nothing mutates in
+                        # between, so one dot is bit-identical.
+                        way = f_maps[si].get(tg)
+                        if way is not None:
+                            x = fp_inputs(borc)
+                            wi = k0 % fp_n
+                            wrow = fp_w[wi]
+                            y = int(np_dot(wrow.astype(np_int32), x))
+                            predicted = y >= 0
+                            if c_stats_on:
+                                c_sn += 1
+                                if predicted == taken:
+                                    c_sc += 1
+                            if fp_stats_on:
+                                fp_sn += 1
+                                if predicted == taken:
+                                    fp_sc += 1
+                            if predicted != taken or abs(y) <= fp_thresh:
+                                t = 1 if taken else -1
+                                updated = wrow + t * x
+                                np_clip(updated, fp_wmin, fp_wmax, out=updated)
+                                fp_w[wi] = updated
+                            order = f_lru[si]
+                            if order[-1] != way:
+                                order.remove(way)
+                                order.append(way)
+                        elif fmt:
+                            # Allocate, then prime the perceptron toward
+                            # the outcome (no critic stats, no touch).
+                            fmap = f_maps[si]
+                            frow = f_tags[si]
+                            if len(fmap) < f_ways:
+                                way = frow.index(None)
+                            else:
+                                way = f_lru[si][0]
+                                del fmap[frow[way]]
+                                f_evc += 1
+                            frow[way] = tg
+                            fmap[tg] = way
+                            f_ins += 1
+                            order = f_lru[si]
+                            if order[-1] != way:
+                                order.remove(way)
+                                order.append(way)
+                            x = fp_inputs(borc)
+                            wi = k0 % fp_n
+                            wrow = fp_w[wi]
+                            y = int(np_dot(wrow.astype(np_int32), x))
+                            if fp_stats_on:
+                                fp_sn += 1
+                                if (y >= 0) == taken:
+                                    fp_sc += 1
+                            if (y >= 0) != taken or abs(y) <= fp_thresh:
+                                t = 1 if taken else -1
+                                updated = wrow + t * x
+                                np_clip(updated, fp_wmin, fp_wmax, out=updated)
+                                fp_w[wi] = updated
                     mispredicted = final != taken
                 head += 1
                 resolved += 1
                 if resolved == warmup:
                     warmup_fetched = fetched_uops
                 if mispredicted:
-                    bit = 1 if taken else 0
-                    bhr_val = ((r_bhrb[s] << 1) | bit) & bhr_mask
-                    bor_val = ((r_borb[s] << 1) | bit) & bor_mask
-                    snap = r_snap[s]
-                    ras[:] = snap
-                    ras_ver += 1
-                    ras_snap = snap
-                    snap_ver = ras_ver
-                    w_block = r_tkb[s] if taken else r_ftb[s]
+                    bhr_val = ((bhrb << 1) | taken) & bhr_mask
+                    bor_val = ((borb << 1) | taken) & bor_mask
+                    # The refetch resumes at the committed outcome of the
+                    # branch just resolved -- by definition back on the
+                    # trace. Re-align instead of restoring walker state;
+                    # the walker is rebuilt lazily from the ring only if
+                    # the front end diverges again.
+                    fe_aligned = True
                     tail = head
                     critiqued = 0
-                    next_seq = r_seq[s] + 1
+                    next_seq = seq + 1
                     break
+                if not fe_aligned:
+                    n_aligned -= 1
                 critiqued -= 1
                 if resolved >= n_branches:
                     break
@@ -1311,6 +2256,20 @@ def _simulate_hybrid(program, system, config, kind: int):
         fstats = filt.stats
         fstats.lookups += f_lookups
         fstats.hits += f_hits
+        fstats.inserts += f_ins
+        fstats.evictions += f_evc
+        if c_sn:
+            cstats = critic.stats
+            cstats.predictions += c_sn
+            cstats.correct += c_sc
+        if kind == _GSKEW and gk_sn:
+            pstats = prophet.stats
+            pstats.predictions += gk_sn
+            pstats.correct += gk_sc
+        if ckind == _CR_FPERC and fp_sn:
+            fpstats = fp.stats
+            fpstats.predictions += fp_sn
+            fpstats.correct += fp_sc
 
     stats.branches = st_branches
     stats.committed_uops = st_uops

@@ -382,6 +382,155 @@ def cache_from_url(url: str | os.PathLike) -> CacheBackend:
     return LocalDirBackend(text)
 
 
+#: Schema version of persisted architectural-trace columns. Bump on any
+#: change to the RTRC layout below; old entries then read as misses.
+TRACE_SCHEMA_VERSION = 1
+
+_TRACE_MAGIC = b"RTRC"
+
+
+def trace_cache_key(build_key: str) -> str:
+    """Cache key for a program's architectural-trace columns.
+
+    Domain-separated from result entries (same 64-hex namespace, same
+    backends) by hashing a ``trace`` tag and the schema version alongside
+    the program's build key, so a trace entry can never collide with a
+    cell result and a schema bump retires old entries wholesale.
+    """
+    import hashlib
+
+    material = f"trace:{TRACE_SCHEMA_VERSION}:{build_key}".encode("utf-8")
+    return hashlib.sha256(material).hexdigest()
+
+
+def encode_trace_columns(n: int, cols) -> bytes:
+    """Serialise ``(t_pc, t_tk, t_uops, t_tt, t_ft, t_snap)`` to bytes.
+
+    Fixed-width little-endian arrays for the scalar columns and a
+    (depth, block-ids...) run per branch for the RAS snapshots — compact
+    enough to ship over the HTTP backend and decodes in microseconds,
+    which is the point: a hit must be much cheaper than the CFG walk.
+    """
+    import struct
+    from array import array
+
+    t_pc, t_tk, t_uops, t_tt, t_ft, t_snap = cols
+    parts = [
+        _TRACE_MAGIC,
+        struct.pack("<II", TRACE_SCHEMA_VERSION, n),
+        array("q", t_pc[:n]).tobytes(),
+        bytes(bytearray(t_tk[:n])),
+        array("q", t_uops[:n]).tobytes(),
+        array("q", t_tt[:n]).tobytes(),
+        array("q", t_ft[:n]).tobytes(),
+        bytes(bytearray(len(s) for s in t_snap[:n])),
+    ]
+    flat = array("I")
+    for s in t_snap[:n]:
+        flat.extend(s)
+    parts.append(struct.pack("<I", len(flat)))
+    parts.append(flat.tobytes())
+    return b"".join(parts)
+
+
+def decode_trace_columns(data: bytes):
+    """Inverse of :func:`encode_trace_columns`: ``(n, cols)`` or ValueError."""
+    import struct
+    from array import array
+
+    if data[:4] != _TRACE_MAGIC:
+        raise ValueError("not a trace-column entry")
+    version, n = struct.unpack_from("<II", data, 4)
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValueError(f"trace schema {version} != {TRACE_SCHEMA_VERSION}")
+    off = 12
+
+    def _ints(count):
+        nonlocal off
+        out = array("q")
+        out.frombytes(data[off:off + 8 * count])
+        if len(out) != count:
+            raise ValueError("short trace entry")
+        off += 8 * count
+        return out.tolist()
+
+    t_pc = _ints(n)
+    t_tk = [b != 0 for b in data[off:off + n]]
+    if len(t_tk) != n:
+        raise ValueError("short trace entry")
+    off += n
+    t_uops = _ints(n)
+    t_tt = _ints(n)
+    t_ft = _ints(n)
+    depths = data[off:off + n]
+    if len(depths) != n:
+        raise ValueError("short trace entry")
+    off += n
+    (flat_len,) = struct.unpack_from("<I", data, off)
+    off += 4
+    flat = array("I")
+    flat.frombytes(data[off:off + 4 * flat_len])
+    if len(flat) != flat_len:
+        raise ValueError("short trace entry")
+    t_snap = [()] * n
+    pos = 0
+    for i, depth in enumerate(depths):
+        t_snap[i] = tuple(flat[pos:pos + depth])
+        pos += depth
+    if pos != flat_len:
+        raise ValueError("trace snapshot lengths disagree with payload")
+    return n, (t_pc, t_tk, t_uops, t_tt, t_ft, t_snap)
+
+
+class TraceColumnStore:
+    """Persistent architectural-trace columns over a :class:`CacheBackend`.
+
+    One entry per program ``build_key``, holding the *longest* trace
+    built so far; because the architectural stream is prefix-stable in
+    the branch count, that single entry serves every shorter request as
+    a slice (the kernel side already slices). ``put`` never shortens an
+    existing entry, so concurrent writers converge on the longest
+    prefix. All read trouble — missing, corrupt, stale schema,
+    unreachable peer — degrades to a miss and a fresh CFG walk.
+    """
+
+    def __init__(self, backend: CacheBackend) -> None:
+        self.backend = backend
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, build_key: str, n: int):
+        """``(stored_n, cols)`` with ``stored_n >= n``, or None."""
+        try:
+            data = self.backend.get_bytes(trace_cache_key(build_key))
+            if data is None:
+                self.misses += 1
+                return None
+            stored_n, cols = decode_trace_columns(data)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if stored_n < n:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stored_n, cols
+
+    def put(self, build_key: str, n: int, cols) -> None:
+        """Persist ``cols`` unless a longer entry already exists."""
+        key = trace_cache_key(build_key)
+        try:
+            existing = self.backend.get_bytes(key)
+            if existing is not None and decode_trace_columns(existing)[0] >= n:
+                return
+        except (OSError, ValueError):
+            pass  # unreadable entry: overwrite it
+        try:
+            self.backend.put_bytes(key, encode_trace_columns(n, cols))
+        except CacheBackendError:
+            pass  # advisory tier: a dead peer never fails a run
+
+
 class ResultCache:
     """Content-addressed store of cell results over a :class:`CacheBackend`.
 

@@ -47,7 +47,7 @@ bit for bit.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.hybrid import InflightBranch, PredictionSystem
@@ -65,6 +65,30 @@ if TYPE_CHECKING:
 class SimulationDesyncError(RuntimeError):
     """Front end and architectural executor disagreed about the branch
     stream — an engine bug, never a predictor property."""
+
+
+#: Process-wide default kernel backend. Configs that don't name a
+#: backend explicitly pick this up at construction time, which is how
+#: one CLI ``--backend batched`` flag reaches every SimulationConfig an
+#: experiment builds internally without threading a parameter through
+#: each signature (mirrors execution.get_default_engine).
+_DEFAULT_BACKEND = "scalar"
+
+_KNOWN_BACKENDS = ("scalar", "batched")
+
+
+def set_default_backend(backend: str) -> None:
+    """Install the backend newly constructed configs default to."""
+    if backend not in _KNOWN_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {_KNOWN_BACKENDS}"
+        )
+    global _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = backend
+
+
+def get_default_backend() -> str:
+    return _DEFAULT_BACKEND
 
 
 @dataclass
@@ -94,7 +118,8 @@ class SimulationConfig:
     #: scalar loop for system shapes it does not specialize. A pure
     #: execution detail: results are identical, so the field is excluded
     #: from SweepCell content hashes (see specs._described_config).
-    backend: str = "scalar"
+    #: Defaults to the process-wide selection (:func:`set_default_backend`).
+    backend: str = field(default_factory=lambda: _DEFAULT_BACKEND)
 
     def effective_depth(self, future_bits: int) -> int:
         """In-flight depth, never smaller than the critique window."""

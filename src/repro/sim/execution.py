@@ -82,6 +82,33 @@ if TYPE_CHECKING:  # pipeline imports sim.driver; keep the runtime DAG acyclic
 #: half without unbounded growth.
 DEFAULT_BUILD_CACHE_CAPACITY = 8
 
+# --- persistent trace-column cache ------------------------------------------
+#
+# The batched kernel's architectural-trace columns are a pure function of
+# the program build key and prefix-stable in the branch count, so they
+# can outlive the process. When ``REPRO_TRACE_CACHE`` names a cache URL
+# (same grammar as result caches: a directory, ``http://...`` or
+# ``tiered:local|remote``), every executor — including pool workers,
+# which inherit the environment rather than pickling a handle — spills
+# the trace memo through that backend and skips the one-time CFG walk on
+# later runs.
+
+_trace_store_ready = False
+
+
+def _ensure_trace_store() -> None:
+    global _trace_store_ready
+    if _trace_store_ready:
+        return
+    _trace_store_ready = True
+    url = os.environ.get("REPRO_TRACE_CACHE")
+    if not url:
+        return
+    from repro.sim.batched import set_trace_store
+    from repro.sim.cache import TraceColumnStore, cache_from_url
+
+    set_trace_store(TraceColumnStore(cache_from_url(url)))
+
 
 class CellExecutionError(RuntimeError):
     """A sweep cell failed: names the cell, carries its spec and traceback.
@@ -204,12 +231,20 @@ class ProgramBuildCache:
         #: Telemetry (reported by tools/profile_sweep.py).
         self.builds = 0
         self.reuses = 0
+        _ensure_trace_store()
 
     def program_for(self, spec: ProgramSpec) -> "Program":
         key = spec.build_key()
         program = self._programs.get(key)
         if program is None:
             program = spec.build()
+            # Annotate the build identity so the batched kernel's trace
+            # memo can spill through the persistent trace-column store
+            # (ad-hoc programs without the stamp never touch it). The
+            # fused replay context rides on the program object itself,
+            # so same-program cells in a chunk share all per-program
+            # precompute automatically.
+            program._build_key = key
             self.builds += 1
             self._programs[key] = program
             while len(self._programs) > self.capacity:

@@ -293,6 +293,24 @@ class Program:
         """Create a fresh architectural context for this program."""
         return ExecutionContext(seed=self.seed, watched_blocks=set(self.watched_blocks))
 
+    def __getstate__(self) -> dict:
+        """Pickle without memoized replay state.
+
+        The batched kernel caches architectural-trace columns
+        (``_trace_cache``) and a fused-replay precompute context
+        (``_replay_ctx``) on the program object; both are multi-megabyte,
+        derivable, and per-process. Shipping them across the pool's
+        pickle boundary would dominate chunk submission cost, so they
+        are dropped here and rebuilt (or refetched from the persistent
+        trace store) on first use in the receiving process. The
+        ``_build_key`` stamp survives — it is a small string and the
+        trace store's key.
+        """
+        state = dict(self.__dict__)
+        state.pop("_trace_cache", None)
+        state.pop("_replay_ctx", None)
+        return state
+
     def reset(self) -> None:
         """Reset all stateful behaviours (between simulation runs).
 

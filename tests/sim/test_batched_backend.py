@@ -174,6 +174,158 @@ class TestTraceMemoization:
         _assert_identical(after, fresh)
 
 
+class TestTraceColumnStore:
+    """The persistent trace-column cache: codec round trips, prefix-stable
+    keep-longest semantics, cross-backend round trips, and the kernel
+    hook that lets a fresh process skip the architectural CFG walk."""
+
+    def _cols(self, rng, n):
+        """Random but shape-correct trace columns (property-test input)."""
+        t_pc = [0x40000000 + 4 * int(rng.integers(0, 1 << 20)) for _ in range(n)]
+        t_tk = [bool(rng.integers(0, 2)) for _ in range(n)]
+        t_uops = [int(rng.integers(1, 16)) for _ in range(n)]
+        t_tt = [int(rng.integers(0, 1 << 16)) for _ in range(n)]
+        t_ft = [int(rng.integers(0, 1 << 16)) for _ in range(n)]
+        t_snap = [
+            tuple(int(rng.integers(0, 200)) for _ in range(int(rng.integers(0, 8))))
+            for _ in range(n)
+        ]
+        return (t_pc, t_tk, t_uops, t_tt, t_ft, t_snap)
+
+    def test_codec_round_trips(self):
+        from repro.sim.cache import decode_trace_columns, encode_trace_columns
+
+        rng = np.random.default_rng(7)
+        for n in (0, 1, 17, 300):
+            cols = self._cols(rng, n)
+            stored_n, out = decode_trace_columns(encode_trace_columns(n, cols))
+            assert stored_n == n
+            assert out == cols
+
+    def test_codec_rejects_garbage(self):
+        from repro.sim.cache import decode_trace_columns, encode_trace_columns
+
+        with pytest.raises(ValueError):
+            decode_trace_columns(b"not a trace entry")
+        blob = encode_trace_columns(3, self._cols(np.random.default_rng(8), 3))
+        with pytest.raises(ValueError):
+            decode_trace_columns(blob[: len(blob) - 2])  # truncated
+
+    def test_prefix_reuse_and_keep_longest(self, tmp_path):
+        from repro.sim.cache import LocalDirBackend, TraceColumnStore
+
+        rng = np.random.default_rng(9)
+        store = TraceColumnStore(LocalDirBackend(tmp_path))
+        long_cols = self._cols(rng, 50)
+        assert store.get("bk", 10) is None  # cold
+        store.put("bk", 50, long_cols)
+        hit = store.get("bk", 10)  # served from the longer entry
+        assert hit is not None and hit[0] == 50 and hit[1] == long_cols
+        store.put("bk", 5, self._cols(rng, 5))  # shorter: must not clobber
+        assert store.get("bk", 50) == (50, long_cols)
+        assert store.get("bk", 51) is None  # longer than stored: miss
+        assert store.misses == 2 and store.hits == 2
+
+    def test_cross_backend_round_trip(self, tmp_path):
+        """An entry written through one backend reads back identically
+        through another over the same bytes — including the tiered
+        backend's local-over-remote promotion path."""
+        from repro.sim.cache import LocalDirBackend, TieredBackend, TraceColumnStore
+
+        rng = np.random.default_rng(10)
+        cols = self._cols(rng, 40)
+        remote = LocalDirBackend(tmp_path / "remote")
+        TraceColumnStore(remote).put("bk", 40, cols)
+        tiered = TraceColumnStore(
+            TieredBackend(LocalDirBackend(tmp_path / "local"), remote)
+        )
+        assert tiered.get("bk", 40) == (40, cols)  # read-through
+        assert tiered.get("bk", 12)[1] == cols  # now from the local tier
+        fresh = TraceColumnStore(LocalDirBackend(tmp_path / "local"))
+        assert fresh.get("bk", 40) == (40, cols)  # promotion persisted
+
+    def test_kernel_skips_walk_on_store_hit(self, tmp_path):
+        """A fresh program object (new process, worker restart) with the
+        same build key is served from the store — and the result is
+        bit-identical to a run that walked the CFG itself."""
+        from repro.sim.cache import LocalDirBackend, TraceColumnStore
+
+        store = TraceColumnStore(LocalDirBackend(tmp_path))
+        batched.set_trace_store(store)
+        try:
+            spec = SystemSpec.single("2bc-gskew", 2)
+            config = replace(_CONFIG, backend="batched")
+            warm_program = _program("gcc", 31)
+            warm_program._build_key = "bk-gcc-31"
+            warm = simulate(warm_program, spec.build(), config)
+            assert store.misses >= 1 and store.hits == 0
+            cold_program = _program("gcc", 31)  # no memoized state at all
+            cold_program._build_key = "bk-gcc-31"
+            served = simulate(cold_program, spec.build(), config)
+            assert store.hits >= 1
+            _assert_identical(served, warm)
+        finally:
+            batched.set_trace_store(None)
+
+    def test_unkeyed_programs_never_touch_the_store(self, tmp_path):
+        """Ad-hoc programs (no ``_build_key`` stamp) stay out of the
+        persistent tier entirely."""
+        from repro.sim.cache import LocalDirBackend, TraceColumnStore
+
+        store = TraceColumnStore(LocalDirBackend(tmp_path))
+        batched.set_trace_store(store)
+        try:
+            spec = SystemSpec.single("gshare", 2)
+            simulate(
+                _program("swim", 32), spec.build(),
+                replace(_CONFIG, backend="batched"),
+            )
+            assert store.hits == 0 and store.misses == 0
+        finally:
+            batched.set_trace_store(None)
+
+
+class TestPickleHygiene:
+    """Memoized numpy tables and replay state must not ride along when
+    predictors or programs cross the pool's pickle boundary."""
+
+    def test_predictor_drops_np_table_caches(self):
+        import pickle
+
+        from repro.predictors.budget import make_prophet
+
+        predictor = make_prophet("2bc-gskew", 2)
+        batched._np_table(predictor, "_h_np", predictor._h_table)
+        assert hasattr(predictor, "_h_np")
+        clone = pickle.loads(pickle.dumps(predictor))
+        assert not hasattr(clone, "_h_np")
+        # and the cache rebuilds transparently on next batched use
+        rebuilt = batched._np_table(clone, "_h_np", clone._h_table)
+        assert rebuilt.tolist() == list(clone._h_table)
+
+    def test_program_drops_replay_state_keeps_build_key(self):
+        import pickle
+
+        program = _program("gcc", 33)
+        program._build_key = "bk-gcc-33"
+        spec = SystemSpec.single("2bc-gskew", 2)
+        simulate(program, spec.build(), replace(_CONFIG, backend="batched"))
+        assert getattr(program, "_trace_cache", None) is not None
+        assert getattr(program, "_replay_ctx", None) is not None
+        clone = pickle.loads(pickle.dumps(program))
+        assert not hasattr(clone, "_trace_cache")
+        assert not hasattr(clone, "_replay_ctx")
+        assert clone._build_key == "bk-gcc-33"
+        # the clone still simulates identically (state rebuilds lazily)
+        fresh = simulate(
+            clone, spec.build(), replace(_CONFIG, backend="batched")
+        )
+        scalar = simulate(
+            _program("gcc", 33), spec.build(), replace(_CONFIG, backend="scalar")
+        )
+        _assert_identical(fresh, scalar)
+
+
 def _random_inputs(rng, count=256):
     pcs = np.asarray(
         [0x40000000 + 4 * int(rng.integers(0, 1 << 20)) for _ in range(count)],

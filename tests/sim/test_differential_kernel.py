@@ -167,6 +167,69 @@ class TestDifferentialCriticShapes:
             assert_bit_identical(new, ref)
 
 
+class TestFusedMultiSystemReplay:
+    """The fused sweep path: K same-program systems replayed down shared
+    trace columns (one :class:`FusedReplayContext`) must each stay
+    bit-identical to the frozen reference — the same standard as a lone
+    run. Covers the hybrid/critic matrix plus singles, mixed geometries
+    in one context, and the unsupported-shape fallback."""
+
+    def _runs(self):
+        specs = [
+            SystemSpec.hybrid("2bc-gskew", 2, "tagged-gshare", 2, future_bits=4),
+            SystemSpec.hybrid("2bc-gskew", 2, "filtered-perceptron", 2, future_bits=4),
+            SystemSpec.hybrid("2bc-gskew", 2, "tagged-gshare", 2, future_bits=0),
+            SystemSpec.hybrid("gshare", 2, "tagged-gshare", 4, future_bits=8),
+            SystemSpec.single("2bc-gskew", 2),
+            SystemSpec.single("gshare", 4),
+        ]
+        return [spec.build for spec in specs]
+
+    def test_fused_matrix_matches_reference(self):
+        pytest.importorskip("numpy")
+        from repro.sim.batched import FusedReplayContext, fused_replay
+
+        program = _program("INT00", 51)
+        builders = self._runs()
+        shared = FusedReplayContext()
+        results = fused_replay(
+            program, [(build(), _CONFIG) for build in builders], shared
+        )
+        assert len(shared) > 0  # per-program precompute actually pooled
+        for build, got in zip(builders, results):
+            assert got is not None  # every shape above has a batched path
+            ref = reference_simulate(_program("INT00", 51), build(), _CONFIG)
+            assert_bit_identical(got, ref)
+
+    def test_fused_unsupported_shape_yields_none(self):
+        """The fused path declines per entry, never poisoning siblings."""
+        pytest.importorskip("numpy")
+        from repro.sim.batched import fused_replay
+
+        from repro.core.hybrid import ProphetCriticSystem
+        from repro.predictors.budget import make_prophet
+
+        program = _program("MM", 52)
+        supported = SystemSpec.single("2bc-gskew", 2)
+        unsupported = SystemSpec.single("tage", 2)  # no batched kernel
+        # An unfiltered plain-predictor critic has no batched path either.
+        unfiltered = ProphetCriticSystem(
+            make_prophet("2bc-gskew", 2), make_prophet("gshare", 2), future_bits=4
+        )
+        results = fused_replay(
+            program,
+            [
+                (supported.build(), _CONFIG),
+                (unsupported.build(), _CONFIG),
+                (unfiltered, _CONFIG),
+                (supported.build(), _CONFIG),
+            ],
+        )
+        assert results[1] is None and results[2] is None
+        assert results[0] is not None and results[3] is not None
+        assert_bit_identical(results[3], results[0])
+
+
 class TestDifferentialEdges:
     def test_call_nesting_deeper_than_ras_capacity(self):
         """Static call/return pairing must fall back to live-RAS pops

@@ -243,7 +243,14 @@ def main(argv: list[str] | None = None) -> int:
         "--json", type=Path, default=REPO_ROOT / "benchmarks" / "BENCH_kernel.json",
         help="output path for the machine-readable result (default: %(default)s)",
     )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="wall-clock budget for the whole profiling run; exit 1 when "
+             "exceeded (CI uses this so the perf-smoke job cannot "
+             "silently balloon as cells are added)",
+    )
     args = parser.parse_args(argv)
+    run_start = time.perf_counter()
 
     n_branches = args.branches or (20_000 if args.quick else 50_000)
     warmup_branches = max(500, n_branches // 10)
@@ -267,25 +274,43 @@ def main(argv: list[str] | None = None) -> int:
             )
         print(line)
 
+    wall_seconds = time.perf_counter() - run_start
     payload = {
         "schema": "bench-kernel/1",
         "branches_per_run": n_branches,
         "quick": args.quick,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "wall_seconds": round(wall_seconds, 2),
         "cells": rows,
     }
     args.json.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.json}")
 
+    status = 0
     if args.check_floor is not None:
         failures = check_floor(rows, args.check_floor)
         if failures:
             for failure in failures:
                 print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
-            return 1
-        print(f"floor check passed ({args.check_floor})")
-    return 0
+            status = 1
+        else:
+            print(f"floor check passed ({args.check_floor})")
+    if args.max_seconds is not None:
+        wall_seconds = time.perf_counter() - run_start
+        if wall_seconds > args.max_seconds:
+            print(
+                f"WALL-CLOCK BUDGET EXCEEDED: profiling took "
+                f"{wall_seconds:.1f}s, budget is {args.max_seconds:.1f}s",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"wall-clock budget ok ({wall_seconds:.1f}s of "
+                f"{args.max_seconds:.1f}s)"
+            )
+    return status
 
 
 if __name__ == "__main__":

@@ -27,6 +27,11 @@ interaction matters.
   :class:`~repro.sim.cache.ResultCache` (the resume-after-kill path).
 * ``dup-heavy/4x12`` — 4 distinct cells under 12 labels each: the
   duplicate-coalescing path (cache-codec clone vs the old deepcopy).
+* ``fused/8x1`` — every batched-supported system replayed over one gcc
+  build through :func:`repro.sim.batched.fused_replay` (shared trace
+  columns and per-program precompute) against the same panel through
+  the scalar loop, at longer cells where fusion matters; result
+  identity asserted per cell.
 
 ``--compare-reference`` runs the frozen pre-overhaul engine
 (``tests/reference_engine.py``) on identical grids with the same
@@ -226,6 +231,90 @@ def measure_grids(jobs: int, branches: int, compare_reference: bool) -> list[dic
     return rows
 
 
+#: The fused-replay panel: every batched-supported shape from SYSTEMS
+#: (the tage / yags / local / plain-critic entries fall back to scalar
+#: and would measure the fallback, not the fusion).
+FUSED_SYSTEMS: tuple[SystemSpec, ...] = (
+    SystemSpec.single("gshare", 8),
+    SystemSpec.single("gshare", 4),
+    SystemSpec.single("2bc-gskew", 8),
+    SystemSpec.single("2bc-gskew", 16),
+    SystemSpec.single("perceptron", 4),
+    SystemSpec(kind="single", prophet=PredictorSpec("bimodal")),
+    SystemSpec.hybrid("2bc-gskew", 8, "tagged-gshare", 8, future_bits=8),
+    SystemSpec.hybrid("gshare", 8, "tagged-gshare", 8, future_bits=4),
+)
+
+
+def measure_fused(branches: int) -> dict:
+    """The fused same-program scenario: K systems down one shared trace.
+
+    Replays every batched-supported system over a single gcc build
+    through :func:`repro.sim.batched.fused_replay` (per-program
+    precompute — trace columns, flat CFG, pc-derived rows — paid once
+    for the whole panel) and compares against the same panel run
+    cell-by-cell through the scalar loop. Result identity is asserted
+    per cell; longer cells than the grid scenarios are used because
+    fusion amortizes per-program cost that short cells under-weight.
+    """
+    from repro.sim.batched import FusedReplayContext, fused_replay, np as _np
+    from repro.sim.driver import simulate
+
+    if _np is None:  # no numpy: the fused path cannot run at all
+        return {"grid": "fused/8x1", "skipped": "numpy unavailable"}
+    n = max(4 * branches, 4_000)
+    config = SimulationConfig(
+        n_branches=n, warmup=n // 5, collect_predictor_stats=False
+    )
+    program = ProgramSpec(benchmark="gcc").build()
+    shared = FusedReplayContext()
+    # Untimed warm-up run: builds the architectural trace and the shared
+    # per-program columns (steady-state sweep regime, as in the kernel
+    # bench), plus CFG compilation for the scalar side.
+    fused_replay(program, [(s.build(), config) for s in FUSED_SYSTEMS[:1]], shared)
+    simulate(program, FUSED_SYSTEMS[0].build(), config)
+
+    start = time.perf_counter()
+    fused_results = fused_replay(
+        program, [(s.build(), config) for s in FUSED_SYSTEMS], shared
+    )
+    fused_elapsed = time.perf_counter() - start
+
+    scalar_config = SimulationConfig(
+        n_branches=n, warmup=n // 5,
+        collect_predictor_stats=False, backend="scalar",
+    )
+    start = time.perf_counter()
+    scalar_results = [
+        simulate(program, s.build(), scalar_config) for s in FUSED_SYSTEMS
+    ]
+    scalar_elapsed = time.perf_counter() - start
+
+    for fused_stats, scalar_stats in zip(fused_results, scalar_results):
+        if fused_stats is None or (
+            fused_stats.mispredicts,
+            fused_stats.committed_uops,
+            fused_stats.fetched_uops,
+        ) != (
+            scalar_stats.mispredicts,
+            scalar_stats.committed_uops,
+            scalar_stats.fetched_uops,
+        ):
+            raise AssertionError(
+                "fused replay and scalar loop disagree — run the "
+                "differential tests (tests/sim/test_differential_kernel.py)"
+            )
+    return {
+        "grid": "fused/8x1",
+        "cells": len(FUSED_SYSTEMS),
+        "branches_per_cell": n,
+        "seconds": round(fused_elapsed, 4),
+        "cells_per_sec": round(len(FUSED_SYSTEMS) / fused_elapsed, 2),
+        "scalar_cells_per_sec": round(len(FUSED_SYSTEMS) / scalar_elapsed, 2),
+        "speedup_fused_vs_scalar": round(scalar_elapsed / fused_elapsed, 3),
+    }
+
+
 def measure_duplicate_stamp(branches: int, iterations: int = 2_000) -> dict:
     """Micro-benchmark the duplicate-stamping path: codec clone vs deepcopy."""
     stats = run_cell(grid_cells(branches)[0])
@@ -304,6 +393,13 @@ def main(argv: list[str] | None = None) -> int:
                 f" {entry['speedup_vs_reference']:.2f}x)"
             )
         print(line)
+    fused = measure_fused(args.branches)
+    if "speedup_fused_vs_scalar" in fused:
+        print(
+            f"{fused['grid']:20s} {fused['cells_per_sec']:>8.2f} cells/s"
+            f"   (scalar {fused['scalar_cells_per_sec']:>8.2f} cells/s,"
+            f" {fused['speedup_fused_vs_scalar']:.2f}x)"
+        )
     stamp = measure_duplicate_stamp(args.branches)
     print(
         f"duplicate stamp: clone {stamp['clone_us']:.1f}µs vs deepcopy "
@@ -317,6 +413,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "grids": rows,
+        "fused": fused,
         "duplicate_stamp": stamp,
     }
     args.json.write_text(json.dumps(payload, indent=2) + "\n")
