@@ -123,6 +123,14 @@ def _system_from_config_file(path: str) -> SystemSpec:
     return spec
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Deferred import: the analysis package is pure stdlib, but every
+    # other verb should not pay for loading the rule pack.
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:")
     for name in sorted(EXPERIMENTS):
@@ -821,6 +829,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the final job document (results included) as JSON",
     )
     submit_parser.set_defaults(func=_cmd_submit)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the repro-lint invariant checker (docs/LINTING.md)",
+        description="AST-based invariant checker: determinism (REP001), "
+        "pickle hygiene (REP002), hash schema (REP003), backend parity "
+        "(REP004), async safety (REP005). Exits 0 when every finding is "
+        "baselined or suppressed inline, 1 otherwise.",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,193 @@
+"""REP005 — async safety: no blocking calls on the daemon's event loop.
+
+PR 7 put every client of the sweep service behind one asyncio event
+loop. A single blocking call inside a coroutine — ``time.sleep``, a
+synchronous ``open``, a :class:`~repro.sim.cache.ResultCache` disk or
+HTTP-peer operation — stalls *all* of them at once: health checks time
+out, event streams stutter, and a tiered cache read against a dead peer
+can freeze the daemon for the full socket timeout. The same PR's
+history also shows how subtle loop-thread bugs get (the runner-pause
+race was only caught by an e2e test); this rule makes the grossest
+class — synchronous I/O on the loop — a commit-time error instead.
+
+What counts as blocking (statically, by name):
+
+* ``time.sleep``;
+* the ``open`` builtin and ``Path``-style ``read_text``/``write_bytes``
+  etc.;
+* cache-backend byte ops (``get_bytes``/``put_bytes``) and
+  ``get``/``put``/``load``/``store`` calls on receivers whose name
+  contains ``cache``, ``backend`` or ``store`` — the
+  :class:`ResultCache`/:class:`CacheBackend` surface, which may hide a
+  disk write or a blocking HTTP round trip to a peer daemon;
+* ``socket``/``urllib``/``subprocess`` synchronous entry points.
+
+Where it looks: the body of every ``async def`` under ``src/repro``,
+*nearest scope only* — code inside a nested ``def`` or ``lambda`` is
+excluded, because that is exactly how work is handed to
+``loop.run_in_executor``/``asyncio.to_thread``. One level of indirection
+is also caught: an ``async def`` that calls a same-module synchronous
+helper whose own body contains blocking calls is flagged at the call
+site (the PR 7 daemon's original ``/cache`` handler was exactly this
+shape).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    import_aliases,
+    resolve_call,
+)
+
+SCOPE = "src/repro/"
+
+BLOCKING_DOTTED = frozenset({
+    "time.sleep",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "urllib.request.urlopen",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "shutil.copy",
+    "shutil.copy2",
+    "shutil.copytree",
+    "shutil.rmtree",
+    "os.replace",
+    "os.rename",
+})
+
+#: Unambiguously-blocking method names, any receiver.
+BLOCKING_METHODS = frozenset({
+    "get_bytes", "put_bytes",
+    "read_bytes", "write_bytes", "read_text", "write_text",
+})
+
+#: Blocking only on cache-flavoured receivers (a ResultCache ``get`` may
+#: be a disk read or an HTTP round trip to a peer daemon).
+CACHE_METHODS = frozenset({"get", "put", "load", "store"})
+CACHE_RECEIVER_MARKERS = ("cache", "backend", "store")
+
+
+def _receiver_name(func: ast.Attribute) -> str:
+    """The textual name of a method call's receiver (`self._cache` ->
+    `_cache`, `backend` -> `backend`)."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return ""
+
+
+def _blocking_reason(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Why this call is considered blocking, or None."""
+    if isinstance(node.func, ast.Name) and node.func.id == "open":
+        return "synchronous builtin open()"
+    target = resolve_call(node, aliases)
+    if target in BLOCKING_DOTTED:
+        return f"blocking call `{target}`"
+    if isinstance(node.func, ast.Attribute):
+        method = node.func.attr
+        if method in BLOCKING_METHODS:
+            return f"blocking I/O method `.{method}()`"
+        if method in CACHE_METHODS:
+            receiver = _receiver_name(node.func).lower()
+            if any(marker in receiver for marker in CACHE_RECEIVER_MARKERS):
+                return (
+                    f"cache operation `{_receiver_name(node.func)}.{method}()` "
+                    "(disk or HTTP-peer I/O)"
+                )
+    return None
+
+
+def _own_scope_calls(fn: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes in ``fn``'s body, excluding nested function/lambda
+    scopes (executor thunks run off-loop by construction)."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class AsyncSafetyRule(Rule):
+    code = "REP005"
+    name = "async-safety"
+    rationale = (
+        "one synchronous disk/socket/cache call inside a PR 7 daemon "
+        "coroutine stalls every client on the shared event loop; blocking "
+        "work belongs in run_in_executor/to_thread"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for sf in project.iter_files(SCOPE):
+            if sf.rel.startswith("src/repro/analysis/"):
+                continue
+            yield from self._check_file(sf)
+
+    def _check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(sf.tree)
+
+        # Pass 1: which sync functions/methods in this module contain
+        # blocking calls in their own scope?
+        blocking_helpers: dict[str, tuple[str, int]] = {}
+        async_fns: list[ast.AsyncFunctionDef] = []
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                async_fns.append(node)
+            elif isinstance(node, ast.FunctionDef):
+                for call in _own_scope_calls(node):
+                    reason = _blocking_reason(call, aliases)
+                    if reason is not None:
+                        blocking_helpers.setdefault(
+                            node.name, (reason, call.lineno)
+                        )
+                        break
+
+        # Pass 2: judge every coroutine's own scope.
+        for fn in async_fns:
+            for call in _own_scope_calls(fn):
+                reason = _blocking_reason(call, aliases)
+                if reason is not None:
+                    yield self.finding(
+                        sf, call.lineno,
+                        f"{reason} inside `async def {fn.name}` blocks the "
+                        "event loop for every client; hand it to "
+                        "loop.run_in_executor / asyncio.to_thread",
+                    )
+                    continue
+                helper = self._local_callee(call)
+                if helper is not None and helper in blocking_helpers:
+                    inner_reason, inner_line = blocking_helpers[helper]
+                    yield self.finding(
+                        sf, call.lineno,
+                        f"await-free call to `{helper}` inside `async def "
+                        f"{fn.name}` — the helper performs {inner_reason} at "
+                        f"line {inner_line}, blocking the event loop; make "
+                        "it async or run it in an executor",
+                    )
+
+    @staticmethod
+    def _local_callee(node: ast.Call) -> str | None:
+        """`f(...)` or `self.f(...)` -> "f"; anything else -> None."""
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            return node.func.attr
+        return None

@@ -1,0 +1,179 @@
+"""REP004 — backend parity: every predictor kind is batched or declared.
+
+PR 6 introduced the batched structure-of-arrays kernel with a silent
+scalar fallback for system shapes it does not specialize. Silent is the
+operative hazard: register a new predictor kind and forget the batched
+arm, and every sweep quietly runs it 3-4x slower than its peers —
+nothing fails, dashboards just drift. Worse, a kind that *is* dispatched
+but never exercised by the differential matrix
+(``tests/sim/test_differential_kernel.py``) has no bit-identity proof
+backing the "results are identical, so backend is excluded from content
+hashes" contract that the whole cache design leans on.
+
+The contract, per registered predictor kind (``register_predictor``
+call in ``src/repro/predictors/``):
+
+1. the kind's module contributes a class to ``sim/batched.py``'s
+   dispatch tables (``_PROPHET_KINDS`` / ``_CRITIC_KINDS``), **or** the
+   kind is named in ``sim/batched.py``'s ``SCALAR_FALLBACK_KINDS``
+   allowlist — an explicit, reviewable statement that the scalar
+   fallback is intentional;
+2. the kind's string appears in the differential matrix test file, so
+   scalar/batched agreement (trivial for fallback kinds, load-bearing
+   for dispatched ones) is exercised on every CI run;
+3. the allowlist itself stays honest: entries must name registered
+   kinds, and an entry whose module later gains a batched arm is
+   reported as stale.
+
+Module-granularity caveat: support is attributed via the imports in
+``batched.py`` (dispatch class -> defining module -> kinds registered by
+that module). A module registering several kinds of which only some are
+batched would need the unbatched ones rechecked by hand — today every
+multi-kind module (``static.py``) is entirely fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import Finding, Project, Rule
+
+BATCHED_REL = "src/repro/sim/batched.py"
+PREDICTORS_PREFIX = "src/repro/predictors/"
+MATRIX_REL = "tests/sim/test_differential_kernel.py"
+DISPATCH_TABLES = ("_PROPHET_KINDS", "_CRITIC_KINDS")
+ALLOWLIST_NAME = "SCALAR_FALLBACK_KINDS"
+
+
+def _registrations(project: Project) -> list[tuple[str, object, int]]:
+    """(kind, source file, line) for every ``register_predictor`` call."""
+    out = []
+    for sf in project.iter_files(PREDICTORS_PREFIX):
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "register_predictor"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                out.append((node.args[0].value, sf, node.lineno))
+    return out
+
+
+def _string_elements(node: ast.expr) -> list[str] | None:
+    """String members of a set/frozenset/tuple/list literal, else None."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("frozenset", "set", "tuple") and len(node.args) == 1:
+            return _string_elements(node.args[0])
+        return None
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        values = []
+        for elt in node.elts:
+            if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+                return None
+            values.append(elt.value)
+        return values
+    return None
+
+
+class BackendParityRule(Rule):
+    code = "REP004"
+    name = "backend-parity"
+    rationale = (
+        "PR 6's batched kernel falls back to the scalar loop silently; an "
+        "undeclared unbatched kind runs 3-4x slow with no failure, and an "
+        "unexercised kind has no bit-identity proof behind the shared-cache "
+        "contract"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        registrations = _registrations(project)
+        if not registrations:
+            return  # no predictor layer in this tree (rule fixtures)
+        batched = project.file(BATCHED_REL)
+        if batched is None or batched.tree is None:
+            yield Finding(
+                rule=self.code, path=BATCHED_REL, line=1,
+                message="batched backend module missing but predictor kinds "
+                        "are registered; the dispatch/fallback contract "
+                        "cannot be checked",
+            )
+            return
+
+        # Dispatch class names and the class -> module import map.
+        dispatch_classes: set[str] = set()
+        allowlist: list[str] | None = None
+        allowlist_line = 1
+        imports: dict[str, str] = {}
+        for node in ast.walk(batched.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                module_rel = "src/" + node.module.replace(".", "/") + ".py"
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = module_rel
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id in DISPATCH_TABLES and isinstance(node.value, ast.Dict):
+                        for key in node.value.keys:
+                            if isinstance(key, ast.Name):
+                                dispatch_classes.add(key.id)
+                    elif target.id == ALLOWLIST_NAME:
+                        allowlist = _string_elements(node.value)
+                        allowlist_line = node.lineno
+
+        if allowlist is None:
+            yield self.finding(
+                batched, 1,
+                f"no parseable `{ALLOWLIST_NAME}` set literal in {BATCHED_REL}; "
+                "kinds that intentionally run on the scalar fallback must be "
+                "declared there explicitly",
+            )
+            allowlist = []
+
+        supported_modules = {
+            imports[cls] for cls in dispatch_classes if cls in imports
+        }
+        registered = {kind for kind, _sf, _line in registrations}
+
+        matrix = project.file(MATRIX_REL)
+        matrix_text = matrix.text if matrix is not None else None
+
+        for kind, sf, line in sorted(registrations, key=lambda r: (r[1].rel, r[2])):
+            module_batched = sf.rel in supported_modules
+            if not module_batched and kind not in allowlist:
+                yield self.finding(
+                    sf, line,
+                    f"predictor kind `{kind}` is neither dispatched by the "
+                    f"batched backend ({BATCHED_REL}) nor declared in "
+                    f"{ALLOWLIST_NAME} — it would fall back to the scalar "
+                    "loop silently; add a batched arm or declare the "
+                    "fallback",
+                )
+            if matrix_text is not None and f'"{kind}"' not in matrix_text:
+                yield self.finding(
+                    sf, line,
+                    f"predictor kind `{kind}` is not exercised by the "
+                    f"differential backend matrix ({MATRIX_REL}); "
+                    "scalar/batched bit-identity for it is unproven",
+                )
+
+        for kind in allowlist:
+            if kind not in registered:
+                yield self.finding(
+                    batched, allowlist_line,
+                    f"{ALLOWLIST_NAME} names `{kind}`, which is not a "
+                    "registered predictor kind",
+                )
+            else:
+                reg_file = next(sf for k, sf, _l in registrations if k == kind)
+                if reg_file.rel in supported_modules:
+                    yield self.finding(
+                        batched, allowlist_line,
+                        f"{ALLOWLIST_NAME} entry `{kind}` is stale: its "
+                        "module now contributes a batched dispatch class; "
+                        "drop the entry",
+                    )

@@ -1,0 +1,219 @@
+"""REP001 — determinism: no ambient entropy in result-producing code.
+
+The whole caching story (PR 1's result cache, PR 5's resumable sweeps,
+PR 7's cross-client dedup) rests on one contract, stated in
+``sim/specs.py``: *every* source of randomness in a cell derives from
+the spec itself, never from process identity, wall clock or execution
+order. One ``random.random()`` in a workload behaviour and two runs of
+the same content hash disagree — the cache then serves whichever ran
+first, forever, bit-stably wrong.
+
+What this rule flags, anywhere under ``src/repro``:
+
+* calls to the *module-level* stdlib RNG (``random.random``,
+  ``random.randint``, …) and unseeded ``random.Random()`` — seeded
+  generator objects (``random.Random(seed)``, ``utils.rng``) are fine;
+* the legacy numpy global RNG (``np.random.randint`` etc.) and unseeded
+  ``np.random.default_rng()``;
+* ambient entropy: ``os.urandom``, ``uuid.uuid1``/``uuid.uuid4``,
+  ``secrets.*``.
+
+Additionally, *only* inside ``src/repro/sim`` and
+``src/repro/workloads`` (the code that produces and keys results):
+
+* wall-clock reads (``time.time``, ``time.perf_counter``,
+  ``datetime.now``, …) — the serve layer and the profiling tools
+  measure wall time legitimately and are out of scope;
+* inside hash-feeding functions (names matching hash/digest/describe/
+  canonical/build_key/cell_seed): ``json.dumps`` without
+  ``sort_keys=True``, and iteration over a freshly built ``set`` (wrap
+  it in ``sorted(...)`` — set order is salted per process).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    import_aliases,
+    resolve_call,
+)
+
+SCOPE = "src/repro/"
+CLOCK_SCOPES = ("src/repro/sim/", "src/repro/workloads/")
+
+#: Module-level stdlib RNG entry points (the shared hidden-state ones).
+RANDOM_MODULE_FNS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "getrandbits", "randbytes", "seed",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "lognormvariate",
+})
+
+#: Legacy numpy global-RNG functions (shared ``numpy.random`` state).
+NUMPY_GLOBAL_FNS = frozenset({
+    "random", "rand", "randn", "randint", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "seed", "bytes", "binomial", "poisson",
+})
+
+CLOCK_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "thread_time",
+})
+
+#: Function names considered to feed content hashes / cache keys.
+HASH_FEEDER_RE = re.compile(
+    r"hash|digest|describ|canonical|build_key|cell_seed", re.IGNORECASE
+)
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class DeterminismRule(Rule):
+    code = "REP001"
+    name = "determinism"
+    rationale = (
+        "content-hash-keyed caching (PRs 1, 5, 7) requires every source of "
+        "randomness to derive from the spec; ambient entropy or clock reads "
+        "in sim/ or workloads/ make cached results irreproducible"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for sf in project.iter_files(SCOPE):
+            if sf.rel.startswith("src/repro/analysis/"):
+                continue
+            yield from self._check_file(sf)
+
+    def _check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(sf.tree)
+        clock_scoped = sf.rel.startswith(CLOCK_SCOPES)
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(sf, node, aliases, clock_scoped)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if HASH_FEEDER_RE.search(node.name):
+                    yield from self._check_hash_feeder(sf, node, aliases)
+
+    def _check_call(
+        self,
+        sf: SourceFile,
+        node: ast.Call,
+        aliases: dict[str, str],
+        clock_scoped: bool,
+    ) -> Iterator[Finding]:
+        target = resolve_call(node, aliases)
+        if target is None:
+            return
+        head, _, tail = target.partition(".")
+        if head == "random" and tail in RANDOM_MODULE_FNS:
+            yield self.finding(
+                sf, node.lineno,
+                f"module-level `random.{tail}` draws from shared unseeded "
+                "state; derive a seeded generator from the spec "
+                "(random.Random(seed) or repro.utils.rng)",
+            )
+        elif target == "random.Random" and not node.args and not node.keywords:
+            yield self.finding(
+                sf, node.lineno,
+                "`random.Random()` without a seed falls back to OS entropy; "
+                "pass a spec-derived seed",
+            )
+        elif head == "numpy" and tail.startswith("random."):
+            fn = tail.rsplit(".", 1)[-1]
+            if fn in NUMPY_GLOBAL_FNS:
+                yield self.finding(
+                    sf, node.lineno,
+                    f"legacy numpy global RNG `numpy.{tail}` has shared "
+                    "process-wide state; use numpy.random.default_rng(seed)",
+                )
+            elif fn == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    sf, node.lineno,
+                    "`default_rng()` without a seed draws OS entropy; pass a "
+                    "spec-derived seed",
+                )
+        elif target == "os.urandom" or head == "secrets":
+            yield self.finding(
+                sf, node.lineno,
+                f"`{target}` is pure OS entropy — results built from it can "
+                "never be reproduced from a spec",
+            )
+        elif target in ("uuid.uuid1", "uuid.uuid4"):
+            yield self.finding(
+                sf, node.lineno,
+                f"`{target}` embeds host/clock/OS entropy; derive identifiers "
+                "from content hashes instead",
+            )
+        elif clock_scoped:
+            if head == "time" and tail in CLOCK_FNS:
+                yield self.finding(
+                    sf, node.lineno,
+                    f"wall-clock read `time.{tail}` inside {sf.rel.split('/')[2]}/ "
+                    "— simulated results must not depend on host time (timing "
+                    "harnesses live in tools/ and benchmarks/)",
+                )
+            elif target is not None and (
+                target.endswith("datetime.now")
+                or target.endswith("datetime.utcnow")
+                or target.endswith("date.today")
+            ):
+                yield self.finding(
+                    sf, node.lineno,
+                    f"wall-clock read `{target.rsplit('.', 2)[-2]}.{target.rsplit('.', 1)[-1]}` "
+                    "inside result-producing code",
+                )
+
+    def _check_hash_feeder(
+        self,
+        sf: SourceFile,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        aliases: dict[str, str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                target = resolve_call(node, aliases)
+                if target == "json.dumps":
+                    sorts = any(kw.arg == "sort_keys" for kw in node.keywords)
+                    if not sorts:
+                        yield self.finding(
+                            sf, node.lineno,
+                            f"json.dumps without sort_keys=True inside hash-"
+                            f"feeding `{fn.name}` — dict insertion order would "
+                            "leak into the digest",
+                        )
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in ("list", "tuple", "min", "max")
+                    and node.args
+                    and _is_set_expr(node.args[0])
+                ):
+                    if node.func.id in ("min", "max"):
+                        continue  # order-insensitive reductions are fine
+                    yield self.finding(
+                        sf, node.lineno,
+                        f"materialising a set in hash-feeding `{fn.name}` — "
+                        "set iteration order is salted per process; wrap in "
+                        "sorted(...)",
+                    )
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iter_expr = node.iter
+                if _is_set_expr(iter_expr):
+                    yield self.finding(
+                        sf, iter_expr.lineno,
+                        f"iterating a set in hash-feeding `{fn.name}` — set "
+                        "iteration order is salted per process; wrap in "
+                        "sorted(...)",
+                    )

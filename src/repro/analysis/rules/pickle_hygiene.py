@@ -1,0 +1,120 @@
+"""REP002 — pickle hygiene: memoized caches must not cross pickle
+boundaries.
+
+PR 8 documented the failure mode this rule fossilises: the batched
+kernel memoizes multi-megabyte derived state on live objects —
+architectural trace columns (``_trace_cache``), fused-replay precompute
+contexts (``_replay_ctx``) and numpy constant tables (``*_np``). Before
+``Program.__getstate__``/``DirectionPredictor.__getstate__`` dropped
+them, every pool chunk and cache entry shipped those caches through
+pickle: chunk submission cost ballooned, and whether a pickle was
+megabytes or kilobytes depended on *which code path touched the object
+first* — a Heisenberg serialization format.
+
+The invariant: any class that assigns a memoized-cache attribute
+(``_trace_cache``, ``_replay_ctx``, or anything ending in ``_np``) to
+its instances must define ``__getstate__`` — on itself or an ancestor
+resolvable inside the project — so the cache is provably dropped at the
+pickle boundary. Both plain ``self.x = ...`` assignments and the frozen-
+dataclass spelling ``object.__setattr__(self, "x", ...)`` are tracked.
+
+Dynamic ``setattr(obj, name_variable, ...)`` memoization (as
+``sim.batched._np_table`` does) is invisible to this rule by design; the
+``*_np`` convention plus ``DirectionPredictor.__getstate__``'s suffix
+filter is the contract that covers it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import Finding, Project, Rule, SourceFile
+
+SCOPE = "src/repro/"
+
+#: Exact attribute names that are per-process memoized caches.
+CACHE_ATTRS = frozenset({"_trace_cache", "_replay_ctx"})
+
+#: Attribute-name suffix for memoized numpy constant tables.
+CACHE_SUFFIX = "_np"
+
+
+def _is_cache_attr(name: str) -> bool:
+    return name in CACHE_ATTRS or name.endswith(CACHE_SUFFIX)
+
+
+def _self_name(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    args = fn.args.posonlyargs + fn.args.args
+    return args[0].arg if args else None
+
+
+def _cache_assignments(node: ast.ClassDef) -> Iterator[tuple[str, int]]:
+    """(attr, line) for every cache-attr assignment to ``self``."""
+    for method in node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        self_name = _self_name(method)
+        if self_name is None:
+            continue
+        for sub in ast.walk(method):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == self_name
+                        and _is_cache_attr(target.attr)
+                    ):
+                        yield target.attr, sub.lineno
+            elif isinstance(sub, ast.Call):
+                # object.__setattr__(self, "_x_np", ...) — the frozen-
+                # dataclass memoization spelling.
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "__setattr__"
+                    and len(sub.args) >= 2
+                    and isinstance(sub.args[0], ast.Name)
+                    and sub.args[0].id == self_name
+                    and isinstance(sub.args[1], ast.Constant)
+                    and isinstance(sub.args[1].value, str)
+                    and _is_cache_attr(sub.args[1].value)
+                ):
+                    yield sub.args[1].value, sub.lineno
+
+
+class PickleHygieneRule(Rule):
+    code = "REP002"
+    name = "pickle-hygiene"
+    rationale = (
+        "memoized caches (_trace_cache, _replay_ctx, *_np) leaked through "
+        "pickles until PR 8's __getstate__ sweep, bloating pool chunks and "
+        "making pickle size depend on execution history"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for sf in project.iter_files(SCOPE):
+            if sf.rel.startswith("src/repro/analysis/"):
+                continue
+            yield from self._check_file(project, sf)
+
+    def _check_file(self, project: Project, sf: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            assigned = list(_cache_assignments(node))
+            if not assigned:
+                continue
+            if project.class_defines(node.name, "__getstate__"):
+                continue
+            attrs = sorted({attr for attr, _line in assigned})
+            first_line = min(line for _attr, line in assigned)
+            yield self.finding(
+                sf, node.lineno,
+                f"class `{node.name}` assigns memoized cache attribute(s) "
+                f"{', '.join(attrs)} (first at line {first_line}) but defines "
+                "no __getstate__ dropping them — the cache would ship through "
+                "every pickle (pool chunks, result-cache entries)",
+            )

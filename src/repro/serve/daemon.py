@@ -383,7 +383,7 @@ class SweepDaemon:
         ):
             await self._handle_events(parts[1], writer)
         elif len(parts) == 2 and parts[0] == "cache":
-            self._handle_cache(method, parts[1], body, writer)
+            await self._handle_cache(method, parts[1], body, writer)
         else:
             _write_response(writer, 404, {"error": f"no route {method} {path}"})
 
@@ -473,17 +473,23 @@ class SweepDaemon:
         finally:
             job.subscribers.discard(queue)
 
-    def _handle_cache(self, method: str, key: str, body: bytes, writer) -> None:
+    async def _handle_cache(self, method: str, key: str, body: bytes, writer) -> None:
         if self.cache is None:
             _write_response(writer, 404, {"error": "this daemon runs without a cache"})
             return
         if not key or len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
             _write_response(writer, 400, {"error": f"malformed cache key {key!r}"})
             return
+        # Backend byte ops are synchronous disk I/O — or, behind a tiered
+        # backend, a blocking HTTP round trip to a peer daemon (which can
+        # stall for the full socket timeout when the peer is dead). Run
+        # them off-loop so one slow cache request cannot freeze every
+        # connected client's stream and health check.
         backend = self.cache.backend
+        loop = asyncio.get_running_loop()
         if method == "GET":
             try:
-                data = backend.get_bytes(key)
+                data = await loop.run_in_executor(None, backend.get_bytes, key)
             except OSError as exc:
                 _write_response(writer, 502, {"error": f"cache backend error: {exc}"})
                 return
@@ -493,7 +499,7 @@ class SweepDaemon:
                 _write_raw_response(writer, 200, data)
         elif method == "PUT":
             try:
-                backend.put_bytes(key, body)
+                await loop.run_in_executor(None, backend.put_bytes, key, body)
             except OSError as exc:
                 _write_response(writer, 502, {"error": f"cache backend error: {exc}"})
                 return
@@ -648,7 +654,7 @@ def start_daemon(config: ServeConfig) -> DaemonHandle:
     def main() -> None:
         try:
             asyncio.run(daemon.run(ready=lambda _d: ready.set()))
-        except BaseException as exc:  # noqa: BLE001 - reported to the caller
+        except BaseException as exc:  # reported to the caller via `failure`
             failure.append(exc)
             ready.set()
 

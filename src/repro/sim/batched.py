@@ -88,6 +88,23 @@ _CRITIC_KINDS = {
     FilteredPerceptronPredictor: _CR_FPERC,
 }
 
+#: Registered predictor kinds that *intentionally* run on the scalar
+#: fallback: no batched arm exists for them, and silently falling back
+#: is the documented behaviour rather than an oversight. REP004
+#: (``repro lint``) enforces that every registered kind either appears
+#: in the dispatch tables above (via a class imported from its module)
+#: or is named here — so adding a predictor without deciding its
+#: backend story is a commit-time error. Remove a kind from this set
+#: when it gains a batched kernel.
+SCALAR_FALLBACK_KINDS = frozenset({
+    "always-taken",      # zero-state; scalar loop is already optimal
+    "always-not-taken",  # zero-state; scalar loop is already optimal
+    "local",             # per-branch history table defeats SoA batching
+    "tage",              # variable-length tagged walk; no SoA arm yet
+    "tournament",        # chooser over nested components; shapes vary
+    "yags",              # choice+direction caches; no SoA arm yet
+})
+
 
 # -- structure-of-arrays predictor helpers ----------------------------------
 #

@@ -110,8 +110,8 @@ class TraceFormatError(ValueError):
         *,
         path: str | os.PathLike | None = None,
         offset: int | None = None,
-        expected: object = None,
-        actual: object = None,
+        expected: object | None = None,
+        actual: object | None = None,
         version: int | None = None,
     ) -> None:
         details = []

@@ -1,0 +1,46 @@
+"""Shared fixtures for the repro-lint self-tests.
+
+The rule tests build throwaway project trees under ``tmp_path`` that
+mirror the real ``src/repro/...`` layout (path-scoped rules key off the
+relative path), run the rule pack over them, and assert on the findings.
+``make_project`` is the one helper everything uses.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.framework import Project
+from repro.analysis.runner import collect_project
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Materialise ``{rel_path: source}`` as files and collect them.
+
+    Returns the :class:`Project`; call it several times in one test for
+    independent trees (each gets its own subdirectory).
+    """
+    counter = {"n": 0}
+
+    def _make(files: dict[str, str]) -> Project:
+        counter["n"] += 1
+        root = tmp_path / f"proj{counter['n']}"
+        for rel, text in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+        return collect_project(root)
+
+    return _make
+
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def repo_project():
+    """The real repository tree, collected once per session."""
+    return collect_project(REPO_ROOT)

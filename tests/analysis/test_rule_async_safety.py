@@ -1,0 +1,142 @@
+"""REP005 self-tests: blocking-call detection inside coroutines."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import RULES_BY_CODE
+from repro.analysis.runner import lint_project
+
+RULE = RULES_BY_CODE["REP005"]
+
+
+def _findings(project):
+    return list(RULE.check(project))
+
+
+class TestFires:
+    def test_time_sleep_in_coroutine(self, make_project):
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "import time\n"
+                "async def handle():\n"
+                "    time.sleep(1)\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "time.sleep" in f.message and "handle" in f.message
+
+    def test_open_builtin_in_coroutine(self, make_project):
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "async def handle(path):\n"
+                "    with open(path) as fh:\n"
+                "        return fh.read()\n"
+            ),
+        })
+        findings = _findings(project)
+        assert any("open()" in f.message for f in findings)
+
+    def test_cache_backend_bytes_op(self, make_project):
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "async def handle(self, key):\n"
+                "    return self.backend.get_bytes(key)\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert ".get_bytes()" in f.message
+
+    def test_cache_get_on_cache_receiver(self, make_project):
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "async def handle(cache, key):\n"
+                "    return cache.get(key)\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "cache.get()" in f.message
+
+    def test_blocking_helper_called_from_coroutine(self, make_project):
+        # The PR 7 daemon's original /cache handler shape: the coroutine
+        # itself looks clean, the sync helper it calls does the I/O.
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "class Daemon:\n"
+                "    def _do_put(self, key, body):\n"
+                "        self.backend.put_bytes(key, body)\n"
+                "    async def route(self, key, body):\n"
+                "        self._do_put(key, body)\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "_do_put" in f.message and "await-free" in f.message
+
+
+class TestPasses:
+    def test_executor_thunk_excluded(self, make_project):
+        # Nested defs/lambdas are exactly how work goes off-loop.
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "import asyncio\n"
+                "async def handle(self, key):\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    return await loop.run_in_executor(\n"
+                "        None, lambda: self.backend.get_bytes(key))\n"
+            ),
+        })
+        assert _findings(project) == []
+
+    def test_run_in_executor_by_reference(self, make_project):
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "import asyncio\n"
+                "async def handle(self, key):\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    return await loop.run_in_executor(\n"
+                "        None, self.backend.get_bytes, key)\n"
+            ),
+        })
+        assert _findings(project) == []
+
+    def test_sync_functions_not_judged(self, make_project):
+        project = make_project({
+            "src/repro/sim/io.py": (
+                "def save(path, blob):\n"
+                "    with open(path, 'wb') as fh:\n"
+                "        fh.write(blob)\n"
+            ),
+        })
+        assert _findings(project) == []
+
+    def test_non_cache_receiver_get_passes(self, make_project):
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "async def handle(params, key):\n"
+                "    return params.get(key)\n"
+            ),
+        })
+        assert _findings(project) == []
+
+
+class TestSuppression:
+    def test_inline_suppression_honored(self, make_project):
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "import time\n"
+                "async def handle():\n"
+                "    time.sleep(1)  # repro-lint: disable=REP005\n"
+            ),
+        })
+        report = lint_project(project, [RULE])
+        assert report.new == [] and len(report.suppressed) == 1
+
+    def test_file_suppression_honored(self, make_project):
+        project = make_project({
+            "src/repro/serve/d.py": (
+                "# repro-lint: disable-file=REP005\n"
+                "import time\n"
+                "async def handle():\n"
+                "    time.sleep(1)\n"
+            ),
+        })
+        report = lint_project(project, [RULE])
+        assert report.new == [] and len(report.suppressed) == 1

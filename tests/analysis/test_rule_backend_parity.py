@@ -1,0 +1,109 @@
+"""REP004 self-tests: registry/dispatch/allowlist/matrix cross-checks."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import RULES_BY_CODE
+from repro.analysis.runner import lint_project
+
+RULE = RULES_BY_CODE["REP004"]
+
+
+def _findings(project):
+    return list(RULE.check(project))
+
+
+def _tree(*, allowlist='("slowpoke",)', register_extra="", matrix_extra=""):
+    """A minimal predictor layer: `fast` is batched, `slowpoke` is an
+    allowlisted scalar fallback, both exercised by the matrix file."""
+    return {
+        "src/repro/predictors/fast.py": (
+            "class FastPredictor:\n    pass\n"
+            "register_predictor('fast', None, None)\n"
+        ),
+        "src/repro/predictors/slow.py": (
+            "class SlowPredictor:\n    pass\n"
+            "register_predictor('slowpoke', None, None)\n"
+            + register_extra
+        ),
+        "src/repro/sim/batched.py": (
+            "from repro.predictors.fast import FastPredictor\n"
+            "_PROPHET_KINDS = {FastPredictor: None}\n"
+            "_CRITIC_KINDS = {}\n"
+            f"SCALAR_FALLBACK_KINDS = frozenset({allowlist})\n"
+        ),
+        "tests/sim/test_differential_kernel.py": (
+            'KINDS = ("fast", "slowpoke")\n' + matrix_extra
+        ),
+    }
+
+
+class TestPasses:
+    def test_batched_plus_allowlisted_is_clean(self, make_project):
+        assert _findings(make_project(_tree())) == []
+
+    def test_trees_without_predictor_layer_skip(self, make_project):
+        project = make_project({"src/repro/util.py": "x = 1\n"})
+        assert _findings(project) == []
+
+
+class TestFires:
+    def test_undeclared_fallback_kind(self, make_project):
+        files = _tree(
+            register_extra="register_predictor('ghost', None, None)\n",
+            matrix_extra='MORE = ("ghost",)\n',
+        )
+        (f,) = _findings(make_project(files))
+        assert "`ghost`" in f.message and "scalar loop silently" in f.message
+
+    def test_kind_missing_from_differential_matrix(self, make_project):
+        files = _tree()
+        files["tests/sim/test_differential_kernel.py"] = 'KINDS = ("fast",)\n'
+        (f,) = _findings(make_project(files))
+        assert "`slowpoke`" in f.message and "differential backend matrix" in f.message
+
+    def test_allowlist_naming_unregistered_kind(self, make_project):
+        files = _tree(allowlist='("slowpoke", "figment")')
+        (f,) = _findings(make_project(files))
+        assert "`figment`" in f.message and "not a registered" in f.message
+
+    def test_stale_allowlist_entry(self, make_project):
+        # slow.py gains a batched dispatch class; its allowlist entry rots.
+        files = _tree()
+        files["src/repro/sim/batched.py"] = (
+            "from repro.predictors.fast import FastPredictor\n"
+            "from repro.predictors.slow import SlowPredictor\n"
+            "_PROPHET_KINDS = {FastPredictor: None, SlowPredictor: None}\n"
+            "_CRITIC_KINDS = {}\n"
+            'SCALAR_FALLBACK_KINDS = frozenset(("slowpoke",))\n'
+        )
+        (f,) = _findings(make_project(files))
+        assert "stale" in f.message and "`slowpoke`" in f.message
+
+    def test_missing_allowlist_literal(self, make_project):
+        files = _tree()
+        files["src/repro/sim/batched.py"] = (
+            "from repro.predictors.fast import FastPredictor\n"
+            "_PROPHET_KINDS = {FastPredictor: None}\n"
+            "_CRITIC_KINDS = {}\n"
+        )
+        findings = _findings(make_project(files))
+        assert any("no parseable" in f.message for f in findings)
+
+
+class TestSuppression:
+    def test_inline_suppression_on_registration_line(self, make_project):
+        files = _tree(
+            register_extra=(
+                "register_predictor('ghost', None, None)"
+                "  # repro-lint: disable=REP004\n"
+            ),
+            matrix_extra='MORE = ("ghost",)\n',
+        )
+        report = lint_project(make_project(files), [RULE])
+        assert report.new == [] and len(report.suppressed) == 1
+
+
+class TestRealTree:
+    def test_every_registered_kind_accounted_for(self, repo_project):
+        # The acceptance bar for this PR: the real tree is REP004-clean.
+        assert _findings(repo_project) == []

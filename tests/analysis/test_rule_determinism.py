@@ -1,0 +1,169 @@
+"""REP001 self-tests: bad fires, good passes, suppression honored."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import RULES_BY_CODE
+from repro.analysis.runner import lint_project
+
+RULE = RULES_BY_CODE["REP001"]
+
+
+def _findings(project):
+    return list(RULE.check(project))
+
+
+class TestFires:
+    def test_module_level_random(self, make_project):
+        project = make_project({
+            "src/repro/workloads/gen.py": (
+                "import random\n"
+                "def pick():\n"
+                "    return random.random()\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert f.rule == "REP001" and f.line == 3
+        assert "random.random" in f.message
+
+    def test_unseeded_random_instance(self, make_project):
+        project = make_project({
+            "src/repro/workloads/gen.py": (
+                "import random\n"
+                "rng = random.Random()\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "without a seed" in f.message
+
+    def test_numpy_global_rng_through_alias(self, make_project):
+        project = make_project({
+            "src/repro/sim/kern.py": (
+                "import numpy as np\n"
+                "def roll():\n"
+                "    return np.random.randint(8)\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "numpy" in f.message
+
+    def test_unseeded_default_rng(self, make_project):
+        project = make_project({
+            "src/repro/sim/kern.py": (
+                "import numpy as np\n"
+                "rng = np.random.default_rng()\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "default_rng" in f.message
+
+    def test_os_urandom(self, make_project):
+        project = make_project({
+            "src/repro/utils/ids.py": (
+                "import os\n"
+                "token = os.urandom(8)\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "os.urandom" in f.message
+
+    def test_wall_clock_in_sim_scope(self, make_project):
+        project = make_project({
+            "src/repro/sim/driver2.py": (
+                "import time\n"
+                "def run():\n"
+                "    return time.perf_counter()\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "wall-clock" in f.message
+
+    def test_unsorted_json_dumps_in_hash_feeder(self, make_project):
+        project = make_project({
+            "src/repro/sim/spec2.py": (
+                "import json\n"
+                "def content_hash(payload):\n"
+                "    return json.dumps(payload)\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "sort_keys" in f.message
+
+    def test_set_iteration_in_hash_feeder(self, make_project):
+        project = make_project({
+            "src/repro/sim/spec2.py": (
+                "def describe(items):\n"
+                "    return [x for x in set(items)]\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "salted" in f.message
+
+
+class TestPasses:
+    def test_seeded_generators_pass(self, make_project):
+        project = make_project({
+            "src/repro/workloads/gen.py": (
+                "import random\n"
+                "import numpy as np\n"
+                "def make(seed):\n"
+                "    return random.Random(seed), np.random.default_rng(seed)\n"
+            ),
+        })
+        assert _findings(project) == []
+
+    def test_wall_clock_outside_sim_scope_passes(self, make_project):
+        # serve/ measures request latency legitimately.
+        project = make_project({
+            "src/repro/serve/metrics.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.perf_counter()\n"
+            ),
+        })
+        assert _findings(project) == []
+
+    def test_sorted_json_and_sorted_sets_pass(self, make_project):
+        project = make_project({
+            "src/repro/sim/spec2.py": (
+                "import json\n"
+                "def content_hash(payload, tags):\n"
+                "    ordered = sorted(set(tags))\n"
+                "    return json.dumps(payload, sort_keys=True), ordered\n"
+            ),
+        })
+        assert _findings(project) == []
+
+    def test_analysis_package_itself_exempt(self, make_project):
+        # The linter hashes finding fingerprints; it must not flag itself.
+        project = make_project({
+            "src/repro/analysis/x.py": (
+                "import random\n"
+                "v = random.random()\n"
+            ),
+        })
+        assert _findings(project) == []
+
+
+class TestSuppression:
+    def test_inline_suppression_honored(self, make_project):
+        project = make_project({
+            "src/repro/workloads/gen.py": (
+                "import random\n"
+                "v = random.random()  # repro-lint: disable=REP001\n"
+            ),
+        })
+        report = lint_project(project, [RULE])
+        assert report.new == []
+        assert len(report.suppressed) == 1
+        assert report.exit_code == 0
+
+    def test_wrong_code_does_not_suppress(self, make_project):
+        project = make_project({
+            "src/repro/workloads/gen.py": (
+                "import random\n"
+                "v = random.random()  # repro-lint: disable=REP002\n"
+            ),
+        })
+        report = lint_project(project, [RULE])
+        assert len(report.new) == 1
+        assert report.exit_code == 1

@@ -1,0 +1,116 @@
+"""REP002 self-tests: bad fires, good passes, suppression honored."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import RULES_BY_CODE
+from repro.analysis.runner import lint_project
+
+RULE = RULES_BY_CODE["REP002"]
+
+
+def _findings(project):
+    return list(RULE.check(project))
+
+
+class TestFires:
+    def test_trace_cache_without_getstate(self, make_project):
+        project = make_project({
+            "src/repro/sim/prog.py": (
+                "class Program:\n"
+                "    def warm(self):\n"
+                "        self._trace_cache = {}\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "Program" in f.message and "_trace_cache" in f.message
+
+    def test_np_suffix_without_getstate(self, make_project):
+        project = make_project({
+            "src/repro/predictors/p.py": (
+                "class Pred:\n"
+                "    def tables(self):\n"
+                "        self._weights_np = None\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "_weights_np" in f.message
+
+    def test_frozen_dataclass_setattr_spelling(self, make_project):
+        project = make_project({
+            "src/repro/sim/prog.py": (
+                "class Spec:\n"
+                "    def memo(self):\n"
+                "        object.__setattr__(self, '_replay_ctx', 1)\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "_replay_ctx" in f.message
+
+    def test_one_finding_per_class_lists_all_attrs(self, make_project):
+        project = make_project({
+            "src/repro/sim/prog.py": (
+                "class P:\n"
+                "    def a(self):\n"
+                "        self._trace_cache = {}\n"
+                "    def b(self):\n"
+                "        self._cols_np = None\n"
+            ),
+        })
+        (f,) = _findings(project)
+        assert "_cols_np" in f.message and "_trace_cache" in f.message
+
+
+class TestPasses:
+    def test_own_getstate_passes(self, make_project):
+        project = make_project({
+            "src/repro/sim/prog.py": (
+                "class Program:\n"
+                "    def warm(self):\n"
+                "        self._trace_cache = {}\n"
+                "    def __getstate__(self):\n"
+                "        state = dict(self.__dict__)\n"
+                "        state.pop('_trace_cache', None)\n"
+                "        return state\n"
+            ),
+        })
+        assert _findings(project) == []
+
+    def test_inherited_getstate_passes(self, make_project):
+        project = make_project({
+            "src/repro/predictors/base.py": (
+                "class DirectionPredictor:\n"
+                "    def __getstate__(self):\n"
+                "        return {}\n"
+            ),
+            "src/repro/predictors/p.py": (
+                "from repro.predictors.base import DirectionPredictor\n"
+                "class Pred(DirectionPredictor):\n"
+                "    def tables(self):\n"
+                "        self._weights_np = None\n"
+            ),
+        })
+        assert _findings(project) == []
+
+    def test_non_cache_attrs_ignored(self, make_project):
+        project = make_project({
+            "src/repro/sim/prog.py": (
+                "class P:\n"
+                "    def init(self):\n"
+                "        self.results = {}\n"
+                "        self.np_count = 0\n"  # prefix, not suffix
+            ),
+        })
+        assert _findings(project) == []
+
+
+class TestSuppression:
+    def test_inline_suppression_on_class_line(self, make_project):
+        project = make_project({
+            "src/repro/sim/prog.py": (
+                "class P:  # repro-lint: disable=REP002\n"
+                "    def warm(self):\n"
+                "        self._trace_cache = {}\n"
+            ),
+        })
+        report = lint_project(project, [RULE])
+        assert report.new == [] and len(report.suppressed) == 1

@@ -69,7 +69,7 @@ class TestPerceptronBasics:
 
     def test_weights_saturate_at_8_bits(self):
         p = PerceptronPredictor(4, 4)
-        for i in range(2000):
+        for _ in range(2000):
             pred = p.predict(0x4000, 0b1111)
             p.update(0x4000, 0b1111, True, pred)
         assert p.weights.max() <= p.WEIGHT_MAX

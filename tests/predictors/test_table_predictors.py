@@ -72,7 +72,7 @@ class TestBimodal:
     def test_distinguishes_pcs(self):
         p = BimodalPredictor(1024)
         hist = 0
-        for i in range(500):
+        for _ in range(500):
             for pc, taken in ((0x4000, True), (0x4004, False)):
                 pred = p.predict(pc, hist)
                 p.update(pc, hist, taken, pred)
@@ -139,7 +139,7 @@ class TestLocal:
 
     def test_local_history_tracks_each_pc(self):
         p = LocalHistoryPredictor(256, 4)
-        for i in range(8):
+        for _ in range(8):
             p.update(0x4000, 0, True, True)
             p.update(0x4004, 0, False, False)
         assert p.local_history(0x4000) == 0b1111
@@ -219,7 +219,7 @@ class TestTwoBcGskew:
         p = TwoBcGskewPredictor(512, 9)
         hist = 0
         pc = 0x4000
-        for i in range(2000):
+        for _ in range(2000):
             taken = True
             pred = p.predict(pc, hist)
             p.update(pc, hist, taken, pred)

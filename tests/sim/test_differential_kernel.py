@@ -299,3 +299,61 @@ class TestDifferentialEdges:
         new = _simulate(program, spec.build(), config, kernel_backend)
         ref = reference_simulate(program, spec.build(), config)
         assert_bit_identical(new, ref)
+
+
+#: Every registered predictor kind, as literals. REP004 (``repro lint``)
+#: requires each registry kind's string to appear in this file so
+#: scalar/batched agreement is exercised for all of them on every run;
+#: the registry-equality test below keeps this list from rotting.
+_ALL_KINDS = (
+    "2bc-gskew",
+    "always-not-taken",
+    "always-taken",
+    "bimodal",
+    "filtered-perceptron",
+    "gas",
+    "gshare",
+    "local",
+    "perceptron",
+    "tage",
+    "tagged-gshare",
+    "tournament",
+    "yags",
+)
+
+
+class TestAllRegisteredKinds:
+    """Scalar/batched differential across the *entire* predictor registry.
+
+    Dispatched kinds get a genuine SoA-vs-scalar bit-identity check;
+    allowlisted kinds (``sim.batched.SCALAR_FALLBACK_KINDS``) prove the
+    documented fallback produces the scalar result verbatim. Either way,
+    every registered kind is pinned here — adding a predictor without
+    extending this matrix is a REP004 lint error.
+    """
+
+    def test_kind_list_matches_registry(self):
+        from repro.predictors.registry import registered_kinds
+
+        assert list(_ALL_KINDS) == registered_kinds()
+
+    def test_fallback_allowlist_is_consistent(self):
+        """Allowlisted kinds are registered; dispatched kinds are not
+        allowlisted (the REP004 contract, asserted at runtime too)."""
+        from repro.predictors.registry import registered_kinds
+        from repro.sim.batched import SCALAR_FALLBACK_KINDS
+
+        assert SCALAR_FALLBACK_KINDS <= set(registered_kinds())
+
+    @pytest.mark.parametrize("kind", _ALL_KINDS)
+    def test_single_system_scalar_batched_identical(self, kind):
+        from repro.sim.specs import PredictorSpec
+
+        spec = SystemSpec(kind="single", prophet=PredictorSpec(kind))
+        program = _program("INT00", 23)
+        config = replace(_CONFIG, collect_per_site=False)
+        scalar = _simulate(program, spec.build(), config, "scalar")
+        batched = _simulate(program, spec.build(), config, "batched")
+        if kind not in ("always-taken", "always-not-taken"):
+            assert scalar.mispredicts > 0
+        assert_bit_identical(batched, scalar)

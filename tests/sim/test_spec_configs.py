@@ -12,6 +12,7 @@ build systems bit-identical to pre-redesign direct construction.
 
 import dataclasses
 import json
+from typing import ClassVar
 
 import pytest
 
@@ -246,7 +247,7 @@ class TestRedesignDifferential:
     """
 
     CONFIG = SimulationConfig(n_branches=1500, warmup=300)
-    BENCHMARKS = {"swim": "swim", "ammp": "ammp"}
+    BENCHMARKS: ClassVar[dict[str, str]] = {"swim": "swim", "ammp": "ammp"}
 
     @staticmethod
     def _legacy_systems():

@@ -112,7 +112,7 @@ class TestGenerator:
 class TestSuites:
     def test_all_benchmarks_build(self):
         # Building every profile would be slow; spot-check one per suite.
-        for suite, members in SUITES.items():
+        for members in SUITES.values():
             program = benchmark(members[0])
             program.validate()
             assert program.name == members[0]

@@ -1,0 +1,21 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the repro-lint invariant checker.
+
+Equivalent to ``python -m repro lint``; exists so the linter can run
+before/without installing the package (pre-commit hooks, bare CI steps):
+
+    python tools/run_lint.py [--check] [--format json] [--out lint.json]
+
+See ``docs/LINTING.md`` for the rule catalog and workflow.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402 - path bootstrap first
+
+if __name__ == "__main__":
+    sys.exit(main())
