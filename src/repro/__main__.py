@@ -464,12 +464,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("serve: --max-queue must be at least 1", file=sys.stderr)
         return 2
     cache_url = None if args.no_cache else args.cache_url
+    if args.faults is not None:
+        from repro.faults.plan import FaultPlanError, load_plan
+
+        try:
+            load_plan(args.faults)  # validate up front: fail fast, not mid-job
+        except FaultPlanError as exc:
+            print(f"serve: invalid fault plan: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"serve: CHAOS MODE — injecting faults from {args.faults}",
+            file=sys.stderr,
+            flush=True,
+        )
     config = ServeConfig(
         host=args.host,
         port=args.port,
         jobs=args.jobs,
         cache_url=cache_url,
         max_queue=args.max_queue,
+        job_timeout=args.job_timeout,
+        fault_plan=args.faults,
     )
     daemon = SweepDaemon(config)
 
@@ -518,7 +533,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         payload["priority"] = args.priority
     client = SweepClient(args.url)
     try:
-        job_id = client.submit_payload(payload)
+        job_id = client.submit_payload(
+            payload, retry_after_budget=args.retry_after_budget
+        )
     except ServeError as exc:
         if exc.status == 429:
             print(
@@ -574,6 +591,87 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             json.dump(document, fh, indent=2, sort_keys=True, allow_nan=False)
             fh.write("\n")
         print(f"wrote job document to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _chaos_smoke_cells(branches: int) -> list[SweepCell]:
+    """The canned ``chaos run`` grid: small, mixed, worker-crashable."""
+    config = SimulationConfig(n_branches=branches, warmup=branches // 5)
+    systems = {
+        "baseline-4": SystemSpec.single("2bc-gskew", 4),
+        "gshare-2": SystemSpec.single("gshare", 2),
+    }
+    return [
+        SweepCell(label, bench, spec, ProgramSpec(benchmark=bench), config)
+        for bench in ("swim", "gcc")
+        for label, spec in systems.items()
+    ]
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos_sweep
+    from repro.faults.plan import FaultPlanError, load_plan
+
+    try:
+        plan = load_plan(args.faults)
+    except FaultPlanError as exc:
+        print(f"chaos: invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("chaos: --jobs must be at least 1", file=sys.stderr)
+        return 2
+    if args.chaos_command == "run":
+        cells = _chaos_smoke_cells(args.branches)
+    else:
+        try:
+            systems = _load_sweep_systems(args.systems)
+            benchmarks = _sweep_benchmarks(args.benchmarks, args.branches)
+        except _ConfigError as exc:
+            print(f"chaos: {exc}", file=sys.stderr)
+            return 2
+        warmup = args.warmup if args.warmup is not None else args.branches // 5
+        config = SimulationConfig(n_branches=args.branches, warmup=warmup)
+        cells = [
+            SweepCell(label, bench_name, spec, program, config)
+            for bench_name, program in benchmarks
+            for label, spec in systems.items()
+        ]
+
+    def progress(done: int, total: int, cell) -> None:
+        print(
+            f"[{done}/{total}] {cell.system_label} × {cell.bench_name}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        report = run_chaos_sweep(
+            cells,
+            plan,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            progress=progress if args.progress else None,
+        )
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    except (CellExecutionError, WorkerPoolError) as exc:
+        print(f"chaos: sweep did not survive the plan: {exc}", file=sys.stderr)
+        return 1
+    print(f"chaos: {report.summary()}", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_config(), fh, indent=2, sort_keys=True,
+                      allow_nan=False)
+            fh.write("\n")
+        print(f"wrote chaos report to {args.out}", file=sys.stderr)
+    if not report.identical:
+        print(
+            f"chaos: {len(report.mismatches)} cell(s) diverged from the "
+            "fault-free reference — recovery is NOT lossless",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -781,7 +879,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queue", type=int, default=64, metavar="N",
         help="queued-job limit before POST /jobs returns 429 (default 64)",
     )
+    serve_parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per job; on expiry the job fails, the "
+             "worker pool is terminated and respawned (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="run under a fault-injection plan JSON (chaos testing only; "
+             "see docs/ROBUSTNESS.md)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run a sweep under a seeded fault-injection plan and prove "
+             "recovery is bit-identical (see docs/ROBUSTNESS.md)",
+    )
+    chaos_sub = chaos_parser.add_subparsers(dest="chaos_command", required=True)
+
+    def _add_chaos_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--faults", required=True, metavar="PLAN",
+            help="fault-plan JSON (seed + cache/worker/peer sections)",
+        )
+        parser.add_argument(
+            "--jobs", type=int, default=2, metavar="N",
+            help="pool workers for the chaos pass (default 2; worker-crash "
+                 "plans need at least 2)",
+        )
+        parser.add_argument(
+            "--cache-dir", metavar="PATH", default=None,
+            help="cache dir for the chaos pass (default: a fresh temp dir)",
+        )
+        parser.add_argument(
+            "--progress", action="store_true",
+            help="print one stderr line per finished chaos-pass cell",
+        )
+        parser.add_argument(
+            "--out", metavar="FILE",
+            help="write the chaos report (injections, recovery counters, "
+                 "differential verdict) as JSON",
+        )
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="chaos-test the canned smoke grid (2 systems × 2 benchmarks)"
+    )
+    chaos_run.add_argument(
+        "--branches", type=int, default=2_000,
+        help="committed branches per smoke cell (default 2000)",
+    )
+    _add_chaos_options(chaos_run)
+    chaos_run.set_defaults(func=_cmd_chaos)
+
+    chaos_sweep = chaos_sub.add_parser(
+        "sweep", help="chaos-test an arbitrary grid (the `sweep` vocabulary)"
+    )
+    chaos_sweep.add_argument(
+        "--systems", required=True, metavar="FILE",
+        help="JSON file in the same shapes `sweep --systems` accepts",
+    )
+    chaos_sweep.add_argument(
+        "--benchmarks", required=True, metavar="LIST",
+        help="comma-separated benchmark names and/or trace paths",
+    )
+    chaos_sweep.add_argument(
+        "--branches", type=int, default=16_000,
+        help="committed branches per cell (default 16000)",
+    )
+    chaos_sweep.add_argument(
+        "--warmup", type=int, default=None,
+        help="warmup branches per cell (default: branches / 5)",
+    )
+    _add_chaos_options(chaos_sweep)
+    chaos_sweep.set_defaults(func=_cmd_chaos)
 
     submit_parser = sub.add_parser(
         "submit",
@@ -817,6 +988,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue priority; higher runs first (default 0)",
     )
     submit_parser.add_argument(
+        "--retry-after-budget", type=float, default=0.0, metavar="SECONDS",
+        help="on a 429 (queue full), honor the daemon's Retry-After hint "
+             "and resubmit, waiting at most this long in total (default 0 "
+             "= surface the 429 immediately)",
+    )
+    submit_parser.add_argument(
         "--progress", action="store_true",
         help="print one stderr line per finished cell (streamed)",
     )
@@ -835,8 +1012,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the repro-lint invariant checker (docs/LINTING.md)",
         description="AST-based invariant checker: determinism (REP001), "
         "pickle hygiene (REP002), hash schema (REP003), backend parity "
-        "(REP004), async safety (REP005). Exits 0 when every finding is "
-        "baselined or suppressed inline, 1 otherwise.",
+        "(REP004), async safety (REP005), exception hygiene (REP006). "
+        "Exits 0 when every finding is baselined or suppressed inline, "
+        "1 otherwise.",
     )
     from repro.analysis.cli import add_lint_arguments
 

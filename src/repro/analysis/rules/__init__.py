@@ -14,6 +14,7 @@ from repro.analysis.framework import Rule, validate_rule
 from repro.analysis.rules.async_safety import AsyncSafetyRule
 from repro.analysis.rules.backend_parity import BackendParityRule
 from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.exception_hygiene import ExceptionHygieneRule
 from repro.analysis.rules.hash_schema import HashSchemaRule
 from repro.analysis.rules.pickle_hygiene import PickleHygieneRule
 
@@ -23,6 +24,7 @@ ALL_RULES: tuple[Rule, ...] = (
     HashSchemaRule(),
     BackendParityRule(),
     AsyncSafetyRule(),
+    ExceptionHygieneRule(),
 )
 
 for _rule in ALL_RULES:

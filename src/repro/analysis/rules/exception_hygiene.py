@@ -1,0 +1,149 @@
+"""REP006 — exception hygiene: no silent broad catches.
+
+PR 10's fault-injection sweep found the repo's worst failure modes were
+not crashes but *silences*: a ``try: ... except Exception: pass`` around
+trace-handle cleanup that would have eaten a corrupted-stream
+``TraceFormatError`` the same way it ate a benign double-close, and
+daemon catch-alls that turned engine bugs into bare job failures with
+no record of what happened. A broad handler is sometimes right — a
+daemon thread must not die of an unexpected exception, ``__del__`` must
+never raise — but it must then *account* for what it swallowed.
+
+The rule: every ``except Exception``, ``except BaseException`` and bare
+``except:`` handler under ``src/repro`` must either
+
+* **re-raise** — contain a ``raise`` statement (the wrap-and-reraise
+  idiom of :func:`repro.sim.execution._wrap_cell_error` and the
+  cleanup-then-reraise pattern in the atomic writers), or
+* **degrade through the faults layer** — call
+  :func:`repro.faults.handling.degrade`, which re-raises
+  ``KeyboardInterrupt``/``SystemExit``, records the exception in the
+  process-wide degradation ring, and logs a warning. Swallowing is then
+  a *decision* with a paper trail, not an accident.
+
+``contextlib.suppress(Exception)`` / ``suppress(BaseException)`` is the
+same smell without the ``except`` keyword and is flagged identically
+(suppressing a *narrow* exception type is fine and common).
+
+``KeyboardInterrupt``/``SystemExit`` hygiene falls out for free: an
+``except Exception`` never catches them, a compliant ``except
+BaseException`` either re-raises or routes through ``degrade`` (whose
+default ``reraise`` tuple is exactly those two), so no handler in scope
+can swallow an interrupt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import (
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    import_aliases,
+    resolve_call,
+)
+
+SCOPE = "src/repro/"
+
+#: Handler types that catch (nearly) everything.
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+#: Import-resolved callables that turn a swallow into a logged,
+#: interrupt-safe degradation (see :mod:`repro.faults.handling`).
+DEGRADE_TARGETS = frozenset({
+    "repro.faults.handling.degrade",
+    "repro.faults.degrade",
+})
+
+
+def _broad_caught_name(handler: ast.ExceptHandler) -> str | None:
+    """``"Exception"``/``"BaseException"`` if the handler is broad,
+    ``"(bare)"`` for ``except:``, else None."""
+    if handler.type is None:
+        return "(bare)"
+    candidates: list[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in candidates:
+        if isinstance(node, ast.Name) and node.id in BROAD_NAMES:
+            return node.id
+    return None
+
+
+def _own_scope_nodes(nodes: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Every node under ``nodes``, excluding nested function/class scopes
+    (a ``raise`` inside a callback defined in the handler proves nothing
+    about the handler itself)."""
+    stack: list[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _handler_accounts(handler: ast.ExceptHandler, aliases: dict[str, str]) -> bool:
+    """Does the handler re-raise or degrade through the faults layer?"""
+    for node in _own_scope_nodes(handler.body):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            if resolve_call(node, aliases) in DEGRADE_TARGETS:
+                return True
+    return False
+
+
+class ExceptionHygieneRule(Rule):
+    code = "REP006"
+    name = "exception-hygiene"
+    rationale = (
+        "a broad except that neither re-raises nor degrades through "
+        "repro.faults.handling.degrade turns corruption, injected faults "
+        "and real bugs alike into silence — the chaos suite can only "
+        "prove recovery paths that leave evidence"
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for sf in project.iter_files(SCOPE):
+            yield from self._check_file(sf)
+
+    def _check_file(self, sf: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(sf.tree)
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ExceptHandler):
+                caught = _broad_caught_name(node)
+                if caught is None:
+                    continue
+                if _handler_accounts(node, aliases):
+                    continue
+                what = (
+                    "bare `except:`" if caught == "(bare)"
+                    else f"`except {caught}`"
+                )
+                yield self.finding(
+                    sf, node.lineno,
+                    f"{what} neither re-raises nor records the swallowed "
+                    "exception; re-raise (optionally wrapped), narrow the "
+                    "type, or route it through "
+                    "repro.faults.handling.degrade()",
+                )
+            elif isinstance(node, ast.Call):
+                if resolve_call(node, aliases) != "contextlib.suppress":
+                    continue
+                for arg in node.args:
+                    if isinstance(arg, ast.Name) and arg.id in BROAD_NAMES:
+                        yield self.finding(
+                            sf, node.lineno,
+                            f"contextlib.suppress({arg.id}) silently drops "
+                            "every failure with no record; suppress a "
+                            "narrow type or handle-and-degrade instead",
+                        )
+                        break

@@ -1,0 +1,61 @@
+"""Deterministic, seeded fault injection for the service stack.
+
+PRs 5-8 built the machinery a production-scale service needs —
+persistent worker pools, tiered hub-and-edge caches, the sweep daemon —
+but the failure paths those layers *claim* to survive (dead hub,
+crashed worker, corrupted entry) were never systematically provoked.
+This package is the provocation side and the policy side in one place:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded, JSON
+  round-trippable schedule of faults (same seed → same schedule →
+  same report);
+* :mod:`repro.faults.backend` — :class:`FaultyBackend`, a
+  :class:`~repro.sim.cache.CacheBackend` wrapper injecting latency,
+  transient errors, dropped puts and byte corruption;
+* :mod:`repro.faults.workers` — env-triggered ``os._exit`` crash hook
+  inherited by pool workers (the ``REPRO_TRACE_CACHE`` pattern);
+* :mod:`repro.faults.policy` — :class:`RetryPolicy` (bounded backoff
+  with deterministic jitter) and :class:`CircuitBreaker`, the recovery
+  policies the hardened layers share;
+* :mod:`repro.faults.handling` — :func:`degrade`, the audited way to
+  swallow an exception (REP006 in docs/LINTING.md enforces its use);
+* :mod:`repro.faults.chaos` — the ``repro chaos`` harness: run a sweep
+  under a plan, prove the results bit-identical to a fault-free run,
+  emit a JSON fault report.
+
+Submodules are imported lazily (PEP 562): :mod:`repro.sim.cache` and
+:mod:`repro.sim.execution` import the leaf modules here, while
+:mod:`~repro.faults.backend` imports :mod:`repro.sim.cache` — eager
+re-exports would make that a cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "FaultPlan": "repro.faults.plan",
+    "FaultPlanError": "repro.faults.plan",
+    "load_plan": "repro.faults.plan",
+    "RetryPolicy": "repro.faults.policy",
+    "CircuitBreaker": "repro.faults.policy",
+    "degrade": "repro.faults.handling",
+    "recent_degradations": "repro.faults.handling",
+    "FaultyBackend": "repro.faults.backend",
+    "ChaosReport": "repro.faults.chaos",
+    "run_chaos_sweep": "repro.faults.chaos",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

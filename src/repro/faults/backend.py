@@ -1,0 +1,140 @@
+""":class:`FaultyBackend` — a cache backend that misbehaves on schedule.
+
+Wraps any :class:`~repro.sim.cache.CacheBackend` and injects the
+``cache`` and ``peer`` sections of a :class:`~repro.faults.plan.FaultPlan`:
+
+* ``cache`` faults are drawn from the plan's ``"cache"`` RNG stream —
+  added latency, transient :class:`~repro.sim.cache.CacheBackendError`,
+  silently dropped puts, byte corruption of fetched entries;
+* ``peer`` faults are count-driven — the first ``recover_after``
+  operations are slow or black-holed, then the peer recovers — which is
+  the deterministic shape the circuit-breaker tests need.
+
+Every injected fault is recorded (bounded event list + counters) and
+surfaces in the chaos report, so a seeded run asserts *which* faults
+fired, not just that the sweep survived them.
+
+The wrapper sits *under* :class:`~repro.sim.cache.ResultCache`'s codec,
+exactly where a failing disk or NIC would: corruption hits the stored
+bytes, and the hardened read path above must catch it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from repro.faults.plan import FaultPlan
+from repro.sim.cache import CacheBackend, CacheBackendError
+
+#: Cap on retained fault events (counters are exact regardless).
+MAX_EVENTS = 200
+
+
+def corrupt_bytes(payload: bytes, mode: str, rng) -> bytes:
+    """Damage ``payload`` per ``mode`` using draws from ``rng``."""
+    if not payload:
+        return payload
+    if mode == "flip":
+        index = rng.randrange(len(payload))
+        damaged = bytearray(payload)
+        damaged[index] ^= 0xFF
+        return bytes(damaged)
+    if mode == "truncate":
+        return payload[: rng.randrange(len(payload))]
+    if mode == "garbage":
+        return rng.randbytes(len(payload))
+    raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+class FaultyBackend(CacheBackend):
+    """Inject a :class:`FaultPlan`'s cache/peer faults around a backend."""
+
+    def __init__(self, inner: CacheBackend, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._rng = plan.stream("cache")
+        self._peer_ops = 0
+        self.counts: Counter = Counter()
+        self.events: list[dict] = []
+
+    def _record(self, fault: str, op: str, key: str) -> None:
+        self.counts[fault] += 1
+        if len(self.events) < MAX_EVENTS:
+            self.events.append({"fault": fault, "op": op, "key": key[:12]})
+
+    def _peer_gate(self, op: str, key: str) -> None:
+        peer = self.plan.peer
+        if peer is None:
+            return
+        self._peer_ops += 1
+        if peer.recover_after is not None and self._peer_ops > peer.recover_after:
+            return
+        if peer.mode == "slow":
+            self._record("peer_slow", op, key)
+            time.sleep(peer.delay)
+            return
+        self._record("peer_blackhole", op, key)
+        raise CacheBackendError(
+            f"injected black-holed peer on {op} {key[:12]}… "
+            f"(op {self._peer_ops} of plan seed {self.plan.seed})"
+        )
+
+    def _cache_gate(self, op: str, key: str) -> None:
+        cache = self.plan.cache
+        if cache is None:
+            return
+        if cache.latency > 0.0:
+            time.sleep(cache.latency)
+        if cache.transient_error_p > 0.0 and self._rng.random() < cache.transient_error_p:
+            self._record("transient_error", op, key)
+            raise CacheBackendError(
+                f"injected transient fault on {op} {key[:12]}… "
+                f"(plan seed {self.plan.seed})"
+            )
+
+    def get_bytes(self, key: str) -> bytes | None:
+        self._peer_gate("get", key)
+        self._cache_gate("get", key)
+        payload = self.inner.get_bytes(key)
+        cache = self.plan.cache
+        if (
+            payload is not None
+            and cache is not None
+            and cache.corrupt_get_p > 0.0
+            and self._rng.random() < cache.corrupt_get_p
+        ):
+            self._record("corrupt_get", key=key, op="get")
+            payload = corrupt_bytes(payload, cache.corrupt_mode, self._rng)
+        return payload
+
+    def put_bytes(self, key: str, data: bytes) -> None:
+        self._peer_gate("put", key)
+        self._cache_gate("put", key)
+        cache = self.plan.cache
+        if (
+            cache is not None
+            and cache.drop_put_p > 0.0
+            and self._rng.random() < cache.drop_put_p
+        ):
+            self._record("dropped_put", "put", key)
+            return
+        self.inner.put_bytes(key, data)
+
+    def discard(self, key: str) -> None:
+        # Eviction is part of the *recovery* path; never inject on it.
+        self.inner.discard(key)
+
+    def location(self) -> str:
+        return f"faulty({self.inner.location()}, seed={self.plan.seed})"
+
+    def __len__(self) -> int:
+        return len(self.inner)  # type: ignore[arg-type]
+
+    def report(self) -> dict:
+        """JSON-safe injection telemetry for the chaos report."""
+        return {
+            "seed": self.plan.seed,
+            "counts": dict(sorted(self.counts.items())),
+            "events": list(self.events),
+        }

@@ -1,0 +1,189 @@
+"""The chaos harness: prove recovery paths with a differential sweep.
+
+:func:`run_chaos_sweep` runs one sweep grid twice — a fault-free serial
+reference, then the same cells under a :class:`~repro.faults.plan.FaultPlan`
+(faulty cache backend, crash-injected pool workers, or both) — and
+compares every cell's result bit-for-bit via the cache's lossless codec.
+The outcome is a :class:`ChaosReport`: which faults fired (by count and
+kind), what the recovery machinery did (retries, evictions, breaker
+transitions, crash tokens), and whether the surviving results are
+identical to the undisturbed run. ``repro chaos sweep`` is a thin CLI
+veneer over this function; the CI ``chaos-smoke`` job archives the
+report JSON as its artifact.
+
+Determinism: the same plan seed produces the same injection schedule,
+so a chaos run is as reproducible as the sweep it disturbs — reports
+from two runs of the same (grid, plan) differ only in wall-clock
+fields.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+from repro.faults.backend import FaultyBackend
+from repro.faults.plan import FaultPlan
+from repro.faults.workers import ENV_PLAN, ENV_STATE, crashes_injected
+from repro.sim.cache import LocalDirBackend, ResultCache, stats_to_dict
+from repro.sim.execution import (
+    QUARANTINE_FAILURE_POLICY,
+    CellFailure,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    SweepEngine,
+)
+
+
+@dataclass
+class ChaosReport:
+    """What a chaos run injected, recovered from, and proved."""
+
+    plan: dict
+    cells: int
+    #: Every non-quarantined cell matched the fault-free reference.
+    identical: bool
+    mismatches: list[dict] = field(default_factory=list)
+    quarantined: list[dict] = field(default_factory=list)
+    #: FaultyBackend telemetry (counts + bounded event list), or None
+    #: when the plan has no cache/peer section.
+    injections: dict | None = None
+    crashes_injected: int = 0
+    #: Engine/cache recovery counters (worker_crashes, cells_retried,
+    #: cells_quarantined, corrupt_evictions).
+    recovery: dict = field(default_factory=dict)
+    reference_seconds: float = 0.0
+    chaos_seconds: float = 0.0
+
+    @property
+    def recovery_overhead(self) -> float:
+        """Chaos wall-clock over reference wall-clock (≥ 1.0 in practice)."""
+        if self.reference_seconds <= 0.0:
+            return 0.0
+        return self.chaos_seconds / self.reference_seconds
+
+    def to_config(self) -> dict:
+        """JSON-safe document (the CI artifact / ``--out`` payload)."""
+        return {
+            "plan": self.plan,
+            "cells": self.cells,
+            "identical": self.identical,
+            "mismatches": list(self.mismatches),
+            "quarantined": list(self.quarantined),
+            "injections": self.injections,
+            "crashes_injected": self.crashes_injected,
+            "recovery": dict(self.recovery),
+            "reference_seconds": round(self.reference_seconds, 6),
+            "chaos_seconds": round(self.chaos_seconds, 6),
+            "recovery_overhead": round(self.recovery_overhead, 6),
+        }
+
+    def summary(self) -> str:
+        """One human line (the ``repro chaos`` stderr tail)."""
+        counts = (self.injections or {}).get("counts", {})
+        injected = sum(counts.values()) + self.crashes_injected
+        verdict = "bit-identical" if self.identical else "MISMATCH"
+        return (
+            f"{self.cells} cells, {injected} faults injected, "
+            f"{len(self.quarantined)} quarantined, results {verdict} "
+            f"(overhead {self.recovery_overhead:.2f}x)"
+        )
+
+
+def run_chaos_sweep(
+    cells,
+    plan: FaultPlan,
+    jobs: int = 2,
+    cache_dir=None,
+    progress=None,
+) -> ChaosReport:
+    """Run ``cells`` under ``plan`` and differentially verify recovery.
+
+    The reference pass runs serial, cacheless and fault-free; the chaos
+    pass runs with ``jobs`` pool workers (worker-crash plans need
+    ``jobs >= 2`` — in-process cells cannot take a worker down), a
+    result cache under ``cache_dir`` (a temp dir when None) wrapped in
+    a :class:`FaultyBackend` when the plan injects cache/peer faults,
+    and the quarantining failure policy. Raises :class:`ValueError` on
+    a worker-crash plan with ``jobs < 2``.
+    """
+    cells = list(cells)
+    if plan.worker is not None and jobs < 2:
+        raise ValueError(
+            "worker-crash plans need jobs >= 2: serial cells run in the "
+            "harness process and a crash there is the harness dying"
+        )
+
+    started = time.perf_counter()
+    reference_engine = SweepEngine(executor=SerialExecutor(), cache=None)
+    try:
+        reference = reference_engine.run_cells(cells)
+    finally:
+        reference_engine.close()
+    reference_seconds = time.perf_counter() - started
+
+    if cache_dir is None:
+        cache_dir = tempfile.mkdtemp(prefix="repro-chaos-cache-")
+    backend = LocalDirBackend(cache_dir)
+    faulty = None
+    if plan.cache is not None or plan.peer is not None:
+        faulty = FaultyBackend(backend, plan)
+        backend = faulty
+    cache = ResultCache(backend)
+
+    saved_env = {name: os.environ.get(name) for name in (ENV_PLAN, ENV_STATE)}
+    state_dir = None
+    if plan.worker is not None:
+        state_dir = tempfile.mkdtemp(prefix="repro-chaos-state-")
+        plan_path = os.path.join(state_dir, "plan.json")
+        plan.dump(plan_path)
+        os.environ[ENV_PLAN] = plan_path
+        os.environ[ENV_STATE] = state_dir
+
+    executor = ProcessPoolExecutor(jobs) if jobs > 1 else SerialExecutor()
+    engine = SweepEngine(
+        executor=executor, cache=cache, failure_policy=QUARANTINE_FAILURE_POLICY
+    )
+    chaos_started = time.perf_counter()
+    try:
+        chaos = engine.run_cells(cells, progress=progress)
+    finally:
+        engine.close()
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    chaos_seconds = time.perf_counter() - chaos_started
+
+    mismatches: list[dict] = []
+    quarantined: list[dict] = []
+    for cell, expected, actual in zip(cells, reference, chaos):
+        if isinstance(actual, CellFailure):
+            quarantined.append(actual.describe())
+            continue
+        if stats_to_dict(actual) != stats_to_dict(expected):
+            mismatches.append({
+                "system": cell.system_label,
+                "benchmark": cell.bench_name,
+                "content_hash": cell.content_hash(),
+            })
+
+    recovery = {"corrupt_evictions": cache.corrupt_evictions}
+    for counter in ("worker_crashes", "cells_retried", "cells_quarantined"):
+        recovery[counter] = getattr(executor, counter, 0)
+
+    return ChaosReport(
+        plan=plan.to_config(),
+        cells=len(cells),
+        identical=not mismatches,
+        mismatches=mismatches,
+        quarantined=quarantined,
+        injections=None if faulty is None else faulty.report(),
+        crashes_injected=crashes_injected(state_dir) if state_dir is not None else 0,
+        recovery=recovery,
+        reference_seconds=reference_seconds,
+        chaos_seconds=chaos_seconds,
+    )

@@ -1,0 +1,69 @@
+"""The audited way to swallow an exception.
+
+Every layer of the service stack has places where degrading is the
+*correct* response — a dead cache peer, an unreadable advisory entry, a
+finalizer racing interpreter shutdown. The failure class this module
+exists for is the other kind: a broad ``except Exception`` that quietly
+eats a typo'd attribute, or worse, a ``KeyboardInterrupt`` that never
+stops the process. REP006 (docs/LINTING.md) flags any broad handler in
+``src/repro`` that neither re-raises nor routes through
+:func:`degrade`; this module makes the compliant spelling one call.
+
+:func:`degrade` does three things a bare ``pass`` does not:
+
+1. re-raises control-flow exceptions (``KeyboardInterrupt``,
+   ``SystemExit``) so they can never be swallowed by accident;
+2. records the suppression in a bounded in-process ring buffer
+   (:func:`recent_degradations`), which the chaos reports and tests
+   read;
+3. logs it on the ``repro.faults`` logger at WARNING, so an operator
+   tailing a daemon sees the degradations happening.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+
+_log = logging.getLogger("repro.faults")
+
+_RECENT: deque = deque(maxlen=256)
+_LOCK = threading.Lock()
+
+#: Exception types :func:`degrade` refuses to swallow by default.
+NON_RECOVERABLE = (KeyboardInterrupt, SystemExit)
+
+
+def degrade(
+    exc: BaseException,
+    context: str,
+    *,
+    reraise: tuple[type[BaseException], ...] = NON_RECOVERABLE,
+) -> BaseException:
+    """Record a deliberately-swallowed exception; never eat control flow.
+
+    Returns ``exc`` so call sites can keep a reference (e.g. to report
+    it later). Pass ``reraise=()`` only where the caller demonstrably
+    forwards *every* exception itself (e.g. a thread harness that
+    re-raises captured failures in the parent).
+    """
+    if reraise and isinstance(exc, reraise):
+        raise exc
+    entry = {"context": context, "error": f"{type(exc).__name__}: {exc}"}
+    with _LOCK:
+        _RECENT.append(entry)
+    _log.warning("degraded: %s (%s)", context, entry["error"])
+    return exc
+
+
+def recent_degradations() -> list[dict]:
+    """The most recent suppressed exceptions (newest last), as dicts."""
+    with _LOCK:
+        return [dict(entry) for entry in _RECENT]
+
+
+def clear_degradations() -> None:
+    """Reset the ring buffer (test isolation)."""
+    with _LOCK:
+        _RECENT.clear()

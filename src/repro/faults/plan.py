@@ -1,0 +1,281 @@
+""":class:`FaultPlan` — a seeded, JSON round-trippable fault schedule.
+
+A plan is *data*, like every system spec in this repository
+(docs/CONFIG.md): ``to_config()``/``from_config()`` round-trip through
+JSON, the ``"format"`` stamp is optional on input but rejected on
+mismatch, and unknown keys are rejected with the valid list. Everything
+random about a plan derives from its ``seed`` through named streams
+(:meth:`FaultPlan.stream`), so the same plan injects the same fault
+schedule on every run — which is what lets the chaos suite assert
+*reports*, not just survival.
+
+Three sections, each optional:
+
+``cache``
+    drives :class:`repro.faults.backend.FaultyBackend` — added latency,
+    transient ``CacheBackendError``\\ s, silently dropped puts, and byte
+    corruption of fetched entries.
+``worker``
+    drives :func:`repro.faults.workers.maybe_crash` — a pool worker
+    calls ``os._exit`` at its Nth cell (or whenever it starts a
+    selected "poison" cell), limited by a global crash budget.
+``peer``
+    drives the deterministic peer degradations in
+    :class:`~repro.faults.backend.FaultyBackend` — a slow or
+    black-holed cache hub, optionally recovering after a fixed number
+    of faulted operations (so breaker re-detection is testable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+#: Format stamp carried by serialized plans (docs/CONFIG.md convention).
+FAULT_PLAN_FORMAT = 1
+
+_CORRUPT_MODES = ("flip", "truncate", "garbage")
+_PEER_MODES = ("slow", "blackhole")
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan document failed validation; ``section`` names where."""
+
+    def __init__(self, message: str, *, section: str | None = None) -> None:
+        super().__init__(message)
+        self.section = section
+
+
+def _reject_unknown(payload: dict, known: tuple[str, ...], section: str) -> None:
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise FaultPlanError(
+            f"unknown {section} key(s) {unknown}; valid: {sorted(known)}",
+            section=section,
+        )
+
+
+def _number(payload: dict, key: str, default, section: str, *, lo=0.0, hi=None):
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FaultPlanError(f"{section}.{key} must be a number", section=section)
+    if value < lo or (hi is not None and value > hi):
+        bound = f">= {lo}" if hi is None else f"in [{lo}, {hi}]"
+        raise FaultPlanError(f"{section}.{key} must be {bound}", section=section)
+    return value
+
+
+@dataclass(frozen=True)
+class CacheFaults:
+    """Random faults on cache-backend operations (RNG stream ``"cache"``)."""
+
+    latency: float = 0.0  # seconds added to every get/put
+    transient_error_p: float = 0.0  # P(op raises CacheBackendError)
+    drop_put_p: float = 0.0  # P(put silently discarded)
+    corrupt_get_p: float = 0.0  # P(fetched bytes corrupted)
+    corrupt_mode: str = "flip"  # flip | truncate | garbage
+
+    @classmethod
+    def from_config(cls, payload: dict) -> "CacheFaults":
+        keys = tuple(f.name for f in fields(cls))
+        _reject_unknown(payload, keys, "cache")
+        mode = payload.get("corrupt_mode", "flip")
+        if mode not in _CORRUPT_MODES:
+            raise FaultPlanError(
+                f"cache.corrupt_mode {mode!r} not in {_CORRUPT_MODES}", section="cache"
+            )
+        return cls(
+            latency=float(_number(payload, "latency", 0.0, "cache")),
+            transient_error_p=float(
+                _number(payload, "transient_error_p", 0.0, "cache", hi=1.0)
+            ),
+            drop_put_p=float(_number(payload, "drop_put_p", 0.0, "cache", hi=1.0)),
+            corrupt_get_p=float(
+                _number(payload, "corrupt_get_p", 0.0, "cache", hi=1.0)
+            ),
+            corrupt_mode=mode,
+        )
+
+    def to_config(self) -> dict:
+        return {
+            "latency": self.latency,
+            "transient_error_p": self.transient_error_p,
+            "drop_put_p": self.drop_put_p,
+            "corrupt_get_p": self.corrupt_get_p,
+            "corrupt_mode": self.corrupt_mode,
+        }
+
+
+@dataclass(frozen=True)
+class WorkerFaults:
+    """Pool-worker crash injection (:mod:`repro.faults.workers`).
+
+    Without a selector, a worker exits at the ``crash_at_cell``-th cell
+    it starts; with ``benchmark``/``system`` set, it exits whenever it
+    starts a matching ("poison") cell. Either way the global ``crashes``
+    budget — token files in the harness state directory — bounds the
+    total number of exits, so recovery always terminates.
+    """
+
+    crash_at_cell: int = 1
+    crashes: int = 1
+    exit_code: int = 87
+    benchmark: str | None = None
+    system: str | None = None
+
+    @classmethod
+    def from_config(cls, payload: dict) -> "WorkerFaults":
+        keys = tuple(f.name for f in fields(cls))
+        _reject_unknown(payload, keys, "worker")
+        for key, lo in (("crash_at_cell", 1), ("crashes", 0), ("exit_code", 0)):
+            value = payload.get(key)
+            if value is not None and (not isinstance(value, int) or value < lo):
+                raise FaultPlanError(
+                    f"worker.{key} must be an int >= {lo}", section="worker"
+                )
+        for key in ("benchmark", "system"):
+            value = payload.get(key)
+            if value is not None and not isinstance(value, str):
+                raise FaultPlanError(
+                    f"worker.{key} must be a string", section="worker"
+                )
+        return cls(
+            crash_at_cell=payload.get("crash_at_cell", 1),
+            crashes=payload.get("crashes", 1),
+            exit_code=payload.get("exit_code", 87),
+            benchmark=payload.get("benchmark"),
+            system=payload.get("system"),
+        )
+
+    def to_config(self) -> dict:
+        payload = {
+            "crash_at_cell": self.crash_at_cell,
+            "crashes": self.crashes,
+            "exit_code": self.exit_code,
+        }
+        if self.benchmark is not None:
+            payload["benchmark"] = self.benchmark
+        if self.system is not None:
+            payload["system"] = self.system
+        return payload
+
+
+@dataclass(frozen=True)
+class PeerFaults:
+    """Deterministic peer degradation: slow or black-holed cache hub.
+
+    Count-driven, not RNG-driven: the first ``recover_after`` operations
+    fault (all of them when ``recover_after`` is None), then the peer
+    behaves normally — which is exactly the shape a circuit breaker's
+    open → probe → close cycle needs to be provable.
+    """
+
+    mode: str = "blackhole"  # slow | blackhole
+    delay: float = 0.25  # extra seconds per op in slow mode
+    recover_after: int | None = None
+
+    @classmethod
+    def from_config(cls, payload: dict) -> "PeerFaults":
+        keys = tuple(f.name for f in fields(cls))
+        _reject_unknown(payload, keys, "peer")
+        mode = payload.get("mode", "blackhole")
+        if mode not in _PEER_MODES:
+            raise FaultPlanError(
+                f"peer.mode {mode!r} not in {_PEER_MODES}", section="peer"
+            )
+        recover = payload.get("recover_after")
+        if recover is not None and (not isinstance(recover, int) or recover < 1):
+            raise FaultPlanError(
+                "peer.recover_after must be an int >= 1", section="peer"
+            )
+        return cls(
+            mode=mode,
+            delay=float(_number(payload, "delay", 0.25, "peer")),
+            recover_after=recover,
+        )
+
+    def to_config(self) -> dict:
+        payload: dict = {"mode": self.mode, "delay": self.delay}
+        if self.recover_after is not None:
+            payload["recover_after"] = self.recover_after
+        return payload
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded fault schedule; sections absent → no faults."""
+
+    seed: int = 0
+    cache: CacheFaults | None = None
+    worker: WorkerFaults | None = None
+    peer: PeerFaults | None = None
+
+    @classmethod
+    def from_config(cls, payload: dict) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        _reject_unknown(payload, ("format", "seed", "cache", "worker", "peer"), "plan")
+        stamp = payload.get("format", FAULT_PLAN_FORMAT)
+        if stamp != FAULT_PLAN_FORMAT:
+            raise FaultPlanError(
+                f"fault plan format {stamp!r} != {FAULT_PLAN_FORMAT}"
+            )
+        seed = payload.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise FaultPlanError("plan.seed must be an int")
+        sections = {}
+        for name, section_cls in (
+            ("cache", CacheFaults),
+            ("worker", WorkerFaults),
+            ("peer", PeerFaults),
+        ):
+            raw = payload.get(name)
+            if raw is None:
+                sections[name] = None
+                continue
+            if not isinstance(raw, dict):
+                raise FaultPlanError(
+                    f"plan.{name} must be a JSON object", section=name
+                )
+            sections[name] = section_cls.from_config(raw)
+        return cls(seed=seed, **sections)
+
+    def to_config(self) -> dict:
+        payload: dict = {"format": FAULT_PLAN_FORMAT, "seed": self.seed}
+        for name in ("cache", "worker", "peer"):
+            section = getattr(self, name)
+            if section is not None:
+                payload[name] = section.to_config()
+        return payload
+
+    def stream(self, name: str) -> random.Random:
+        """An independent deterministic RNG for subsystem ``name``.
+
+        Derived by hashing ``(seed, name)`` so adding a consumer never
+        perturbs the schedule another consumer sees — the property the
+        "same seed → same report" acceptance test rests on.
+        """
+        material = f"fault-plan:{self.seed}:{name}".encode("utf-8")
+        digest = hashlib.sha256(material).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def dump(self, path: str | os.PathLike) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_config(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+def load_plan(path: str | os.PathLike) -> FaultPlan:
+    """Read and validate a fault-plan JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise FaultPlanError(f"cannot read fault plan {os.fspath(path)!r}: {exc}") from exc
+    except ValueError as exc:
+        raise FaultPlanError(f"fault plan {os.fspath(path)!r} is not JSON: {exc}") from exc
+    return FaultPlan.from_config(payload)

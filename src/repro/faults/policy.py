@@ -1,0 +1,170 @@
+"""Recovery policies shared by the hardened layers.
+
+:class:`RetryPolicy` and :class:`CircuitBreaker` live here — not in
+``sim/`` — on purpose: REP001 (docs/LINTING.md) bans wall-clock reads
+inside ``src/repro/sim``, and both policies are *about* wall time.
+:mod:`repro.sim.cache` imports them and delegates all sleeping and
+clock reads to this module, keeping the result-producing code clean.
+
+Both policies are deterministic given their inputs: retry jitter is
+hashed from ``(token, attempt)`` rather than drawn from an RNG, and the
+breaker takes an injectable clock so tests drive it without sleeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``attempts`` is the total number of tries (so ``attempts=1`` means
+    "no retries"). Delays double from ``base_delay`` up to ``max_delay``
+    and are scaled into ``[0.5, 1.0]`` of nominal by a jitter fraction
+    hashed from ``(token, attempt)`` — two callers retrying the same hot
+    key de-synchronise, yet every run of the same schedule sleeps the
+    same amounts, which keeps the chaos reports reproducible.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        nominal = min(self.max_delay, self.base_delay * (2 ** attempt))
+        digest = hashlib.sha256(f"retry:{token}:{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return nominal * (0.5 + 0.5 * fraction)
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: type[BaseException] | tuple[type[BaseException], ...],
+        token: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ):
+        """Run ``fn`` with retries; re-raise the last failure when spent."""
+        last_attempt = max(0, self.attempts - 1)
+        for attempt in range(last_attempt + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt == last_attempt:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(self.delay(attempt, token))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitBreaker:
+    """Stop hammering a dead dependency; probe for recovery.
+
+    Classic three-state machine: *closed* (normal) opens after
+    ``failure_threshold`` consecutive failures; *open* short-circuits
+    every call until ``cooldown`` seconds pass, then admits exactly one
+    *half-open* probe; the probe's outcome closes the circuit or re-opens
+    it for another cooldown. Thread-safe (the daemon's cache ops run in
+    executor threads); the clock is injectable so tests never sleep.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: Telemetry, reported in chaos reports and `/stats`.
+        self.opens = 0
+        self.probes = 0
+        self.short_circuits = 0
+        self.failures = 0
+        self.successes = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (Counts a probe when half-opening.)"""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open" and (
+                self._clock() - self._opened_at >= self.cooldown
+            ):
+                self._state = "half-open"
+                self.probes += 1
+                return True
+            # open (cooling down) or half-open with a probe in flight
+            self.short_circuits += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            tripped = (
+                self._state == "half-open"
+                or self._consecutive_failures >= self.failure_threshold
+            )
+            if tripped:
+                if self._state != "open":
+                    self.opens += 1
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._consecutive_failures = 0
+
+    def __getstate__(self) -> dict:
+        # Tiered caches embed a breaker and cross the process-pool
+        # boundary via pickle; locks don't pickle, and a child process
+        # must not share the parent's breaker state anyway. An injected
+        # clock won't survive either — fall back to the default.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        if state["_clock"] is not time.monotonic:
+            state["_clock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._clock is None:
+            self._clock = time.monotonic
+        self._lock = threading.Lock()
+
+    def describe(self) -> dict:
+        """Telemetry snapshot (JSON-safe) for reports and `/stats`."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "opens": self.opens,
+                "probes": self.probes,
+                "short_circuits": self.short_circuits,
+                "failures": self.failures,
+                "successes": self.successes,
+            }

@@ -1,0 +1,121 @@
+"""Env-triggered pool-worker crash injection.
+
+The PR-5 pool inherits configuration through the environment — that is
+how ``REPRO_TRACE_CACHE`` reaches workers — and the crash hook rides
+the same channel: when ``REPRO_FAULTS`` names a fault-plan JSON with a
+``worker`` section, :func:`maybe_crash` (called by
+``repro.sim.execution._run_chunk`` as each cell starts) counts the
+cells this process has begun and calls ``os._exit`` per the plan. When
+the variable is unset — every production run — the hook is a counter
+increment and a cached ``None`` check.
+
+The global crash *budget* lives in ``REPRO_FAULTS_STATE``, a directory
+of token files claimed with ``O_CREAT | O_EXCL`` (atomic across the
+pool, including respawned workers). No state directory → no crashes:
+the harness (:mod:`repro.faults.chaos`, the pytest fixtures) always
+provides one, and an accidentally-inherited ``REPRO_FAULTS`` alone can
+never take a worker down.
+
+Crashing at *cell start* — before compute and cache write-back — keeps
+the differential story simple: a killed worker has published nothing,
+so the retried cell's result is bit-identical by construction and the
+chaos harness can assert it.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.faults.plan import FaultPlan, FaultPlanError, load_plan
+
+ENV_PLAN = "REPRO_FAULTS"
+ENV_STATE = "REPRO_FAULTS_STATE"
+
+_UNLOADED = object()
+_plan: object = _UNLOADED
+_cells_started = 0
+
+
+def _active_plan() -> FaultPlan | None:
+    """The plan named by ``REPRO_FAULTS``, loaded once per process."""
+    global _plan
+    if _plan is _UNLOADED:
+        path = os.environ.get(ENV_PLAN)
+        if not path:
+            _plan = None
+        else:
+            try:
+                _plan = load_plan(path)
+            except FaultPlanError:
+                # A bad plan must not take down real work; it just
+                # injects nothing. The harness validates plans up front.
+                _plan = None
+    return _plan  # type: ignore[return-value]
+
+
+def reset_for_tests() -> None:
+    """Drop the cached plan and cell counter (after env changes)."""
+    global _plan, _cells_started
+    _plan = _UNLOADED
+    _cells_started = 0
+
+
+def _claim_crash_token(budget: int) -> bool:
+    """Atomically claim one of ``budget`` crash tokens, if any remain."""
+    state_dir = os.environ.get(ENV_STATE)
+    if not state_dir or budget < 1:
+        return False
+    for index in range(budget):
+        token = os.path.join(state_dir, f"crash-{index:03d}.token")
+        try:
+            fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:
+            return False
+        os.close(fd)
+        return True
+    return False
+
+
+def crashes_injected(state_dir: str | None = None) -> int:
+    """How many crash tokens have been claimed (harness-side telemetry).
+
+    Reads ``state_dir`` when given (the harness after restoring the
+    environment), else the live ``REPRO_FAULTS_STATE``.
+    """
+    if state_dir is None:
+        state_dir = os.environ.get(ENV_STATE)
+    if not state_dir:
+        return 0
+    try:
+        return sum(1 for name in os.listdir(state_dir) if name.endswith(".token"))
+    except OSError:
+        return 0
+
+
+def maybe_crash(cell) -> None:
+    """Crash this worker per the active plan; no-op without one.
+
+    ``cell`` is a :class:`~repro.sim.specs.SweepCell`; only its display
+    labels are read (the poison selector matches on them), so injection
+    never perturbs content hashes.
+    """
+    global _cells_started
+    plan = _active_plan()
+    if plan is None or plan.worker is None:
+        return
+    _cells_started += 1
+    worker = plan.worker
+    if worker.benchmark is not None or worker.system is not None:
+        if worker.benchmark is not None and cell.bench_name != worker.benchmark:
+            return
+        if worker.system is not None and cell.system_label != worker.system:
+            return
+    elif _cells_started != worker.crash_at_cell:
+        return
+    if not _claim_crash_token(worker.crashes):
+        return
+    # os._exit skips atexit/finally on purpose: a real SIGKILL'd worker
+    # gets no goodbye either, and that is the failure being simulated.
+    os._exit(worker.exit_code)

@@ -43,14 +43,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.sim.cache import ResultCache, cache_from_url, encode_result
+from repro.faults.handling import degrade
+from repro.sim.cache import ResultCache, TieredBackend, cache_from_url, encode_result
 from repro.sim.execution import (
+    QUARANTINE_FAILURE_POLICY,
     CellExecutionError,
+    CellFailure,
     ProcessPoolExecutor,
     SerialExecutor,
     SweepEngine,
@@ -83,6 +88,16 @@ class ServeConfig:
     max_queue: int = 64
     #: Start with the runner paused (tests fill the queue deterministically).
     paused: bool = False
+    #: Wall-clock budget per job, seconds. On expiry the job is marked
+    #: failed, the worker pool is terminated, and the runner moves on.
+    #: None (default) = unbounded, the pre-PR-10 behaviour.
+    job_timeout: float | None = None
+    #: Retry a job once when the worker pool dies under it (the pool
+    #: respawns; cells already cached are not recomputed).
+    retry_on_pool_death: bool = True
+    #: ``--faults plan.json``: run the daemon under a
+    #: :class:`~repro.faults.plan.FaultPlan` (chaos testing only).
+    fault_plan: str | None = None
 
 
 class Job:
@@ -92,6 +107,7 @@ class Job:
         "id", "cells", "meta", "priority", "state", "created", "started",
         "finished", "results", "error", "events", "subscribers",
         "cells_executed", "cells_from_cache", "cells_deduped",
+        "cells_failed", "retries",
     )
 
     def __init__(self, job_id: str, cells: list[SweepCell], meta: dict, priority: int):
@@ -110,6 +126,10 @@ class Job:
         self.cells_executed = 0
         self.cells_from_cache = 0
         self.cells_deduped = 0
+        #: Cells quarantined by the engine's FailurePolicy (worker-killers).
+        self.cells_failed = 0
+        #: Whole-job re-runs after the worker pool died underneath it.
+        self.retries = 0
 
     def describe(self, with_results: bool = True) -> dict:
         """The ``GET /jobs/<id>`` document."""
@@ -126,6 +146,8 @@ class Job:
             "cells_executed": self.cells_executed,
             "cells_from_cache": self.cells_from_cache,
             "cells_deduped": self.cells_deduped,
+            "cells_failed": self.cells_failed,
+            "retries": self.retries,
         }
         if self.started is not None and self.finished is not None:
             payload["seconds"] = round(self.finished - self.started, 6)
@@ -141,6 +163,11 @@ class SweepDaemon:
 
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
+        #: FaultyBackend when running under ``--faults`` (chaos), else None.
+        self.faulty_backend = None
+        self._fault_state_dir: str | None = None
+        if config.fault_plan is not None:
+            self._arm_faults(config.fault_plan)
         executor = (
             SerialExecutor() if config.jobs <= 1 else ProcessPoolExecutor(config.jobs)
         )
@@ -149,7 +176,19 @@ class SweepDaemon:
             if config.cache_url is not None
             else None
         )
-        self.engine = SweepEngine(executor=executor, cache=self.cache)
+        if self.cache is not None and self.faulty_backend is not None:
+            # Chaos mode: slide the fault injector between the codec and
+            # the real storage, exactly where a failing disk/NIC lives.
+            self.faulty_backend.inner = self.cache.backend
+            self.cache.backend = self.faulty_backend
+        # Jobs must survive a cell that repeatedly kills workers: the
+        # engine quarantines it (a structured failure row in the job
+        # document) instead of failing every other cell with it.
+        self.engine = SweepEngine(
+            executor=executor,
+            cache=self.cache,
+            failure_policy=QUARANTINE_FAILURE_POLICY,
+        )
         self.jobs: dict[str, Job] = {}
         self.queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self.draining = False
@@ -167,6 +206,25 @@ class SweepDaemon:
         self.jobs_done = 0
         self.jobs_failed = 0
         self.jobs_rejected = 0
+        self.jobs_retried = 0
+        self.jobs_timed_out = 0
+
+    def _arm_faults(self, plan_path: str) -> None:
+        """Load a fault plan and arm its injection channels (chaos only)."""
+        from repro.faults.backend import FaultyBackend
+        from repro.faults.plan import load_plan
+        from repro.faults.workers import ENV_PLAN, ENV_STATE
+
+        plan = load_plan(plan_path)
+        if plan.cache is not None or plan.peer is not None:
+            # Wired to the real backend after the cache is built.
+            self.faulty_backend = FaultyBackend(None, plan)
+        if plan.worker is not None:
+            # Pool workers inherit the environment on spawn; the state
+            # dir bounds the crash budget across respawned pools.
+            self._fault_state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+            os.environ[ENV_PLAN] = os.path.abspath(plan_path)
+            os.environ[ENV_STATE] = self._fault_state_dir
 
     # ------------------------------------------------------------------ stats
 
@@ -175,7 +233,7 @@ class SweepDaemon:
 
     def stats(self) -> dict:
         jobs = self.jobs.values()
-        return {
+        document = {
             "api": SERVE_API_VERSION,
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "engine_jobs": self.engine.executor.jobs,
@@ -187,12 +245,33 @@ class SweepDaemon:
             "jobs_rejected": self.jobs_rejected,
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
+            "jobs_retried": self.jobs_retried,
+            "jobs_timed_out": self.jobs_timed_out,
             "jobs_running": sum(1 for j in jobs if j.state == "running"),
             "cells_submitted": sum(len(j.cells) for j in jobs),
             "cells_executed": sum(j.cells_executed for j in jobs),
             "cells_from_cache": sum(j.cells_from_cache for j in jobs),
             "cells_deduped": sum(j.cells_deduped for j in jobs),
+            "cells_failed": sum(j.cells_failed for j in jobs),
         }
+        if self.cache is not None:
+            document["cache_corrupt_evictions"] = self.cache.corrupt_evictions
+            backend = self.cache.backend
+            inner = getattr(backend, "inner", None)
+            tiered = backend if isinstance(backend, TieredBackend) else (
+                inner if isinstance(inner, TieredBackend) else None
+            )
+            if tiered is not None:
+                document["breaker"] = tiered.breaker.describe()
+                document["remote_skipped"] = tiered.remote_skipped
+        executor = self.engine.executor
+        if hasattr(executor, "worker_crashes"):
+            document["worker_crashes"] = executor.worker_crashes
+            document["cells_retried"] = executor.cells_retried
+            document["cells_quarantined"] = executor.cells_quarantined
+        if self.faulty_backend is not None:
+            document["faults"] = self.faulty_backend.report()
+        return document
 
     # ------------------------------------------------------------- lifecycle
 
@@ -226,6 +305,16 @@ class SweepDaemon:
         self._server.close()
         await self._server.wait_closed()
         self.engine.close()
+        self._disarm_faults()
+
+    def _disarm_faults(self) -> None:
+        """Drop the crash-injection env (the token dir stays as evidence)."""
+        if self._fault_state_dir is None:
+            return
+        from repro.faults.workers import ENV_PLAN, ENV_STATE
+
+        os.environ.pop(ENV_PLAN, None)
+        os.environ.pop(ENV_STATE, None)
 
     def initiate_drain(self) -> None:
         """Stop intake, finish accepted jobs, then let :meth:`run` return."""
@@ -279,37 +368,76 @@ class SweepDaemon:
                 },
             )
 
-        hits_before = self.cache.hits if self.cache is not None else 0
-        misses_before = self.cache.misses if self.cache is not None else 0
+        hits_before = misses_before = 0
+        results: list | None = None
         try:
-            results = await loop.run_in_executor(
-                None, lambda: self.engine.run_cells(job.cells, progress=progress)
-            )
+            while True:
+                if self.cache is not None:
+                    # Recaptured per attempt: after a pool-death retry,
+                    # cells completed on attempt 1 come back as cache
+                    # hits, and the counters should say so.
+                    hits_before = self.cache.hits
+                    misses_before = self.cache.misses
+                try:
+                    results = await self._execute_with_timeout(loop, job, progress)
+                except WorkerPoolError as exc:
+                    # The pool died and the engine's bounded per-cell
+                    # retry was exhausted — or a non-quarantining policy
+                    # gave up. One whole-job retry: the pool respawns
+                    # lazily and every cell already written to the cache
+                    # is *not* recomputed, so the retry is cheap and
+                    # bit-identical for completed work.
+                    if not self.config.retry_on_pool_death or job.retries >= 1:
+                        raise
+                    job.retries += 1
+                    self.jobs_retried += 1
+                    self._emit(job, {
+                        "event": "retry", "job": job.id, "cause": str(exc),
+                    })
+                    continue
+                break
+        except asyncio.TimeoutError:
+            job.state = "failed"
+            job.error = {
+                "error": "job exceeded its wall-clock budget",
+                "timeout_seconds": self.config.job_timeout,
+            }
+            self.jobs_failed += 1
+            self.jobs_timed_out += 1
         except (CellExecutionError, WorkerPoolError) as exc:
             job.state = "failed"
             job.error = _error_document(exc)
             self.jobs_failed += 1
         except Exception as exc:  # pragma: no cover - unexpected engine bug
+            degrade(exc, f"job {job.id} runner")
             job.state = "failed"
             job.error = {"error": f"{type(exc).__name__}: {exc}"}
             self.jobs_failed += 1
         else:
             job.results = [
-                {
-                    "system": cell.system_label,
-                    "benchmark": cell.bench_name,
-                    "content_hash": cell.content_hash(),
-                    "result": encode_result(result),
-                }
-                for cell, result in zip(job.cells, results)
+                _result_row(cell, result) for cell, result in zip(job.cells, results)
             ]
+            failed_hashes = {
+                cell.content_hash()
+                for cell, result in zip(job.cells, results)
+                if isinstance(result, CellFailure)
+            }
+            job.cells_failed = sum(
+                1 for result in results if isinstance(result, CellFailure)
+            )
             if self.cache is not None:
                 job.cells_from_cache = self.cache.hits - hits_before
-                job.cells_executed = self.cache.misses - misses_before
+                # A quarantined cell counted a cache miss on every
+                # attempt but produced no result; subtract the distinct
+                # failed cells so `executed` means "ran to completion".
+                job.cells_executed = max(
+                    0, self.cache.misses - misses_before - len(failed_hashes)
+                )
             else:
-                job.cells_executed = len(job.cells)
+                job.cells_executed = len(job.cells) - job.cells_failed
             job.cells_deduped = (
                 len(job.cells) - job.cells_from_cache - job.cells_executed
+                - job.cells_failed
             )
             job.state = "done"
             self.jobs_done += 1
@@ -324,8 +452,44 @@ class SweepDaemon:
                     "cells_executed": job.cells_executed,
                     "cells_from_cache": job.cells_from_cache,
                     "cells_deduped": job.cells_deduped,
+                    "cells_failed": job.cells_failed,
                 },
             )
+
+    async def _execute_with_timeout(self, loop, job: Job, progress):
+        """Run the job's cells, enforcing ``job_timeout`` if configured."""
+        future = loop.run_in_executor(
+            None, lambda: self.engine.run_cells(job.cells, progress=progress)
+        )
+        if self.config.job_timeout is None:
+            return await future
+        try:
+            # Shield so a timeout doesn't cancel the executor thread
+            # mid-engine (it cannot be interrupted anyway) — we instead
+            # terminate the pool out from under it, which makes the
+            # stuck `run_cells` raise and the future complete.
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.config.job_timeout
+            )
+        except asyncio.TimeoutError:
+            await loop.run_in_executor(None, self._terminate_engine)
+            try:
+                await future  # reap the zombie thread before moving on
+            except Exception as exc:
+                # Expected: the terminated pool surfaces as a
+                # WorkerPoolError inside the stuck run_cells. The job's
+                # outcome is already decided (timeout), so record & move on.
+                degrade(exc, "reaping a timed-out job's engine thread")
+            raise
+
+    def _terminate_engine(self) -> None:
+        """Kill the worker pool under a stuck job (timeout recovery)."""
+        terminate = getattr(self.engine.executor, "terminate", None)
+        if terminate is not None:
+            try:
+                terminate()
+            except Exception as exc:  # pragma: no cover - best-effort kill
+                degrade(exc, "terminating worker pool")
 
     def _emit(self, job: Job, event: dict) -> None:
         job.events.append(event)
@@ -504,8 +668,36 @@ class SweepDaemon:
                 _write_response(writer, 502, {"error": f"cache backend error: {exc}"})
                 return
             _write_raw_response(writer, 204, b"")
+        elif method == "DELETE":
+            # Eviction endpoint: peers that detect a corrupt entry tell
+            # this daemon to drop its copy too (see docs/ROBUSTNESS.md).
+            try:
+                await loop.run_in_executor(None, backend.discard, key)
+            except OSError as exc:
+                _write_response(writer, 502, {"error": f"cache backend error: {exc}"})
+                return
+            _write_raw_response(writer, 204, b"")
         else:
             _write_response(writer, 405, {"error": f"{method} not allowed on /cache"})
+
+
+def _result_row(cell: SweepCell, result) -> dict:
+    """One entry of a done job's ``results`` list.
+
+    A quarantined cell (the engine's :class:`FailurePolicy` gave up on a
+    worker-killer) carries a ``failure`` document instead of ``result``;
+    every other cell's row is unchanged from pre-PR-10.
+    """
+    row = {
+        "system": cell.system_label,
+        "benchmark": cell.bench_name,
+        "content_hash": cell.content_hash(),
+    }
+    if isinstance(result, CellFailure):
+        row["failure"] = result.describe()
+    else:
+        row["result"] = encode_result(result)
+    return row
 
 
 def _error_document(exc: CellExecutionError | WorkerPoolError) -> dict:
@@ -655,6 +847,10 @@ def start_daemon(config: ServeConfig) -> DaemonHandle:
         try:
             asyncio.run(daemon.run(ready=lambda _d: ready.set()))
         except BaseException as exc:  # reported to the caller via `failure`
+            # reraise=(): even KeyboardInterrupt must land in `failure`
+            # here — re-raising on a daemon thread would kill the
+            # process without ever waking the caller blocked on `ready`.
+            degrade(exc, "sweep daemon thread", reraise=())
             failure.append(exc)
             ready.set()
 

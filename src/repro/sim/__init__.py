@@ -21,6 +21,8 @@ from repro.sim.driver import (
     simulate,
 )
 from repro.sim.execution import (
+    CellFailure,
+    FailurePolicy,
     ProcessPoolExecutor,
     SerialExecutor,
     SweepEngine,
@@ -42,12 +44,14 @@ from repro.sim.specs import (
 from repro.sim.sweep import SweepResult, run_sweep
 
 __all__ = [
+    "CellFailure",
+    "FailurePolicy",
     "PredictorSpec",
     "ProcessPoolExecutor",
     "ProgramSpec",
-    "SPEC_FORMAT_VERSION",
     "ResultCache",
     "RunStats",
+    "SPEC_FORMAT_VERSION",
     "SerialExecutor",
     "SimulationConfig",
     "SimulationDesyncError",

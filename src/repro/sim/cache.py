@@ -31,10 +31,21 @@ Reads treat any malformed, mismatched or unreachable entry as a miss.
 Every backend is therefore safe to share between concurrent sweeps and
 to delete wholesale at any time; :func:`cache_from_url` builds the
 backend stack from one ``--cache-url`` string.
+
+Hardening (PR 10, proven by the seeded chaos suite in
+``tests/faults/``): entries carry an integrity ``checksum`` verified on
+read — a corrupt entry is *evicted* (``CacheBackend.discard``) and
+recomputed, never served and never fatal; :class:`HTTPBackend` retries
+transient peer trouble under a :class:`~repro.faults.policy.RetryPolicy`;
+:class:`TieredBackend` stops hammering a dead hub behind a
+:class:`~repro.faults.policy.CircuitBreaker` and probes for recovery.
+The policies live in :mod:`repro.faults.policy` because they are about
+wall time, which REP001 bans from ``sim/`` itself.
 """
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
 import os
@@ -43,6 +54,8 @@ import tempfile
 import urllib.parse
 from pathlib import Path
 from typing import TYPE_CHECKING
+
+from repro.faults.policy import CircuitBreaker, RetryPolicy
 
 from repro.core.critiques import CritiqueCensus, CritiqueKind
 from repro.sim.metrics import RunStats
@@ -193,6 +206,14 @@ class CacheBackend:
         """Store an entry (atomic, last-writer-wins per key)."""
         raise NotImplementedError
 
+    def discard(self, key: str) -> None:
+        """Best-effort removal of a (corrupt) entry; default no-op.
+
+        Called by the read path when an entry fails integrity checks, so
+        the next reader recomputes instead of re-tripping on the same
+        bytes. Advisory: failure to discard must never fail a run.
+        """
+
     def location(self) -> str:
         """Human-readable description of where entries live (CLI stats)."""
         raise NotImplementedError
@@ -239,6 +260,13 @@ class LocalDirBackend(CacheBackend):
                 pass
             raise
 
+    def discard(self, key: str) -> None:
+        _check_key(key)
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass  # already gone or unremovable: both fine, it's advisory
+
     def location(self) -> str:
         return str(self.root)
 
@@ -252,11 +280,21 @@ class HTTPBackend(CacheBackend):
     One short-lived connection per operation (``Connection: close``), so
     the backend is trivially picklable across pool workers and needs no
     lock. A 404 is a miss; any other failure (refused connection, 5xx,
-    short body) raises :class:`CacheBackendError`, which reads treat as
-    a miss and writes surface.
+    short body) raises :class:`CacheBackendError` — after bounded
+    retries with deterministic jitter (``retry``), because one dropped
+    packet should not cost a recompute. Reads treat the final error as
+    a miss and writes surface it.
     """
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    #: Default bounded backoff: three tries, ~0.15 s worst-case sleep.
+    DEFAULT_RETRY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0)
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme not in ("http",):
             raise ValueError(f"HTTPBackend needs an http:// URL, got {url!r}")
@@ -266,6 +304,7 @@ class HTTPBackend(CacheBackend):
         self.port = parsed.port or 80
         self.prefix = parsed.path.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else self.DEFAULT_RETRY
 
     def _url(self) -> str:
         return f"http://{self.host}:{self.port}{self.prefix}"
@@ -289,22 +328,39 @@ class HTTPBackend(CacheBackend):
 
     def get_bytes(self, key: str) -> bytes | None:
         _check_key(key)
-        status, data = self._request("GET", key)
-        if status == 404:
-            return None
-        if status != 200:
-            raise CacheBackendError(
-                f"cache peer {self._url()} answered HTTP {status} on GET {key[:12]}…"
-            )
-        return data
+
+        def attempt() -> bytes | None:
+            status, data = self._request("GET", key)
+            if status == 404:
+                return None
+            if status != 200:
+                raise CacheBackendError(
+                    f"cache peer {self._url()} answered HTTP {status} on GET {key[:12]}…"
+                )
+            return data
+
+        return self.retry.call(attempt, retry_on=CacheBackendError, token=f"get:{key}")
 
     def put_bytes(self, key: str, data: bytes) -> None:
         _check_key(key)
-        status, _ = self._request("PUT", key, body=data)
-        if status not in (200, 201, 204):
-            raise CacheBackendError(
-                f"cache peer {self._url()} answered HTTP {status} on PUT {key[:12]}…"
-            )
+
+        def attempt() -> None:
+            # PUT of content-addressed bytes is idempotent, so retrying
+            # after an ambiguous failure can never double-apply.
+            status, _ = self._request("PUT", key, body=data)
+            if status not in (200, 201, 204):
+                raise CacheBackendError(
+                    f"cache peer {self._url()} answered HTTP {status} on PUT {key[:12]}…"
+                )
+
+        self.retry.call(attempt, retry_on=CacheBackendError, token=f"put:{key}")
+
+    def discard(self, key: str) -> None:
+        _check_key(key)
+        try:
+            self._request("DELETE", key)
+        except CacheBackendError:
+            pass  # advisory; an unreachable or pre-PR-10 peer is fine
 
     def location(self) -> str:
         return self._url()
@@ -318,30 +374,63 @@ class TieredBackend(CacheBackend):
     correctness tier) and are mirrored to the remote *best-effort*: a
     dead or lagging peer costs shared hits, never a failed sweep. Remote
     read trouble likewise degrades to a miss.
+
+    A :class:`~repro.faults.policy.CircuitBreaker` guards the remote
+    tier: after a few consecutive failures the circuit opens and remote
+    ops are skipped outright (a dead hub costs microseconds, not a
+    connect timeout per cell), with periodic half-open probes so a
+    recovered hub is re-detected without operator action. Breaker state
+    is per process — a pickled copy in a pool worker trips on its own
+    evidence, which is the behaviour a shared-nothing pool wants.
     """
 
-    def __init__(self, local: CacheBackend, remote: CacheBackend) -> None:
+    def __init__(
+        self,
+        local: CacheBackend,
+        remote: CacheBackend,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         self.local = local
         self.remote = remote
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        #: Remote ops skipped while the circuit was open (telemetry).
+        self.remote_skipped = 0
 
     def get_bytes(self, key: str) -> bytes | None:
         data = self.local.get_bytes(key)
         if data is not None:
             return data
+        if not self.breaker.allow():
+            self.remote_skipped += 1
+            return None
         try:
             data = self.remote.get_bytes(key)
         except CacheBackendError:
+            self.breaker.record_failure()
             return None
+        self.breaker.record_success()
         if data is not None:
             self.local.put_bytes(key, data)
         return data
 
     def put_bytes(self, key: str, data: bytes) -> None:
         self.local.put_bytes(key, data)
+        if not self.breaker.allow():
+            self.remote_skipped += 1
+            return
         try:
             self.remote.put_bytes(key, data)
         except CacheBackendError:
-            pass  # peer down: local tier already holds the truth
+            self.breaker.record_failure()
+            return  # peer down: local tier already holds the truth
+        self.breaker.record_success()
+
+    def discard(self, key: str) -> None:
+        # Local only: the corruption was observed on *our* read path; if
+        # the remote copy is good, the next local miss re-fetches it,
+        # and if it is the corrupt source, the recompute's put_bytes
+        # overwrites both tiers anyway.
+        self.local.discard(key)
 
     def location(self) -> str:
         return f"tiered({self.local.location()} over {self.remote.location()})"
@@ -384,9 +473,15 @@ def cache_from_url(url: str | os.PathLike) -> CacheBackend:
 
 #: Schema version of persisted architectural-trace columns. Bump on any
 #: change to the RTRC layout below; old entries then read as misses.
-TRACE_SCHEMA_VERSION = 1
+#: v2 (PR 10): a 16-byte truncated SHA-256 over the body follows the
+#: header, so byte-level corruption is detected instead of silently
+#: decoding into wrong columns.
+TRACE_SCHEMA_VERSION = 2
 
 _TRACE_MAGIC = b"RTRC"
+
+#: Bytes of SHA-256 digest embedded in a v2 trace entry.
+_TRACE_DIGEST_LEN = 16
 
 
 def trace_cache_key(build_key: str) -> str:
@@ -397,8 +492,6 @@ def trace_cache_key(build_key: str) -> str:
     the program's build key, so a trace entry can never collide with a
     cell result and a schema bump retires old entries wholesale.
     """
-    import hashlib
-
     material = f"trace:{TRACE_SCHEMA_VERSION}:{build_key}".encode("utf-8")
     return hashlib.sha256(material).hexdigest()
 
@@ -415,9 +508,7 @@ def encode_trace_columns(n: int, cols) -> bytes:
     from array import array
 
     t_pc, t_tk, t_uops, t_tt, t_ft, t_snap = cols
-    parts = [
-        _TRACE_MAGIC,
-        struct.pack("<II", TRACE_SCHEMA_VERSION, n),
+    body = [
         array("q", t_pc[:n]).tobytes(),
         bytes(bytearray(t_tk[:n])),
         array("q", t_uops[:n]).tobytes(),
@@ -428,9 +519,13 @@ def encode_trace_columns(n: int, cols) -> bytes:
     flat = array("I")
     for s in t_snap[:n]:
         flat.extend(s)
-    parts.append(struct.pack("<I", len(flat)))
-    parts.append(flat.tobytes())
-    return b"".join(parts)
+    body.append(struct.pack("<I", len(flat)))
+    body.append(flat.tobytes())
+    body_bytes = b"".join(body)
+    digest = hashlib.sha256(body_bytes).digest()[:_TRACE_DIGEST_LEN]
+    return b"".join(
+        [_TRACE_MAGIC, struct.pack("<II", TRACE_SCHEMA_VERSION, n), digest, body_bytes]
+    )
 
 
 def decode_trace_columns(data: bytes):
@@ -440,10 +535,21 @@ def decode_trace_columns(data: bytes):
 
     if data[:4] != _TRACE_MAGIC:
         raise ValueError("not a trace-column entry")
-    version, n = struct.unpack_from("<II", data, 4)
+    try:
+        version, n = struct.unpack_from("<II", data, 4)
+    except struct.error as exc:
+        # struct.error is not a ValueError subclass; a record truncated
+        # inside the header must still take the corrupt-eviction path.
+        raise ValueError("short trace entry") from exc
     if version != TRACE_SCHEMA_VERSION:
         raise ValueError(f"trace schema {version} != {TRACE_SCHEMA_VERSION}")
-    off = 12
+    digest = data[12:12 + _TRACE_DIGEST_LEN]
+    if len(digest) != _TRACE_DIGEST_LEN:
+        raise ValueError("short trace entry")
+    body = data[12 + _TRACE_DIGEST_LEN:]
+    if hashlib.sha256(body).digest()[:_TRACE_DIGEST_LEN] != digest:
+        raise ValueError("trace entry digest mismatch (corrupt bytes)")
+    off = 12 + _TRACE_DIGEST_LEN
 
     def _ints(count):
         nonlocal off
@@ -466,7 +572,10 @@ def decode_trace_columns(data: bytes):
     if len(depths) != n:
         raise ValueError("short trace entry")
     off += n
-    (flat_len,) = struct.unpack_from("<I", data, off)
+    try:
+        (flat_len,) = struct.unpack_from("<I", data, off)
+    except struct.error as exc:
+        raise ValueError("short trace entry") from exc
     off += 4
     flat = array("I")
     flat.frombytes(data[off:off + 4 * flat_len])
@@ -498,16 +607,27 @@ class TraceColumnStore:
         self.backend = backend
         self.hits = 0
         self.misses = 0
+        #: Entries evicted because their bytes failed to decode/verify.
+        self.corrupt_evictions = 0
 
     def get(self, build_key: str, n: int):
         """``(stored_n, cols)`` with ``stored_n >= n``, or None."""
+        key = trace_cache_key(build_key)
         try:
-            data = self.backend.get_bytes(trace_cache_key(build_key))
+            data = self.backend.get_bytes(key)
             if data is None:
                 self.misses += 1
                 return None
             stored_n, cols = decode_trace_columns(data)
-        except (OSError, ValueError):
+        except ValueError:
+            # Undecodable bytes (corruption, digest mismatch): evict so
+            # the recomputed columns replace them instead of every
+            # future reader re-tripping on the same entry.
+            self.corrupt_evictions += 1
+            self.backend.discard(key)
+            self.misses += 1
+            return None
+        except OSError:
             self.misses += 1
             return None
         if stored_n < n:
@@ -546,6 +666,9 @@ class ResultCache:
         #: Telemetry for the current process (reported by the CLI).
         self.hits = 0
         self.misses = 0
+        #: Entries evicted because their bytes failed to parse or their
+        #: integrity checksum disagreed (chaos-report telemetry).
+        self.corrupt_evictions = 0
 
     @staticmethod
     def from_url(url: str | os.PathLike) -> "ResultCache":
@@ -568,33 +691,82 @@ class ResultCache:
         return self.backend.path_for(key)
 
     def get(self, key: str) -> RunStats | PipelineResult | None:
-        """Fetch a result, or None on miss / stale format / corruption."""
+        """Fetch a result, or None on miss / stale format / corruption.
+
+        Never crashes and never serves bad bytes: an entry that fails to
+        parse, whose integrity ``checksum`` disagrees, or whose ``key``
+        field does not match is *evicted* (best-effort
+        :meth:`CacheBackend.discard`) and reads as a miss, so the caller
+        recomputes and the recompute's ``put`` replaces the bytes. The
+        ``checksum`` field is optional on read — pre-PR-10 entries keep
+        hitting — while stale schema/format stamps stay plain misses
+        (retired, not destroyed).
+        """
         try:
             data = self.backend.get_bytes(key)
-            if data is None:
-                self.misses += 1
-                return None
+        except OSError:
+            self.misses += 1
+            return None
+        if data is None:
+            self.misses += 1
+            return None
+        try:
             document = json.loads(data.decode("utf-8"))
+            if not isinstance(document, dict):
+                raise ValueError("cache entry is not a JSON object")
+            stored_checksum = document.pop("checksum", None)
+            if stored_checksum is not None and stored_checksum != entry_checksum(
+                document
+            ):
+                raise ValueError("cache entry checksum mismatch")
+            if document.get("key") != key:
+                raise ValueError("cache entry key mismatch")
             if (
-                document.get("key") != key
-                or document.get("cache_schema") != CACHE_SCHEMA_VERSION
+                document.get("cache_schema") != CACHE_SCHEMA_VERSION
                 or document.get("spec_format") != SPEC_FORMAT_VERSION
             ):
                 self.misses += 1
                 return None
             result = decode_result(document)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            self.corrupt_evictions += 1
+            try:
+                self.backend.discard(key)
+            except OSError:
+                pass  # advisory: eviction failing must not fail the read
             self.misses += 1
             return None
         self.hits += 1
         return result
 
     def put(self, key: str, result: RunStats | PipelineResult) -> None:
-        """Store a result atomically (last writer wins, all writers agree)."""
-        self.backend.put_bytes(key, serialize_entry(key, result))
+        """Store a result atomically (last writer wins, all writers agree).
+
+        Best-effort: a backend that cannot take the write (full disk,
+        dead peer, injected transient) costs a future cache miss, never
+        the freshly computed result — the error is degraded, not raised.
+        """
+        try:
+            self.backend.put_bytes(key, serialize_entry(key, result))
+        except OSError as exc:
+            from repro.faults.handling import degrade
+
+            degrade(exc, f"caching result {key[:12]}…")
 
     def __len__(self) -> int:
         return len(self.backend)  # type: ignore[arg-type]
+
+
+def entry_checksum(document: dict) -> str:
+    """Integrity checksum over an entry document (sans ``checksum``).
+
+    SHA-256 of the document's canonical bytes — the same compact
+    separators and insertion order :func:`serialize_entry` writes, which
+    a JSON round-trip preserves, so reader and writer always hash the
+    same bytes.
+    """
+    canonical = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
 
 
 def serialize_entry(key: str, result: "RunStats | PipelineResult") -> bytes:
@@ -602,10 +774,15 @@ def serialize_entry(key: str, result: "RunStats | PipelineResult") -> bytes:
 
     Deterministic in (key, result): same compact separators and field
     order as every cache since PR 1, so all writers of a key agree byte
-    for byte and racing ``put``\\ s are unobservable.
+    for byte and racing ``put``\\ s are unobservable. The trailing
+    ``checksum`` field (PR 10) covers every preceding field; readers
+    verify it when present and evict on mismatch, so a flipped bit in
+    any offset class — header, digest, payload — is detected, while
+    checksum-less pre-PR-10 entries keep hitting.
     """
     document = encode_result(result)
     document["key"] = key
     document["cache_schema"] = CACHE_SCHEMA_VERSION
     document["spec_format"] = SPEC_FORMAT_VERSION
+    document["checksum"] = entry_checksum(document)
     return json.dumps(document, separators=(",", ":")).encode("utf-8")

@@ -49,6 +49,7 @@ Experiments pick up the process-wide default engine (see
 from __future__ import annotations
 
 import contextlib
+import inspect
 import json
 import math
 import os
@@ -59,6 +60,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence, Union
 
+from repro.faults.workers import maybe_crash
 from repro.sim.cache import ResultCache, clone_result
 from repro.sim.driver import simulate
 from repro.sim.metrics import RunStats
@@ -181,15 +183,88 @@ def _wrap_cell_error(
 
 
 class WorkerPoolError(RuntimeError):
-    """The worker pool itself died (a worker was killed or crashed).
+    """The worker pool died and bounded retry could not contain it.
 
     Unlike :class:`CellExecutionError` there is no single cell to blame —
     the interpreter hosting it vanished (OOM kill, segfault, machine
-    signal). Raised in place of the raw
-    :class:`~concurrent.futures.process.BrokenProcessPool` so sweeps fail
-    with context; the engine respawns a healthy pool on its next use, and
-    results already computed remain in the cache.
+    signal). After a pool break the executor respawns the pool and
+    re-runs the unfinished cells one at a time (so repeat crashes become
+    attributable to a cell); only when a cell exceeds its
+    :class:`FailurePolicy` crash budget — and quarantine is off — does
+    this error surface. The pool respawns on the next use either way,
+    and results already computed remain in the cache.
     """
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How the pool executor responds when workers die mid-sweep.
+
+    ``worker_crash_retries`` bounds how many times one cell may be
+    re-run after taking a worker down with it (so recovery always
+    terminates). A cell that exhausts the budget either aborts the sweep
+    with :class:`WorkerPoolError` (``quarantine=False``, the historical
+    behaviour) or is **quarantined**: reported as a
+    :class:`CellFailure` in the sweep result while every other cell
+    completes normally (``quarantine=True`` — what the daemon and the
+    chaos harness use, so one poisoned cell cannot sink a whole job).
+    """
+
+    worker_crash_retries: int = 2
+    quarantine: bool = False
+
+
+DEFAULT_FAILURE_POLICY = FailurePolicy()
+
+#: The daemon-side default: contain a poisoned cell, finish the job.
+QUARANTINE_FAILURE_POLICY = FailurePolicy(quarantine=True)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A quarantined cell: what it was, how it died, how often we tried.
+
+    Appears *in place of* a result in ``map_cells``/``run_cells`` output
+    (and under :attr:`~repro.sim.sweep.SweepResult.failures`) when a
+    quarantining :class:`FailurePolicy` gave up on the cell. Carries the
+    cell's labels and spec so a report names the culprit precisely.
+    """
+
+    system_label: str
+    bench_name: str
+    kind: str
+    attempts: int
+    message: str
+    spec_config: dict
+
+    @classmethod
+    def worker_crash(cls, cell: SweepCell, attempts: int, message: str) -> "CellFailure":
+        return cls(
+            system_label=cell.system_label,
+            bench_name=cell.bench_name,
+            kind="worker-crash",
+            attempts=attempts,
+            message=message,
+            spec_config=cell.to_config(),
+        )
+
+    def relabel(self, cell: SweepCell) -> "CellFailure":
+        """The same failure filed under another (duplicate) cell's labels."""
+        from dataclasses import replace
+
+        return replace(
+            self, system_label=cell.system_label, bench_name=cell.bench_name
+        )
+
+    def describe(self) -> dict:
+        """JSON-safe record for job results and chaos reports."""
+        return {
+            "system": self.system_label,
+            "benchmark": self.bench_name,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "message": self.message,
+        }
 
 
 class ProgramBuildCache:
@@ -348,6 +423,10 @@ def _run_chunk(
     builds = _worker_build_cache()
     results: list[CellResult] = []
     for position, cell in enumerate(cells):
+        # Fault-injection hook (no-op unless REPRO_FAULTS is set): fires
+        # at cell start, before compute and write-back, so a killed
+        # worker has published nothing and the retry is bit-identical.
+        maybe_crash(cell)
         try:
             result = _compute_cell(cell, builds)
             if cache is not None:
@@ -380,7 +459,10 @@ class SerialExecutor:
         on_result: OnResult | None = None,
         cache: ResultCache | None = None,
         keys: Sequence[str] | None = None,
+        failure_policy: "FailurePolicy | None" = None,
     ) -> list[CellResult]:
+        # ``failure_policy`` is accepted for interface symmetry with the
+        # pool executor; in-process cells cannot take a worker down.
         results: list[CellResult] = []
         for index, cell in enumerate(cells):
             try:
@@ -437,6 +519,11 @@ class ProcessPoolExecutor:
         self.jobs = jobs or os.cpu_count() or 1
         self._pool: futures.ProcessPoolExecutor | None = None
         self._serial: SerialExecutor | None = None
+        #: Crash-recovery telemetry, cumulative over the executor's life
+        #: (read by the chaos harness and the daemon's /stats).
+        self.worker_crashes = 0
+        self.cells_retried = 0
+        self.cells_quarantined = 0
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -444,6 +531,12 @@ class ProcessPoolExecutor:
         if self._pool is None:
             self._pool = futures.ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool (joins the manager thread; respawn on use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
 
     def shutdown(self) -> None:
         """Stop the persistent workers (idempotent; pool respawns on use)."""
@@ -453,6 +546,27 @@ class ProcessPoolExecutor:
         if self._serial is not None:
             self._serial.shutdown()
             self._serial = None
+
+    def terminate(self) -> None:
+        """Forcibly kill the worker processes (the job-timeout path).
+
+        Unlike :meth:`shutdown`, does not wait for in-flight cells: each
+        worker gets SIGTERM, the broken pool is discarded, and the next
+        ``map_cells`` respawns a healthy one. Reaches into the pool's
+        ``_processes`` map — a private but long-stable attribute; if a
+        future stdlib drops it, this degrades to a plain discard and the
+        zombie workers die with the daemon process instead.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass  # already dead or never started
+        self._discard_pool()
 
     # -- scheduling ---------------------------------------------------------
 
@@ -474,6 +588,7 @@ class ProcessPoolExecutor:
         on_result: OnResult | None = None,
         cache: ResultCache | None = None,
         keys: Sequence[str] | None = None,
+        failure_policy: FailurePolicy | None = None,
     ) -> list[CellResult]:
         if not cells:
             return []
@@ -484,9 +599,18 @@ class ProcessPoolExecutor:
             if self._serial is None:
                 self._serial = SerialExecutor()
             return self._serial.map_cells(cells, on_result=on_result, cache=cache, keys=keys)
+        policy = failure_policy if failure_policy is not None else DEFAULT_FAILURE_POLICY
         pool = self._ensure_pool()
         results: list[CellResult | None] = [None] * len(cells)
+        finished: set[int] = set()
         submitted: dict[futures.Future, list[int]] = {}
+
+        def harvest(index: int, result: CellResult) -> None:
+            results[index] = result
+            finished.add(index)
+            if on_result is not None:
+                on_result(index, result)
+
         try:
             for chunk in self._chunks(cells):
                 chunk_keys = [keys[i] for i in chunk] if keys is not None else None
@@ -496,22 +620,26 @@ class ProcessPoolExecutor:
                 submitted[future] = chunk
             for future in futures.as_completed(submitted):
                 for index, result in zip(submitted[future], future.result()):
-                    results[index] = result
-                    if on_result is not None:
-                        on_result(index, result)
-        except BrokenProcessPool as exc:
-            # A dead worker poisons the whole pool; shut the remains
-            # down (joins the management thread) and respawn on next use.
+                    harvest(index, result)
+        except BrokenProcessPool:
+            # A dead worker poisons the whole pool. Salvage every chunk
+            # that finished before the break, discard the remains, then
+            # contain the damage: re-run the unfinished cells one at a
+            # time so a repeat crash is attributable to a single cell.
+            self.worker_crashes += 1
+            for future, chunk in submitted.items():
+                if not future.done() or future.cancelled():
+                    continue
+                if future.exception() is not None:
+                    continue
+                for index, result in zip(chunk, future.result()):
+                    if index not in finished:
+                        harvest(index, result)
             for future in submitted:
                 future.cancel()
-            pool.shutdown(wait=False)
-            self._pool = None
-            raise WorkerPoolError(
-                f"a sweep worker process died unexpectedly ({exc}) — likely "
-                "killed by the OS (out of memory?) or crashed; the pool will "
-                "respawn on the next run, and results already computed remain "
-                "in the cache"
-            ) from exc
+            self._discard_pool()
+            remaining = [i for i in range(len(cells)) if i not in finished]
+            self._contain_crashes(cells, remaining, harvest, cache, keys, policy)
         except BaseException:
             # Fail fast: a cell error (or interrupt) cancels every chunk
             # that has not started; already-running chunks finish in the
@@ -520,6 +648,55 @@ class ProcessPoolExecutor:
                 future.cancel()
             raise
         return results  # type: ignore[return-value]
+
+    def _contain_crashes(
+        self,
+        cells: Sequence[SweepCell],
+        remaining: Sequence[int],
+        harvest: Callable[[int, "CellResult"], None],
+        cache: ResultCache | None,
+        keys: Sequence[str] | None,
+        policy: FailurePolicy,
+    ) -> None:
+        """Finish ``remaining`` cells after a pool break, one at a time.
+
+        Singleton chunks trade the tail's parallelism for attribution:
+        when a worker dies here, exactly one cell was in flight, so the
+        crash count lands on the right cell. A cell that exceeds
+        ``policy.worker_crash_retries`` is quarantined (reported as a
+        :class:`CellFailure`) or, without quarantine, aborts with
+        :class:`WorkerPoolError` naming it.
+        """
+        for index in remaining:
+            cell = cells[index]
+            attempts = 0
+            while True:
+                attempts += 1
+                key_arg = [keys[index]] if keys is not None else None
+                future = self._ensure_pool().submit(_run_chunk, [cell], cache, key_arg)
+                try:
+                    (result,) = future.result()
+                except BrokenProcessPool as exc:
+                    self.worker_crashes += 1
+                    self._discard_pool()
+                    if attempts <= policy.worker_crash_retries:
+                        self.cells_retried += 1
+                        continue
+                    message = (
+                        f"cell {cell.system_label!r} × {cell.bench_name!r} "
+                        f"killed a sweep worker {attempts} time(s) ({exc})"
+                    )
+                    if policy.quarantine:
+                        self.cells_quarantined += 1
+                        harvest(index, CellFailure.worker_crash(cell, attempts, message))
+                        break
+                    raise WorkerPoolError(
+                        f"{message} — likely killed by the OS (out of memory?) "
+                        "or crashed; the pool will respawn on the next run, and "
+                        "results already computed remain in the cache"
+                    ) from exc
+                harvest(index, result)
+                break
 
 
 @dataclass
@@ -541,6 +718,8 @@ class SweepEngine:
     executor: SerialExecutor | ProcessPoolExecutor = field(default_factory=SerialExecutor)
     cache: ResultCache | None = None
     progress: ProgressFn | None = None
+    #: How worker crashes are contained (bounded retry, quarantine).
+    failure_policy: FailurePolicy = DEFAULT_FAILURE_POLICY
 
     def run_cells(
         self,
@@ -584,20 +763,36 @@ class SweepEngine:
                 if progress is not None:
                     progress(done, total, cells[pending[position]])
 
+            # Duck-typed executors predating FailurePolicy (tests, user
+            # harnesses) keep working: only pass the policy to map_cells
+            # signatures that declare it.
+            extra: dict = {}
+            try:
+                map_params = inspect.signature(self.executor.map_cells).parameters
+            except (TypeError, ValueError):
+                map_params = {}
+            if "failure_policy" in map_params:
+                extra["failure_policy"] = self.failure_policy
             fresh = self.executor.map_cells(
                 [cells[i] for i in pending],
                 on_result=on_result,
                 cache=self.cache,
                 keys=[keys[i] for i in pending],
+                **extra,
             )
             for index, result in zip(pending, fresh):
                 results[index] = result
         for index, key in duplicates:
-            # Duplicates reuse their twin through the cache's lossless
-            # codec — the same cheap reconstruction a cache hit performs,
-            # far cheaper than deepcopying a stats object.
             twin = results[first_index[key]]
-            results[index] = _stamp(clone_result(twin), cells[index])
+            if isinstance(twin, CellFailure):
+                # A duplicate of a quarantined cell would fail the same
+                # way; file the failure under its own labels.
+                results[index] = twin.relabel(cells[index])
+            else:
+                # Duplicates reuse their twin through the cache's lossless
+                # codec — the same cheap reconstruction a cache hit performs,
+                # far cheaper than deepcopying a stats object.
+                results[index] = _stamp(clone_result(twin), cells[index])
             done += 1
             if progress is not None:
                 progress(done, total, cells[index])
@@ -608,9 +803,16 @@ class SweepEngine:
         cells: Sequence[SweepCell],
         progress: ProgressFn | None = None,
     ) -> SweepResult:
-        """Run accuracy cells and index the stats by (label, benchmark)."""
+        """Run accuracy cells and index the stats by (label, benchmark).
+
+        Quarantined cells (see :class:`FailurePolicy`) are filed under
+        ``SweepResult.failures`` instead of aborting the sweep.
+        """
         sweep = SweepResult()
         for cell, result in zip(cells, self.run_cells(cells, progress=progress)):
+            if isinstance(result, CellFailure):
+                sweep.add_failure(cell.system_label, cell.bench_name, result)
+                continue
             if not isinstance(result, RunStats):
                 raise TypeError(
                     "SweepEngine.run expects accuracy cells; use run_cells "
@@ -636,16 +838,24 @@ def make_engine(
     jobs: int = 1,
     cache_dir: str | os.PathLike | None = None,
     progress: ProgressFn | None = None,
+    failure_policy: FailurePolicy | None = None,
 ) -> SweepEngine:
     """Build an engine from CLI-shaped knobs.
 
     ``jobs`` ≤ 1 selects the in-process serial executor; larger values a
     persistent process pool of that size. ``cache_dir`` of None disables
     caching. ``progress`` installs a per-cell completion callback.
+    ``failure_policy`` overrides the default crash containment (the
+    daemon passes :data:`QUARANTINE_FAILURE_POLICY`).
     """
     executor = SerialExecutor() if jobs <= 1 else ProcessPoolExecutor(jobs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    return SweepEngine(executor=executor, cache=cache, progress=progress)
+    return SweepEngine(
+        executor=executor,
+        cache=cache,
+        progress=progress,
+        failure_policy=failure_policy or DEFAULT_FAILURE_POLICY,
+    )
 
 
 # --- process-wide default engine ------------------------------------------

@@ -56,17 +56,34 @@ ProgramFactory = Callable[[], Program]
 
 @dataclass
 class SweepResult:
-    """Results of a sweep, indexed by (system label, benchmark name)."""
+    """Results of a sweep, indexed by (system label, benchmark name).
+
+    ``failures`` holds cells the engine *quarantined* instead of running
+    to completion (a cell that repeatedly killed pool workers, under a
+    quarantining :class:`~repro.sim.execution.FailurePolicy`); every
+    other cell's result is present and unaffected. Values are
+    :class:`~repro.sim.execution.CellFailure` records.
+    """
 
     runs: dict[tuple[str, str], RunStats] = field(default_factory=dict)
+    failures: dict[tuple[str, str], object] = field(default_factory=dict)
 
     def add(self, system_label: str, bench_name: str, stats: RunStats) -> None:
         self.runs[(system_label, bench_name)] = stats
+
+    def add_failure(self, system_label: str, bench_name: str, failure) -> None:
+        self.failures[(system_label, bench_name)] = failure
 
     def get(self, system_label: str, bench_name: str) -> RunStats:
         try:
             return self.runs[(system_label, bench_name)]
         except KeyError:
+            if (system_label, bench_name) in self.failures:
+                failure = self.failures[(system_label, bench_name)]
+                raise KeyError(
+                    f"cell {system_label!r} × {bench_name!r} was quarantined "
+                    f"instead of run: {getattr(failure, 'message', failure)}"
+                ) from None
             raise KeyError(
                 f"no run for system {system_label!r} on benchmark {bench_name!r}; "
                 f"systems: {self.system_labels()}; benchmarks: {self.bench_names()}"

@@ -242,7 +242,10 @@ class ReplayCursor:
         # (rewind/close also release it explicitly mid-run).
         try:
             self.close()
-        except Exception:
+        except (OSError, ValueError):
+            # The narrow set a close can actually raise (I/O failure,
+            # double-close of a wrapped stream); anything else is a bug
+            # that must not be muffled by interpreter teardown.
             pass
 
 

@@ -142,9 +142,9 @@ class TestImportResolution:
 
 
 class TestRulePack:
-    def test_five_rules_registered_and_valid(self):
+    def test_six_rules_registered_and_valid(self):
         assert sorted(RULES_BY_CODE) == [
-            "REP001", "REP002", "REP003", "REP004", "REP005",
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
         ]
         for rule in ALL_RULES:
             validate_rule(rule)  # raises on malformed code / missing docs

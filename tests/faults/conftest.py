@@ -1,0 +1,52 @@
+"""Fixtures for the fault-injection (chaos) suite.
+
+``arm_faults`` is the suite's injection switchboard: given a
+:class:`~repro.faults.plan.FaultPlan` it writes the plan JSON, creates a
+crash-token state directory, exports ``REPRO_FAULTS`` /
+``REPRO_FAULTS_STATE`` (monkeypatched, so teardown restores the
+environment) and resets the worker-module cache — pool workers spawned
+afterwards inherit the armed plan. Tests that only need a cache-fault
+injector skip the environment entirely and wrap a backend in
+:class:`~repro.faults.backend.FaultyBackend` directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.faults.workers import ENV_PLAN, ENV_STATE, reset_for_tests
+from repro.sim import SimulationConfig
+from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec
+
+
+@pytest.fixture
+def arm_faults(monkeypatch, tmp_path):
+    """Factory: arm crash injection for a plan; returns the state dir."""
+
+    def arm(plan: FaultPlan):
+        plan_path = tmp_path / "fault-plan.json"
+        plan.dump(plan_path)
+        state_dir = tmp_path / "fault-state"
+        state_dir.mkdir(exist_ok=True)
+        monkeypatch.setenv(ENV_PLAN, str(plan_path))
+        monkeypatch.setenv(ENV_STATE, str(state_dir))
+        reset_for_tests()
+        return state_dir
+
+    yield arm
+    reset_for_tests()  # drop the cached plan after the env is restored
+
+
+@pytest.fixture
+def small_cells():
+    """A 2×2 grid of fast cells (distinct labels and benchmarks)."""
+    config = SimulationConfig(n_branches=400, warmup=80)
+    return [
+        SweepCell(label, bench, spec, ProgramSpec(benchmark=bench), config)
+        for bench in ("swim", "gcc")
+        for label, spec in (
+            ("gshare-2", SystemSpec.single("gshare", 2)),
+            ("gskew-4", SystemSpec.single("2bc-gskew", 4)),
+        )
+    ]

@@ -1,0 +1,119 @@
+"""run_chaos_sweep: differential proof that recovery is lossless."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.chaos import ChaosReport, run_chaos_sweep
+from repro.faults.plan import CacheFaults, FaultPlan, WorkerFaults
+
+
+class TestChaosReport:
+    def test_overhead_guards_zero_reference(self):
+        report = ChaosReport(plan={}, cells=0, identical=True)
+        assert report.recovery_overhead == 0.0
+
+    def test_summary_flags_mismatches(self):
+        report = ChaosReport(
+            plan={}, cells=4, identical=False,
+            mismatches=[{"system": "s", "benchmark": "b", "content_hash": "x"}],
+            reference_seconds=1.0, chaos_seconds=2.0,
+        )
+        assert "MISMATCH" in report.summary()
+        assert "2.00x" in report.summary()
+
+    def test_to_config_is_json_safe(self):
+        report = ChaosReport(plan={"seed": 1}, cells=2, identical=True)
+        document = json.loads(json.dumps(report.to_config()))
+        assert document["identical"] is True
+        assert document["recovery_overhead"] == 0.0
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_is_contained_and_results_match(self, small_cells):
+        plan = FaultPlan(seed=7, worker=WorkerFaults(crash_at_cell=1, crashes=1))
+        report = run_chaos_sweep(small_cells, plan, jobs=2)
+        assert report.crashes_injected == 1
+        assert report.recovery["worker_crashes"] >= 1
+        assert report.quarantined == []
+        assert report.identical and report.mismatches == []
+
+    def test_repeat_crasher_is_retried_within_budget(self, small_cells):
+        # Two crash tokens pinned to one cell: the containment re-run
+        # crashes once more, the bounded retry absorbs it, and the cell
+        # still completes (cells_retried counts that second attempt).
+        plan = FaultPlan(
+            seed=7,
+            worker=WorkerFaults(
+                crash_at_cell=1, crashes=2,
+                benchmark="swim", system="gshare-2",
+            ),
+        )
+        report = run_chaos_sweep(small_cells, plan, jobs=2)
+        assert report.crashes_injected == 2
+        assert report.recovery["cells_retried"] >= 1
+        assert report.quarantined == []
+        assert report.identical and report.mismatches == []
+
+    def test_poison_cell_is_quarantined_and_the_rest_survive(self, small_cells):
+        # More crashes than the retry budget, pinned to one benchmark:
+        # both swim cells must be quarantined, both gcc cells must still
+        # match the fault-free reference bit-for-bit.
+        plan = FaultPlan(
+            seed=7,
+            worker=WorkerFaults(crash_at_cell=1, crashes=10, benchmark="swim"),
+        )
+        report = run_chaos_sweep(small_cells, plan, jobs=2)
+        assert len(report.quarantined) == 2
+        assert {q["benchmark"] for q in report.quarantined} == {"swim"}
+        assert all(q["kind"] == "worker-crash" for q in report.quarantined)
+        assert report.recovery["cells_quarantined"] == 2
+        assert report.identical and report.mismatches == []
+
+    def test_worker_plan_refuses_serial_execution(self, small_cells):
+        plan = FaultPlan(seed=1, worker=WorkerFaults())
+        with pytest.raises(ValueError, match="jobs >= 2"):
+            run_chaos_sweep(small_cells, plan, jobs=1)
+
+
+class TestCacheFaultRecovery:
+    def test_cache_chaos_is_bit_identical(self, small_cells, tmp_path):
+        plan = FaultPlan(
+            seed=11,
+            cache=CacheFaults(
+                transient_error_p=0.3, drop_put_p=0.3,
+                corrupt_get_p=0.3, corrupt_mode="flip",
+            ),
+        )
+        report = run_chaos_sweep(
+            small_cells, plan, jobs=1, cache_dir=tmp_path / "cache"
+        )
+        assert report.identical and report.quarantined == []
+        assert report.injections is not None
+        assert report.injections["seed"] == 11
+        assert report.crashes_injected == 0
+
+    def test_same_plan_same_injection_schedule(self, small_cells, tmp_path):
+        def run(label):
+            plan = FaultPlan(
+                seed=13,
+                cache=CacheFaults(transient_error_p=0.4, drop_put_p=0.4),
+            )
+            report = run_chaos_sweep(
+                small_cells, plan, jobs=1, cache_dir=tmp_path / label
+            )
+            return report.injections["counts"], report.injections["events"]
+
+        assert run("a") == run("b")
+
+    def test_report_serialises_for_the_ci_artifact(self, small_cells, tmp_path):
+        plan = FaultPlan(seed=3, cache=CacheFaults(drop_put_p=1.0))
+        report = run_chaos_sweep(
+            small_cells, plan, jobs=1, cache_dir=tmp_path / "cache"
+        )
+        document = json.loads(json.dumps(report.to_config()))
+        assert document["cells"] == len(small_cells)
+        assert document["plan"]["cache"]["drop_put_p"] == 1.0
+        assert document["recovery"]["corrupt_evictions"] == 0

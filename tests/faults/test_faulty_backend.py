@@ -1,0 +1,141 @@
+"""FaultyBackend: scheduled misbehaviour, deterministic and reported."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.backend import FaultyBackend, corrupt_bytes
+from repro.faults.plan import CacheFaults, FaultPlan, PeerFaults
+from repro.sim.cache import CacheBackendError, LocalDirBackend
+
+KEY = "ab" + "0" * 62
+
+
+def _backend(tmp_path, plan: FaultPlan) -> FaultyBackend:
+    return FaultyBackend(LocalDirBackend(tmp_path / "store"), plan)
+
+
+class TestCorruptBytes:
+    def test_flip_changes_exactly_one_byte(self):
+        plan = FaultPlan(seed=1)
+        payload = bytes(range(64))
+        damaged = corrupt_bytes(payload, "flip", plan.stream("cache"))
+        assert len(damaged) == len(payload)
+        assert sum(a != b for a, b in zip(payload, damaged)) == 1
+
+    def test_truncate_shortens(self):
+        plan = FaultPlan(seed=1)
+        payload = bytes(range(64))
+        damaged = corrupt_bytes(payload, "truncate", plan.stream("cache"))
+        assert len(damaged) < len(payload)
+        assert payload.startswith(damaged)
+
+    def test_garbage_keeps_length(self):
+        plan = FaultPlan(seed=1)
+        payload = bytes(range(64))
+        damaged = corrupt_bytes(payload, "garbage", plan.stream("cache"))
+        assert len(damaged) == len(payload) and damaged != payload
+
+    def test_deterministic_per_stream(self):
+        payload = bytes(range(64))
+        a = corrupt_bytes(payload, "flip", FaultPlan(seed=5).stream("cache"))
+        b = corrupt_bytes(payload, "flip", FaultPlan(seed=5).stream("cache"))
+        assert a == b
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="smash"):
+            corrupt_bytes(b"x", "smash", FaultPlan(seed=1).stream("cache"))
+
+
+class TestCacheFaults:
+    def test_transient_errors_fire_and_are_counted(self, tmp_path):
+        plan = FaultPlan(seed=3, cache=CacheFaults(transient_error_p=1.0))
+        backend = _backend(tmp_path, plan)
+        with pytest.raises(CacheBackendError, match="injected transient"):
+            backend.get_bytes(KEY)
+        assert backend.counts["transient_error"] == 1
+        assert backend.report()["counts"] == {"transient_error": 1}
+
+    def test_dropped_put_leaves_no_entry(self, tmp_path):
+        plan = FaultPlan(seed=3, cache=CacheFaults(drop_put_p=1.0))
+        backend = _backend(tmp_path, plan)
+        backend.put_bytes(KEY, b"payload")
+        assert backend.counts["dropped_put"] == 1
+        assert backend.inner.get_bytes(KEY) is None
+
+    def test_corrupt_get_damages_fetched_bytes_only(self, tmp_path):
+        plan = FaultPlan(
+            seed=3, cache=CacheFaults(corrupt_get_p=1.0, corrupt_mode="flip")
+        )
+        backend = _backend(tmp_path, plan)
+        backend.put_bytes(KEY, b"pristine-bytes")
+        assert backend.inner.get_bytes(KEY) == b"pristine-bytes"  # disk intact
+        assert backend.get_bytes(KEY) != b"pristine-bytes"
+        assert backend.counts["corrupt_get"] == 1
+
+    def test_same_seed_same_schedule(self, tmp_path):
+        def run(seed_dir):
+            plan = FaultPlan(
+                seed=9, cache=CacheFaults(transient_error_p=0.5, drop_put_p=0.5)
+            )
+            backend = FaultyBackend(LocalDirBackend(seed_dir), plan)
+            outcomes = []
+            for index in range(20):
+                key = f"{index:02x}" + "0" * 62
+                try:
+                    backend.put_bytes(key, b"v")
+                    outcomes.append("put")
+                except CacheBackendError:
+                    outcomes.append("error")
+            return outcomes, dict(backend.counts)
+
+        first = run(tmp_path / "a")
+        second = run(tmp_path / "b")
+        assert first == second
+
+    def test_discard_is_never_injected(self, tmp_path):
+        plan = FaultPlan(seed=3, cache=CacheFaults(transient_error_p=1.0))
+        backend = _backend(tmp_path, plan)
+        backend.discard(KEY)  # must not raise: eviction is recovery
+        assert backend.counts == {}
+
+
+class TestPeerFaults:
+    def test_blackhole_recovers_after_n_ops(self, tmp_path):
+        plan = FaultPlan(seed=2, peer=PeerFaults(mode="blackhole", recover_after=3))
+        backend = _backend(tmp_path, plan)
+        for _ in range(3):
+            with pytest.raises(CacheBackendError, match="black-holed"):
+                backend.get_bytes(KEY)
+        assert backend.get_bytes(KEY) is None  # recovered: a plain miss
+        assert backend.counts["peer_blackhole"] == 3
+
+    def test_blackhole_without_recovery_faults_forever(self, tmp_path):
+        plan = FaultPlan(seed=2, peer=PeerFaults(mode="blackhole"))
+        backend = _backend(tmp_path, plan)
+        for _ in range(10):
+            with pytest.raises(CacheBackendError):
+                backend.put_bytes(KEY, b"v")
+
+    def test_slow_peer_records_but_succeeds(self, tmp_path):
+        plan = FaultPlan(seed=2, peer=PeerFaults(mode="slow", delay=0.0))
+        backend = _backend(tmp_path, plan)
+        backend.put_bytes(KEY, b"v")
+        assert backend.inner.get_bytes(KEY) == b"v"
+        assert backend.counts["peer_slow"] == 1
+
+
+class TestReport:
+    def test_event_list_is_bounded(self, tmp_path):
+        plan = FaultPlan(seed=2, peer=PeerFaults(mode="slow", delay=0.0))
+        backend = _backend(tmp_path, plan)
+        for index in range(250):
+            backend.put_bytes(f"{index % 16:x}" + "e" * 63, b"v")
+        report = backend.report()
+        assert report["counts"]["peer_slow"] == 250
+        assert len(report["events"]) == 200
+
+    def test_location_names_the_injection(self, tmp_path):
+        backend = _backend(tmp_path, FaultPlan(seed=11))
+        assert backend.location().startswith("faulty(")
+        assert "seed=11" in backend.location()

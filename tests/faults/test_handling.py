@@ -1,0 +1,57 @@
+"""degrade(): the accounted-for swallow (REP006's escape hatch)."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.faults.handling import (
+    clear_degradations,
+    degrade,
+    recent_degradations,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ring():
+    clear_degradations()
+    yield
+    clear_degradations()
+
+
+class TestDegrade:
+    def test_records_and_returns_the_exception(self):
+        exc = OSError("disk went away")
+        assert degrade(exc, "flushing cache") is exc
+        (entry,) = recent_degradations()
+        assert entry["context"] == "flushing cache"
+        assert "disk went away" in entry["error"]
+
+    def test_logs_a_warning(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.faults"):
+            degrade(ValueError("odd"), "parsing entry")
+        assert any("parsing entry" in r.message for r in caplog.records)
+
+    def test_reraises_keyboard_interrupt_by_default(self):
+        with pytest.raises(KeyboardInterrupt):
+            degrade(KeyboardInterrupt(), "anywhere")
+        assert recent_degradations() == []
+
+    def test_reraises_system_exit_by_default(self):
+        with pytest.raises(SystemExit):
+            degrade(SystemExit(1), "anywhere")
+
+    def test_reraise_override_for_thread_boundaries(self):
+        # start_daemon's thread must capture even interrupts into the
+        # failure channel instead of dying silently off-main-thread.
+        exc = KeyboardInterrupt()
+        assert degrade(exc, "daemon thread", reraise=()) is exc
+        assert len(recent_degradations()) == 1
+
+    def test_ring_is_bounded(self):
+        for index in range(300):
+            degrade(ValueError(str(index)), "loop")
+        ring = recent_degradations()
+        assert len(ring) == 256
+        assert ring[-1]["error"].endswith("299")

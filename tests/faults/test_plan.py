@@ -1,0 +1,116 @@
+"""FaultPlan: JSON round-trip, validation, seeded-stream determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import (
+    FAULT_PLAN_FORMAT,
+    CacheFaults,
+    FaultPlan,
+    FaultPlanError,
+    PeerFaults,
+    WorkerFaults,
+    load_plan,
+)
+
+
+def _full_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=42,
+        cache=CacheFaults(
+            latency=0.001, transient_error_p=0.1, drop_put_p=0.2,
+            corrupt_get_p=0.3, corrupt_mode="truncate",
+        ),
+        worker=WorkerFaults(
+            crash_at_cell=2, crashes=3, exit_code=9, benchmark="swim",
+        ),
+        peer=PeerFaults(mode="slow", delay=0.01, recover_after=5),
+    )
+
+
+class TestRoundTrip:
+    def test_full_plan_round_trips(self):
+        plan = _full_plan()
+        assert FaultPlan.from_config(plan.to_config()) == plan
+
+    def test_dump_load_round_trips(self, tmp_path):
+        plan = _full_plan()
+        path = tmp_path / "plan.json"
+        plan.dump(path)
+        assert load_plan(path) == plan
+
+    def test_empty_plan_is_valid(self):
+        plan = FaultPlan.from_config({"seed": 1})
+        assert plan.cache is None and plan.worker is None and plan.peer is None
+
+    def test_format_stamp_optional_but_validated(self):
+        assert FaultPlan.from_config({"seed": 3}).seed == 3
+        with pytest.raises(FaultPlanError, match="format"):
+            FaultPlan.from_config({"format": FAULT_PLAN_FORMAT + 1, "seed": 3})
+
+
+class TestValidation:
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="worker_faults"):
+            FaultPlan.from_config({"worker_faults": {}})
+
+    def test_unknown_section_key_names_valid_set(self):
+        with pytest.raises(FaultPlanError, match="corrupt_get_p") as err:
+            FaultPlan.from_config({"cache": {"corrupt_p": 0.5}})
+        assert err.value.section == "cache"
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultPlanError, match=r"\[0.0, 1.0\]"):
+            FaultPlan.from_config({"cache": {"drop_put_p": 1.5}})
+
+    def test_bad_corrupt_mode(self):
+        with pytest.raises(FaultPlanError, match="smash"):
+            FaultPlan.from_config({"cache": {"corrupt_mode": "smash"}})
+
+    def test_bad_peer_mode_and_recover_after(self):
+        with pytest.raises(FaultPlanError, match="teleport"):
+            FaultPlan.from_config({"peer": {"mode": "teleport"}})
+        with pytest.raises(FaultPlanError, match="recover_after"):
+            FaultPlan.from_config({"peer": {"recover_after": 0}})
+
+    def test_worker_crash_at_cell_must_be_positive(self):
+        with pytest.raises(FaultPlanError, match="crash_at_cell"):
+            FaultPlan.from_config({"worker": {"crash_at_cell": 0}})
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan.from_config({"seed": "7"})
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan.from_config({"seed": True})
+
+    def test_section_must_be_object(self):
+        with pytest.raises(FaultPlanError, match="cache"):
+            FaultPlan.from_config({"cache": 0.5})
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot read"):
+            load_plan(tmp_path / "missing.json")
+
+    def test_non_json_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(FaultPlanError, match="not JSON"):
+            load_plan(path)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = FaultPlan(seed=7).stream("cache")
+        b = FaultPlan(seed=7).stream("cache")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_streams_are_independent_by_name(self):
+        plan = FaultPlan(seed=7)
+        assert plan.stream("cache").random() != plan.stream("peer").random()
+
+    def test_different_seed_different_stream(self):
+        assert (
+            FaultPlan(seed=7).stream("cache").random()
+            != FaultPlan(seed=8).stream("cache").random()
+        )

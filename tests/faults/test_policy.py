@@ -1,0 +1,148 @@
+"""RetryPolicy and CircuitBreaker unit tests (no real sleeping)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.faults.policy import CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, max_delay=0.4)
+        for attempt in range(4):
+            nominal = min(0.4, 0.1 * 2**attempt)
+            delay = policy.delay(attempt, token="k")
+            assert policy.delay(attempt, token="k") == delay
+            assert 0.5 * nominal <= delay <= nominal
+
+    def test_tokens_desynchronise(self):
+        policy = RetryPolicy()
+        assert policy.delay(0, "alpha") != policy.delay(0, "beta")
+
+    def test_call_retries_then_succeeds(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(attempts=3, base_delay=0.5)
+        result = policy.call(
+            flaky, retry_on=OSError, token="t", sleep=sleeps.append
+        )
+        assert result == "ok"
+        assert len(calls) == 3
+        assert sleeps == [policy.delay(0, "t"), policy.delay(1, "t")]
+
+    def test_call_reraises_when_exhausted(self):
+        def always_fails():
+            raise OSError("down")
+
+        with pytest.raises(OSError, match="down"):
+            RetryPolicy(attempts=2, base_delay=0.0).call(
+                always_fails, retry_on=OSError, sleep=lambda _s: None
+            )
+
+    def test_unlisted_exceptions_pass_straight_through(self):
+        def boom():
+            raise ValueError("bug")
+
+        calls = []
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=3).call(
+                boom, retry_on=OSError, sleep=calls.append
+            )
+        assert calls == []  # no retry, no sleep
+
+    def test_on_retry_hook_fires_per_retry(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 1:
+                raise OSError("once")
+            return None
+
+        RetryPolicy(attempts=2, base_delay=0.0).call(
+            flaky,
+            retry_on=OSError,
+            sleep=lambda _s: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert seen == [(0, "once")]
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=10.0, clock=_Clock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.describe()["short_circuits"] == 1
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=_Clock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_after_cooldown_then_close(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()  # still cooling down
+        clock.now = 5.0
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # only one probe in flight
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_failed_probe_reopens_for_another_cooldown(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.now = 9.0
+        assert not breaker.allow()  # fresh cooldown from the probe failure
+        clock.now = 10.0
+        assert breaker.allow()
+        assert breaker.describe()["opens"] == 2
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_pickles_across_the_pool_boundary(self):
+        # TieredBackend (which embeds a breaker) is pickled to workers;
+        # the lock must be dropped and recreated, counters preserved.
+        breaker = CircuitBreaker(failure_threshold=2, clock=_Clock())
+        breaker.record_failure()
+        breaker.record_failure()
+        clone = pickle.loads(pickle.dumps(breaker))
+        assert clone.state == "open"
+        assert clone.describe()["opens"] == 1
+        clone.record_success()  # the fresh lock works
+        assert clone.state == "closed"

@@ -1,0 +1,132 @@
+"""Crash-injection plumbing: arming, token budget, selector matching.
+
+``maybe_crash`` calls ``os._exit`` when it fires, so the firing path is
+exercised in *subprocesses* (and end-to-end in ``test_chaos.py``); here
+the in-process tests drive everything up to the exit — plan caching,
+the atomic token budget, and the poison selectors — plus real child
+processes for the exit itself.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.faults.plan import FaultPlan, WorkerFaults
+from repro.faults.workers import (
+    ENV_PLAN,
+    ENV_STATE,
+    _claim_crash_token,
+    crashes_injected,
+    maybe_crash,
+    reset_for_tests,
+)
+from repro.sim import SimulationConfig
+from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _cell(bench="swim", label="gshare-2") -> SweepCell:
+    return SweepCell(
+        label, bench, SystemSpec.single("gshare", 2),
+        ProgramSpec(benchmark=bench), SimulationConfig(n_branches=100, warmup=20),
+    )
+
+
+class TestUnarmed:
+    def test_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_PLAN, raising=False)
+        reset_for_tests()
+        maybe_crash(_cell())  # must simply return
+
+    def test_bad_plan_file_injects_nothing(self, monkeypatch, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json", encoding="utf-8")
+        monkeypatch.setenv(ENV_PLAN, str(path))
+        reset_for_tests()
+        maybe_crash(_cell())  # a bad plan never takes down real work
+
+    def test_armed_without_state_dir_never_crashes(self, arm_faults, monkeypatch):
+        # The state dir is the budget; no budget, no crashes — an
+        # inherited REPRO_FAULTS alone cannot kill a worker.
+        arm_faults(FaultPlan(seed=1, worker=WorkerFaults(crash_at_cell=1)))
+        monkeypatch.delenv(ENV_STATE)
+        reset_for_tests()
+        maybe_crash(_cell())
+
+
+class TestTokenBudget:
+    def test_tokens_are_claimed_exactly_budget_times(self, arm_faults):
+        state_dir = arm_faults(FaultPlan(seed=1, worker=WorkerFaults(crashes=3)))
+        assert [_claim_crash_token(3) for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+        assert crashes_injected() == 3
+        assert crashes_injected(str(state_dir)) == 3
+
+    def test_zero_budget_claims_nothing(self, arm_faults):
+        arm_faults(FaultPlan(seed=1, worker=WorkerFaults(crashes=0)))
+        assert not _claim_crash_token(0)
+        assert crashes_injected() == 0
+
+    def test_missing_state_dir_counts_zero(self, tmp_path):
+        assert crashes_injected(str(tmp_path / "nowhere")) == 0
+
+
+class TestSelectors:
+    def test_selector_skips_non_matching_cells(self, arm_faults):
+        plan = FaultPlan(
+            seed=1,
+            worker=WorkerFaults(crash_at_cell=1, benchmark="gcc", system="other"),
+        )
+        arm_faults(plan)
+        for _ in range(5):
+            maybe_crash(_cell(bench="swim", label="gshare-2"))
+        assert crashes_injected() == 0
+
+    def test_positional_trigger_skips_until_nth_cell(self, arm_faults):
+        arm_faults(FaultPlan(seed=1, worker=WorkerFaults(crash_at_cell=50)))
+        for _ in range(10):
+            maybe_crash(_cell())  # cells 1..10 of 50: never fires
+        assert crashes_injected() == 0
+
+
+class TestRealExit:
+    def _run_child(self, plan: FaultPlan, tmp_path, bench="swim") -> int:
+        plan_path = tmp_path / "plan.json"
+        plan.dump(plan_path)
+        state_dir = tmp_path / "state"
+        state_dir.mkdir(exist_ok=True)
+        env = dict(os.environ)
+        env.update({
+            ENV_PLAN: str(plan_path),
+            ENV_STATE: str(state_dir),
+            "PYTHONPATH": SRC,
+        })
+        script = (
+            "from repro.faults.workers import maybe_crash\n"
+            "from repro.sim import SimulationConfig\n"
+            "from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec\n"
+            f"cell = SweepCell('gshare-2', {bench!r}, SystemSpec.single('gshare', 2),\n"
+            f"                 ProgramSpec(benchmark={bench!r}),\n"
+            "                 SimulationConfig(n_branches=100, warmup=20))\n"
+            "maybe_crash(cell)\n"
+            "print('survived')\n"
+        )
+        return subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True
+        ).returncode
+
+    def test_worker_process_exits_with_the_plan_code(self, tmp_path):
+        plan = FaultPlan(seed=1, worker=WorkerFaults(crash_at_cell=1, exit_code=87))
+        assert self._run_child(plan, tmp_path) == 87
+        assert crashes_injected(str(tmp_path / "state")) == 1
+
+    def test_exhausted_budget_lets_the_worker_live(self, tmp_path):
+        plan = FaultPlan(seed=1, worker=WorkerFaults(crash_at_cell=1, crashes=1))
+        assert self._run_child(plan, tmp_path) != 0  # claims the only token
+        assert self._run_child(plan, tmp_path) == 0  # budget spent: survives
+        assert crashes_injected(str(tmp_path / "state")) == 1

@@ -1,0 +1,167 @@
+"""SweepClient degradation: transport retries, 429 budgets, wait() resilience.
+
+Pure unit tests — ``_request_once`` / ``events`` / ``status`` are stubbed
+on the instance and ``_sleep`` records instead of sleeping, so every
+schedule assertion runs in microseconds against the real retry logic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.client import ServeError, SweepClient, _parse_retry_after
+
+
+@pytest.fixture
+def client():
+    instance = SweepClient("http://127.0.0.1:1")  # never actually dialed
+    instance.sleeps = []
+    instance._sleep = instance.sleeps.append
+    return instance
+
+
+def _scripted(client, outcomes):
+    """Stub ``_request_once`` to play ``outcomes`` (exception or document)."""
+    calls = []
+
+    def playback(method, path, payload=None):
+        calls.append((method, path))
+        outcome = outcomes[min(len(calls), len(outcomes)) - 1]
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+    client._request_once = playback
+    return calls
+
+
+class TestTransportRetry:
+    def test_connection_drops_are_retried_then_succeed(self, client):
+        calls = _scripted(
+            client,
+            [ConnectionError("refused"), ConnectionError("reset"), {"job": "j1"}],
+        )
+        assert client.submit_payload({"systems": {}}) == "j1"
+        assert len(calls) == 3
+        # Deterministic backoff: the exact RetryPolicy schedule, token'd
+        # by endpoint so concurrent clients desynchronise.
+        assert client.sleeps == [
+            client.retry.delay(0, "POST:/jobs"),
+            client.retry.delay(1, "POST:/jobs"),
+        ]
+
+    def test_exhausted_retries_surface_the_last_error(self, client):
+        calls = _scripted(client, [ConnectionError("daemon is gone")])
+        with pytest.raises(ConnectionError, match="gone"):
+            client.healthz()
+        assert len(calls) == client.retry.attempts
+
+    def test_http_errors_are_never_retried(self, client):
+        calls = _scripted(client, [ServeError(400, {"error": "bad config"})])
+        with pytest.raises(ServeError, match="bad config"):
+            client.submit_payload({"systems": {}})
+        assert len(calls) == 1  # the daemon answered; retrying is wrong
+        assert client.sleeps == []
+
+
+class TestRetryAfterBudget:
+    def test_429_hint_within_budget_is_waited_out(self, client):
+        full = ServeError(429, {"error": "queue full"}, retry_after=0.2)
+        calls = _scripted(client, [full, full, {"job": "j2"}])
+        job = client.submit_payload({"systems": {}}, retry_after_budget=1.0)
+        assert job == "j2"
+        assert len(calls) == 3
+        assert client.sleeps == [0.2, 0.2]
+
+    def test_hint_beyond_budget_surfaces_the_429(self, client):
+        _scripted(client, [ServeError(429, {"error": "queue full"}, retry_after=5.0)])
+        with pytest.raises(ServeError) as err:
+            client.submit_payload({"systems": {}}, retry_after_budget=1.0)
+        assert err.value.status == 429
+        assert client.sleeps == []  # never waits longer than the budget
+
+    def test_missing_hint_defaults_to_one_second(self, client):
+        _scripted(client, [ServeError(429, {"error": "queue full"})])
+        with pytest.raises(ServeError):
+            client.submit_payload({"systems": {}}, retry_after_budget=0.5)
+        assert client.sleeps == []
+
+    def test_zero_budget_is_the_old_fail_fast_behaviour(self, client):
+        _scripted(client, [ServeError(429, {"error": "queue full"}, retry_after=0.0)])
+        with pytest.raises(ServeError):
+            client.submit_payload({"systems": {}})
+
+
+class TestParseRetryAfter:
+    def test_parses_seconds(self):
+        assert _parse_retry_after("2.5") == 2.5
+
+    def test_garbage_and_absence_read_as_none(self):
+        assert _parse_retry_after(None) is None
+        assert _parse_retry_after("Wed, 21 Oct") is None
+
+    def test_negative_clamps_to_zero(self):
+        assert _parse_retry_after("-3") == 0.0
+
+
+class TestWaitDegradation:
+    def _cut_stream(self, client):
+        def events(job_id):
+            raise ConnectionError("stream cut")
+            yield  # pragma: no cover - generator shape
+
+        client.events = events
+
+    def test_stream_drop_degrades_to_polling(self, client):
+        self._cut_stream(client)
+        statuses = [{"state": "running"}, {"state": "done"}]
+        client.status = lambda job_id: statuses.pop(0)
+        assert client.wait("j1", poll=0.01)["state"] == "done"
+        assert client.sleeps == [0.01]  # one poll between the two statuses
+
+    def test_unreachable_daemon_polls_with_growing_interval(self, client):
+        self._cut_stream(client)
+        outcomes = [
+            ConnectionError("down"), ConnectionError("still down"),
+            {"state": "done"},
+        ]
+
+        def status(job_id):
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+
+        client.status = status
+        assert client.wait("j1", poll=0.01)["state"] == "done"
+        assert client.sleeps == [0.02, 0.04]  # doubling, capped at 10x poll
+
+    def test_backoff_interval_is_capped(self, client):
+        self._cut_stream(client)
+        outcomes = [ConnectionError("down")] * 6 + [{"state": "done"}]
+
+        def status(job_id):
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, BaseException):
+                raise outcome
+            return outcome
+
+        client.status = status
+        assert client.wait("j1", poll=0.01)["state"] == "done"
+        assert max(client.sleeps) == pytest.approx(0.1)  # 10x poll ceiling
+
+    def test_structured_errors_still_surface(self, client):
+        self._cut_stream(client)
+
+        def status(job_id):
+            raise ServeError(404, {"error": "no such job"})
+
+        client.status = status
+        with pytest.raises(ServeError, match="no such job"):
+            client.wait("j1", poll=0.01)
+
+    def test_timeout_still_fires_while_degraded(self, client):
+        self._cut_stream(client)
+        client.status = lambda job_id: {"state": "running"}
+        with pytest.raises(TimeoutError, match="still running"):
+            client.wait("j1", poll=0.01, timeout=0.0)

@@ -38,8 +38,11 @@ from repro.sim.specs import SPEC_FORMAT_VERSION, ProgramSpec, SweepCell, SystemS
 _PINNED_CONTENT_HASH = (
     "2cf2752bb12ccc2c86a54148ff0f3b7fdade2b1d1698ea7fb3661eb0a5ec3bff"
 )
+#: Re-pinned at PR 10: entries gained a trailing integrity ``checksum``
+#: field (docs/ROBUSTNESS.md). Everything before it is byte-identical to
+#: the PR-7 pin, which `test_backend_writes_the_legacy_bytes` proves.
 _PINNED_ENTRY_SHA256 = (
-    "5a2fc3a9922f5ed33f6d722f4e489517f53887b303f0d1746da9098f4f1e19b8"
+    "a28699e9a54b50232dac834c5e2f41f539e557f4d234c8e7457dafccc5172385"
 )
 
 
@@ -74,7 +77,13 @@ def _legacy_put(root, key: str, result) -> None:
 
 class TestByteIdenticalLayout:
     def test_backend_writes_the_legacy_bytes(self, tmp_path, kernel_backend):
-        """Same (key, result) → byte-identical files, legacy vs today."""
+        """Today's entry is the legacy entry plus a trailing checksum.
+
+        PR 10 appended an integrity ``checksum`` as the *last* field, so
+        everything a pre-PR-10 reader parses is byte-for-byte what the
+        legacy writer produced; strip the one new field and the
+        documents must re-serialize to identical bytes.
+        """
         cell = _canonical_cell(kernel_backend)
         key = cell.content_hash()
         result = run_cell(cell)
@@ -88,9 +97,14 @@ class TestByteIdenticalLayout:
 
         legacy_bytes = (legacy_root / key[:2] / f"{key}.json").read_bytes()
         today_bytes = cache.path_for(key).read_bytes()
-        assert today_bytes == legacy_bytes
-        # and both equal the canonical serialization every backend stores
+        # the canonical serialization is exactly what hits the disk...
         assert today_bytes == serialize_entry(key, result)
+        # ...and minus the appended checksum it IS the legacy entry
+        document = json.loads(today_bytes)
+        assert list(document)[-1] == "checksum"
+        document.pop("checksum")
+        stripped = json.dumps(document, separators=(",", ":")).encode("utf-8")
+        assert stripped == legacy_bytes
 
     def test_legacy_directory_keeps_hitting(self, tmp_path, kernel_backend):
         """A cache dir written by the pre-refactor code resumes cleanly."""
@@ -143,6 +157,6 @@ class TestPinnedDigests:
         data = serialize_entry(cell.content_hash(), run_cell(cell))
         document = json.loads(data)
         assert list(document) == ["type", "payload", "key",
-                                  "cache_schema", "spec_format"]
+                                  "cache_schema", "spec_format", "checksum"]
         assert document["cache_schema"] == CACHE_SCHEMA_VERSION
         assert document["spec_format"] == SPEC_FORMAT_VERSION

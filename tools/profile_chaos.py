@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Chaos profiler: what fault recovery *costs*, gated by a floor.
+
+The chaos harness (``repro chaos``, :func:`repro.faults.chaos.run_chaos_sweep`)
+proves recovery is **lossless**; this tool measures that it is also
+**cheap**. Each scenario runs one sweep grid twice — fault-free serial
+reference, then under a canonical fault plan from ``examples/faults/``
+— and records the recovery-overhead ratio (chaos wall-clock over
+reference wall-clock). Ratios travel across machines; absolute seconds
+do not, so the floor (``benchmarks/BENCH_chaos_floor.json``) bounds the
+ratios and gates correctness (``identical``/``quarantined``) with *no*
+tolerance.
+
+Scenarios:
+
+* ``crash/worker-kill`` — ``worker-crash.json``: two injected worker
+  crashes mid-sweep; the pool respawns, the crashed cells re-run.
+* ``corrupt/cache-flip`` — ``corrupt-cache.json``: transient errors,
+  dropped puts and flipped get-bytes against the result cache; checksum
+  verification evicts, the engine recomputes.
+* ``dead-hub/blackhole`` — ``dead-hub.json``: every cache op fails for
+  the first 8 then the peer recovers — the pattern a dead hub daemon
+  shows a tiered cache, degraded to plain misses.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_chaos.py                  # measure
+    PYTHONPATH=src python tools/profile_chaos.py \\
+        --check-floor benchmarks/BENCH_chaos_floor.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults.chaos import run_chaos_sweep  # noqa: E402
+from repro.faults.plan import load_plan  # noqa: E402
+from repro.sim import SimulationConfig  # noqa: E402
+from repro.sim.specs import ProgramSpec, SweepCell, SystemSpec  # noqa: E402
+
+PLAN_DIR = REPO_ROOT / "examples" / "faults"
+
+#: scenario name -> (plan file, worker jobs for the chaos pass)
+SCENARIOS = {
+    "crash/worker-kill": ("worker-crash.json", 2),
+    "corrupt/cache-flip": ("corrupt-cache.json", 1),
+    "dead-hub/blackhole": ("dead-hub.json", 1),
+}
+BRANCHES = 4000
+WARMUP = 800
+
+
+def _grid() -> list[SweepCell]:
+    """The canonical chaos panel: 2 systems × 2 benchmarks, small cells."""
+    systems = {
+        "gshare-4": SystemSpec.single("gshare", 4),
+        "gskew-4": SystemSpec.single("2bc-gskew", 4),
+    }
+    config = SimulationConfig(n_branches=BRANCHES, warmup=WARMUP)
+    return [
+        SweepCell(label, bench, system, ProgramSpec(benchmark=bench), config)
+        for label, system in systems.items()
+        for bench in ("swim", "gcc")
+    ]
+
+
+def run_scenarios(progress: bool = False) -> list[dict]:
+    rows: list[dict] = []
+    for scenario, (plan_name, jobs) in SCENARIOS.items():
+        plan = load_plan(PLAN_DIR / plan_name)
+        report = run_chaos_sweep(_grid(), plan, jobs=jobs)
+        if progress:
+            print(f"  {scenario}: {report.summary()}", file=sys.stderr)
+        counts = (report.injections or {}).get("counts", {})
+        rows.append({
+            "scenario": scenario,
+            "plan": plan_name,
+            "jobs": jobs,
+            "cells": report.cells,
+            "identical": report.identical,
+            "quarantined": len(report.quarantined),
+            "faults_injected": sum(counts.values()) + report.crashes_injected,
+            "reference_seconds": round(report.reference_seconds, 4),
+            "chaos_seconds": round(report.chaos_seconds, 4),
+            "recovery_overhead": round(report.recovery_overhead, 4),
+        })
+    return rows
+
+
+def check_floor(rows: list[dict], floor_path: Path) -> list[str]:
+    """Failure messages against the committed floor.
+
+    ``identical`` and ``max_quarantined`` gate the recovery path's
+    correctness and carry NO tolerance; ``max_recovery_overhead`` is a
+    wall-clock ratio widened by the usual band (``tolerance`` < 1
+    divides the ceiling up, mirroring how the other floors scale their
+    minima down).
+    """
+    floors = json.loads(floor_path.read_text())
+    tolerance = floors.get("tolerance", 0.75)
+    by_scenario = {entry["scenario"]: entry for entry in rows}
+    failures: list[str] = []
+
+    for scenario, ceiling in floors.get("max_recovery_overhead", {}).items():
+        entry = by_scenario.get(scenario)
+        if entry is None:
+            failures.append(f"{scenario}: floor set but scenario not measured")
+            continue
+        if not entry["identical"]:
+            failures.append(
+                f"{scenario}: chaos results are NOT bit-identical to the "
+                "fault-free reference (no tolerance — this gates recovery "
+                "correctness, not machine speed)"
+            )
+        allowed = ceiling / tolerance
+        if entry["recovery_overhead"] > allowed:
+            failures.append(
+                f"{scenario}: recovery overhead {entry['recovery_overhead']:.2f}x "
+                f"exceeds {allowed:.2f}x (ceiling {ceiling:.2f}x, "
+                f"tolerance {tolerance:.0%})"
+            )
+        if entry["faults_injected"] < 1:
+            failures.append(
+                f"{scenario}: no faults were injected — the scenario "
+                "proved nothing (plan/seed drift?)"
+            )
+        quarantine_cap = floors.get("max_quarantined", 0)
+        if entry["quarantined"] > quarantine_cap:
+            failures.append(
+                f"{scenario}: {entry['quarantined']} cells quarantined, "
+                f"cap is {quarantine_cap} (no tolerance)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "benchmarks" / "BENCH_chaos.json"
+    )
+    parser.add_argument("--check-floor", type=Path, default=None)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    print("profiling chaos recovery…", file=sys.stderr)
+    rows = run_scenarios(progress=not args.quiet)
+    document = {
+        "schema": "bench-chaos/1",
+        "branches_per_cell": BRANCHES,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenarios": rows,
+    }
+    args.out.write_text(json.dumps(document, indent=1) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.check_floor is not None:
+        failures = check_floor(rows, args.check_floor)
+        for failure in failures:
+            print(f"FLOOR FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("floor check: all scenarios within bounds", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
